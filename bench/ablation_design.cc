@@ -1,0 +1,84 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Ablation study for the R^exp-tree's design choices on the standard
+// network workload (ExpT = 120, UI = 60, NewOb = 0.5):
+//
+//  * overlap enlargement in ChooseSubtree — the paper drops it ("using
+//    overlap enlargement as heuristics in the ChooseSubtree of the
+//    R^exp-tree does not improve query performance", Section 4.2.2);
+//    this run verifies the claim: turning it on should not help search
+//    while making ChooseSubtree quadratic;
+//  * forced reinsertion (R*'s 30 % reinsert) on/off;
+//  * the querying-window factor alpha in W = alpha * UI (0.5 in the
+//    paper) — too small under-provisions the horizon for future queries,
+//    too large over-inflates bounding rectangles;
+//  * buffer size — more frames absorb I/O for every variant alike.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace rexp;
+  using namespace rexp::bench;
+  FigureContext ctx = MakeContext();
+  PrintHeader("Ablation", "Design-choice ablations on the standard "
+              "workload (network, ExpT = 120, NewOb = 0.5)", ctx);
+
+  WorkloadSpec spec = ctx.base;
+  spec.new_ob = 0.5;
+
+  struct Case {
+    std::string name;
+    TreeConfig config;
+    uint32_t buffer_multiplier = 1;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"baseline Rexp", TreeConfig::Rexp()});
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.use_overlap_enlargement = true;
+    cases.push_back({"+ overlap enlargement", c});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.reinsert_fraction = 0;
+    cases.push_back({"- forced reinsertion", c});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.horizon_alpha = 0.0;
+    cases.push_back({"alpha = 0 (W = 0)", c});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.horizon_alpha = 2.0;
+    cases.push_back({"alpha = 2 (W = 2 UI)", c});
+  }
+  {
+    // The paper's future-work direction: decisions guided by conservative
+    // bounds while near-optimal bounds are stored for search.
+    TreeConfig c = TreeConfig::Rexp();
+    c.grouping_policy = GroupingPolicy::kConservative;
+    cases.push_back({"grouping = conservative", c});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.grouping_policy = GroupingPolicy::kUpdateMinimum;
+    cases.push_back({"grouping = update-min", c});
+  }
+  cases.push_back({"2x buffer", TreeConfig::Rexp(), 2});
+
+  std::printf("\n%-24s  %12s  %12s  %10s  %12s\n", "configuration",
+              "search I/O", "update I/O", "pages", "expired frac");
+  for (const Case& c : cases) {
+    VariantSpec variant{c.name, c.config, false};
+    variant = ScaleVariant(variant, ctx.scale);
+    variant.config.buffer_frames *= c.buffer_multiplier;
+    RunResult r = RunExperiment(spec, variant);
+    std::printf("%-24s  %12.2f  %12.2f  %10llu  %12.4f\n", c.name.c_str(),
+                r.search_io, r.update_io,
+                static_cast<unsigned long long>(r.index_pages),
+                r.expired_fraction);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Figure 10: "Search Performance For Varying UI" — average search I/O per
+// query as the mean update interval varies, for the four expiration-time
+// flavors (near-optimal TPBRs, network data, ExpT = 2 UI).
+//
+// Paper shape: if TPBR expiration times are recorded, ChooseSubtree must
+// be modified to treat entries as never-expiring (the "BRs with exp.t.,
+// algs with exp.t." flavor is the worst); the best results come from TPBRs
+// without recorded expiration and the normal algorithms.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace rexp;
+  using namespace rexp::bench;
+  FigureContext ctx = MakeContext();
+  PrintHeader("Figure 10", "Search I/O vs update interval UI "
+              "(network data, ExpT = 2 UI)", ctx);
+
+  std::vector<VariantSpec> variants = ExpFlavorVariants();
+  std::vector<std::string> names;
+  for (const auto& v : variants) names.push_back(v.name);
+  TablePrinter table("Figure 10: search I/O per query", "UI", names);
+
+  for (double ui : {30.0, 60.0, 90.0, 120.0}) {
+    WorkloadSpec spec = ctx.base;
+    spec.ui = ui;
+    spec.exp_t = 2 * ui;
+    std::vector<double> row;
+    for (const auto& variant : variants) {
+      RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
+      row.push_back(r.search_io);
+    }
+    table.AddRow(ui, row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Figure 11: "Search Performance for Uniform Data and Varying ExpT" —
+// average search I/O per query for the five TPBR strategies on the uniform
+// workload.
+//
+// Paper shape: near-optimal TPBRs perform best overall; optimal is no
+// better than near-optimal; update-minimum is close behind (here, with
+// duration-based expiration, its normal-ChooseSubtree flavor wins); static
+// TPBRs are far worse for duration-based expiration because fast objects
+// live as long as slow ones.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace rexp;
+  using namespace rexp::bench;
+  FigureContext ctx = MakeContext();
+  PrintHeader("Figure 11", "Search I/O vs ExpT for the five TPBR types "
+              "(uniform data)", ctx);
+
+  std::vector<VariantSpec> variants = TpbrKindVariants();
+  std::vector<std::string> names;
+  for (const auto& v : variants) names.push_back(v.name);
+  TablePrinter table("Figure 11: search I/O per query", "ExpT", names);
+
+  for (double exp_t : {30.0, 60.0, 120.0, 180.0, 240.0}) {
+    WorkloadSpec spec = ctx.base;
+    spec.data = WorkloadSpec::Data::kUniform;
+    spec.exp_t = exp_t;
+    if (exp_t == 30.0) spec.query_window = 15.0;
+    std::vector<double> row;
+    for (const auto& variant : variants) {
+      RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
+      row.push_back(r.search_io);
+    }
+    table.AddRow(exp_t, row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Figure 12: "Search Performance for Varying ExpD" — average search I/O
+// per query for the five TPBR strategies when expiration is
+// speed-dependent (fast objects expire sooner), network data.
+//
+// Paper shape: near-optimal stays best and optimal adds nothing;
+// update-minimum now prefers the ChooseSubtree that ignores expiration
+// times (grouping by velocity avoids the degradation of Figure 4); static
+// TPBRs become competitive because long-lived trajectories are the slow,
+// near-vertical ones they can bound tightly.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace rexp;
+  using namespace rexp::bench;
+  FigureContext ctx = MakeContext();
+  PrintHeader("Figure 12", "Search I/O vs expiration distance ExpD "
+              "(network data, speed-dependent expiration)", ctx);
+
+  std::vector<VariantSpec> variants = TpbrKindVariants();
+  std::vector<std::string> names;
+  for (const auto& v : variants) names.push_back(v.name);
+  TablePrinter table("Figure 12: search I/O per query", "ExpD", names);
+
+  for (double exp_d : {45.0, 90.0, 180.0, 270.0, 360.0}) {
+    WorkloadSpec spec = ctx.base;
+    spec.expiration = WorkloadSpec::Expiration::kDistance;
+    spec.exp_d = exp_d;
+    std::vector<double> row;
+    for (const auto& variant : variants) {
+      RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
+      row.push_back(r.search_io);
+    }
+    table.AddRow(exp_d, row);
+  }
+  table.Print();
+  return 0;
+}

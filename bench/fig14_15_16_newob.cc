@@ -1,0 +1,68 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Figures 14, 15 and 16: the NewOb sweep. One workload sweep (fraction of
+// objects "turned off" and replaced, 0 .. 2) against the four index
+// variants yields all three figures of the paper:
+//
+//   Figure 14 — average search I/O per query,
+//   Figure 15 — index size in disk pages,
+//   Figure 16 — average I/O per single insertion or deletion operation
+//               (tree cost; the B-tree cost of the scheduled variants is
+//               printed separately, as the paper's text discusses: adding
+//               it roughly doubles their update cost).
+//
+// Paper shapes: the TPR-tree's search cost and size grow steeply with
+// NewOb (turned-off objects are never removed); the R^exp-tree stays flat
+// and within a whisker of the scheduled-deletion variants, with the lazy
+// purge keeping the expired fraction negligible. Update I/O stays
+// comparable across variants until B-tree costs are included.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace rexp;
+  using namespace rexp::bench;
+  FigureContext ctx = MakeContext();
+  PrintHeader("Figures 14-16", "NewOb sweep: search I/O (Fig. 14), index "
+              "size (Fig. 15), update I/O (Fig. 16)", ctx);
+
+  std::vector<VariantSpec> variants = ComparisonVariants();
+  std::vector<std::string> names;
+  for (const auto& v : variants) names.push_back(v.name);
+  std::vector<std::string> update_names = names;
+  update_names.push_back("Rexp sched B-tree");
+  update_names.push_back("TPR sched B-tree");
+
+  TablePrinter search("Figure 14: search I/O per query", "NewOb", names);
+  TablePrinter size("Figure 15: index size (# of disk pages)", "NewOb",
+                    names);
+  TablePrinter update("Figure 16: update I/O per insert/delete op "
+                      "(B-tree cost shown separately)",
+                      "NewOb", update_names);
+
+  for (double new_ob : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    WorkloadSpec spec = ctx.base;
+    spec.new_ob = new_ob;
+    std::vector<double> search_row, size_row, update_row;
+    std::vector<double> btree_cost(2, 0);
+    for (const auto& variant : variants) {
+      RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
+      search_row.push_back(r.search_io);
+      size_row.push_back(static_cast<double>(r.index_pages));
+      update_row.push_back(r.update_io);
+      if (variant.scheduled) {
+        btree_cost[variant.name.find("TPR") != std::string::npos ? 1 : 0] =
+            r.btree_io_per_op;
+      }
+    }
+    update_row.push_back(btree_cost[0]);
+    update_row.push_back(btree_cost[1]);
+    search.AddRow(new_ob, search_row);
+    size.AddRow(new_ob, size_row);
+    update.AddRow(new_ob, update_row);
+  }
+  search.Print();
+  size.Print();
+  update.Print();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Shared scaffolding for the figure-reproduction benchmarks. Each figure
+// binary sweeps one workload parameter over the paper's values, runs every
+// series (index variant / TPBR flavor) of the corresponding plot, and
+// prints the resulting table.
+//
+// Scaling: the paper runs 100,000 live objects and 1,000,000 insertions
+// per workload on 4 KiB pages with a 50-page buffer, yielding trees of
+// height 3-4. REXP_SCALE (default 0.06) shrinks objects and insertions
+// proportionally, the buffer with them (keeping the paper's buffer/index
+// ratio), and — below scale 0.5 — the page to 1 KiB so the scaled trees
+// still reach height >= 3 (internal fan-out effects, such as recording
+// expiration times in bounding rectangles, only show above the root).
+// REXP_SCALE=1 reproduces the paper-sized setup exactly.
+
+#ifndef REXP_BENCH_FIG_COMMON_H_
+#define REXP_BENCH_FIG_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+#include "workload/workload_spec.h"
+
+namespace rexp::bench {
+
+inline constexpr double kDefaultScale = 0.06;
+
+struct FigureContext {
+  double scale;
+  WorkloadSpec base;  // Already scaled.
+};
+
+inline FigureContext MakeContext() {
+  FigureContext ctx;
+  ctx.scale = ScaleFromEnv(kDefaultScale);
+  WorkloadSpec spec;
+  ctx.base = spec.Scaled(ctx.scale);
+  return ctx;
+}
+
+// Scales a variant's buffer pool and page size with the workload (see
+// header comment).
+inline VariantSpec ScaleVariant(VariantSpec variant, double scale) {
+  uint32_t frames = static_cast<uint32_t>(50 * scale + 0.5);
+  variant.config.buffer_frames = std::max<uint32_t>(16, frames);
+  if (scale < 0.5) variant.config.page_size = 1024;
+  return variant;
+}
+
+// The four R^exp flavors of Figures 9–10: near-optimal TPBRs, with the
+// expiration time recorded in bounding rectangles or not, and insertion
+// algorithms honoring expiration times or treating all entries as
+// never-expiring.
+inline std::vector<VariantSpec> ExpFlavorVariants() {
+  std::vector<VariantSpec> variants;
+  for (bool store : {true, false}) {
+    for (bool algs_with : {true, false}) {
+      TreeConfig config = TreeConfig::Rexp();
+      config.store_tpbr_expiration = store;
+      config.choose_subtree_ignores_expiration = !algs_with;
+      std::string name = std::string(store ? "BRs with exp.t." : "BRs w/o exp.t.") +
+                         (algs_with ? ", algs with exp.t." : ", algs w/o exp.t.");
+      variants.push_back(VariantSpec{name, config, false});
+    }
+  }
+  return variants;
+}
+
+// The five TPBR strategies of Figures 11–12.
+inline std::vector<VariantSpec> TpbrKindVariants() {
+  std::vector<VariantSpec> variants;
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.tpbr_kind = TpbrKind::kStatic;
+    c.store_tpbr_expiration = true;  // Static bounds require recorded expiry.
+    variants.push_back(VariantSpec{"Static", c, false});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.tpbr_kind = TpbrKind::kUpdateMinimum;
+    c.choose_subtree_ignores_expiration = true;
+    variants.push_back(VariantSpec{"Upd-min w/o exp.t.", c, false});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.tpbr_kind = TpbrKind::kUpdateMinimum;
+    variants.push_back(VariantSpec{"Upd-min with exp.t.", c, false});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.tpbr_kind = TpbrKind::kNearOptimal;
+    variants.push_back(VariantSpec{"Near-optimal", c, false});
+  }
+  {
+    TreeConfig c = TreeConfig::Rexp();
+    c.tpbr_kind = TpbrKind::kOptimal;
+    variants.push_back(VariantSpec{"Optimal", c, false});
+  }
+  return variants;
+}
+
+// The four index variants of Figures 13–16.
+inline std::vector<VariantSpec> ComparisonVariants() {
+  return {VariantSpec::Rexp(), VariantSpec::Tpr(),
+          VariantSpec::RexpScheduled(), VariantSpec::TprScheduled()};
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const FigureContext& ctx) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "scale=%g (%llu live objects, %llu insertions; paper scale = 1)\n",
+      ctx.scale,
+      static_cast<unsigned long long>(ctx.base.target_objects),
+      static_cast<unsigned long long>(ctx.base.total_insertions));
+  std::fflush(stdout);
+}
+
+}  // namespace rexp::bench
+
+#endif  // REXP_BENCH_FIG_COMMON_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Micro-benchmarks for the substrates: convex hulls / bridges and the
+// buffer manager's hit and miss paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hull/convex_hull.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_file.h"
+
+namespace rexp {
+namespace {
+
+void BM_HullAndBridge(benchmark::State& state) {
+  Rng rng(1);
+  int n = static_cast<int>(state.range(0));
+  std::vector<hull::Point2> points(n);
+  for (auto& p : points) {
+    p = {rng.Uniform(0, 100), rng.Uniform(-500, 500)};
+  }
+  std::vector<hull::Point2> scratch(n);
+  for (auto _ : state) {
+    std::copy(points.begin(), points.end(), scratch.begin());
+    int len = hull::UpperHullInPlace(scratch.data(), n);
+    benchmark::DoNotOptimize(hull::UpperBridge(scratch.data(), len, 45.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HullAndBridge)->Arg(4)->Arg(32)->Arg(340);
+
+void BM_BufferFetchHit(benchmark::State& state) {
+  MemoryPageFile file(4096);
+  BufferManager buffer(&file, 50);
+  PageId id = file.Allocate();
+  buffer.Fetch(id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Fetch(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferFetchHit);
+
+void BM_BufferFetchMissEvict(benchmark::State& state) {
+  MemoryPageFile file(4096);
+  BufferManager buffer(&file, 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(file.Allocate());
+  size_t i = 0;
+  for (auto _ : state) {
+    // Sequential sweep over 64 pages with 8 frames: every fetch misses.
+    benchmark::DoNotOptimize(buffer.Fetch(ids[i % ids.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferFetchMissEvict);
+
+}  // namespace
+}  // namespace rexp
+
+BENCHMARK_MAIN();

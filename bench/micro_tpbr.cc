@@ -1,0 +1,86 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Micro-benchmarks for the TPBR layer: bounding-rectangle computation for
+// every strategy (the per-update cost driver of the index), the query
+// intersection predicate, and the objective-function integrals.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "tpbr/integrals.h"
+#include "tpbr/intersect.h"
+#include "tpbr/tpbr_compute.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomEntries;
+using ::rexp::testing::RandomQuery;
+
+void BM_ComputeTpbr(benchmark::State& state, TpbrKind kind) {
+  Rng rng(1);
+  int n = static_cast<int>(state.range(0));
+  auto entries = RandomEntries<2>(&rng, /*now=*/0.0, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeTpbr<2>(kind, entries, 0.0, 90.0, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK_CAPTURE(BM_ComputeTpbr, conservative, TpbrKind::kConservative)
+    ->Arg(2)->Arg(16)->Arg(170);
+BENCHMARK_CAPTURE(BM_ComputeTpbr, static_, TpbrKind::kStatic)
+    ->Arg(2)->Arg(16)->Arg(170);
+BENCHMARK_CAPTURE(BM_ComputeTpbr, update_minimum, TpbrKind::kUpdateMinimum)
+    ->Arg(2)->Arg(16)->Arg(170);
+BENCHMARK_CAPTURE(BM_ComputeTpbr, near_optimal, TpbrKind::kNearOptimal)
+    ->Arg(2)->Arg(16)->Arg(170);
+BENCHMARK_CAPTURE(BM_ComputeTpbr, optimal, TpbrKind::kOptimal)
+    ->Arg(2)->Arg(16)->Arg(170);
+
+void BM_Intersects(benchmark::State& state) {
+  Rng rng(2);
+  auto entries = RandomEntries<2>(&rng, 0.0, 64);
+  std::vector<Query<2>> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(RandomQuery<2>(&rng, 0.0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = entries[i % entries.size()];
+    const auto& q = queries[i % queries.size()];
+    benchmark::DoNotOptimize(Intersects(e, q, e.t_exp));
+    ++i;
+  }
+}
+BENCHMARK(BM_Intersects);
+
+void BM_AreaIntegral(benchmark::State& state) {
+  Rng rng(3);
+  auto entries = RandomEntries<2>(&rng, 0.0, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AreaIntegral(entries[i % entries.size()], 0.0, 90.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_AreaIntegral);
+
+void BM_OverlapIntegral(benchmark::State& state) {
+  Rng rng(4);
+  auto entries = RandomEntries<2>(&rng, 0.0, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = entries[i % entries.size()];
+    const auto& b = entries[(i * 7 + 1) % entries.size()];
+    benchmark::DoNotOptimize(OverlapIntegral(a, b, 0.0, 90.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_OverlapIntegral);
+
+}  // namespace
+}  // namespace rexp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Micro-benchmarks for whole index operations: insertion, search, and
+// update throughput of the R^exp-tree and the TPR-tree baseline, and the
+// B-tree event queue underneath the scheduled-deletion variants.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomPoint;
+using ::rexp::testing::RandomQuery;
+
+void BM_TreeInsert(benchmark::State& state, TreeConfig config) {
+  Rng rng(1);
+  MemoryPageFile file(config.page_size);
+  Tree<2> tree(config, &file);
+  ObjectId oid = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += 0.01;
+    tree.Insert(oid++, RandomPoint<2>(&rng, now, 120.0), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_TreeInsert, rexp, TreeConfig::Rexp());
+BENCHMARK_CAPTURE(BM_TreeInsert, tpr, TreeConfig::Tpr());
+
+void BM_TreeSearch(benchmark::State& state) {
+  Rng rng(2);
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  for (ObjectId oid = 0; oid < 20000; ++oid) {
+    tree.Insert(oid, RandomPoint<2>(&rng, 0.0, 1e5), 0.0);
+  }
+  std::vector<ObjectId> hits;
+  for (auto _ : state) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeSearch);
+
+void BM_TreeUpdate(benchmark::State& state) {
+  Rng rng(3);
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  const int n = 20000;
+  std::vector<Tpbr<2>> last(n);
+  for (ObjectId oid = 0; oid < n; ++oid) {
+    last[oid] = RandomPoint<2>(&rng, 0.0, 1e5);
+    tree.Insert(oid, last[oid], 0.0);
+  }
+  Time now = 0;
+  ObjectId oid = 0;
+  for (auto _ : state) {
+    now += 0.01;
+    tree.Delete(oid, last[oid], now);
+    last[oid] = RandomPoint<2>(&rng, now, 1e5);
+    tree.Insert(oid, last[oid], now);
+    oid = (oid + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeUpdate);
+
+void BM_BTreeInsertPop(benchmark::State& state) {
+  MemoryPageFile file(4096);
+  BTree queue(&file, 50, 16);
+  Rng rng(4);
+  uint8_t value[16] = {};
+  uint32_t id = 0;
+  // Steady state: one insert + one pop per iteration.
+  for (int i = 0; i < 10000; ++i) {
+    queue.Insert(BTree::Key{static_cast<float>(rng.Uniform(0, 1e6)), id++},
+                 value);
+  }
+  for (auto _ : state) {
+    queue.Insert(BTree::Key{static_cast<float>(rng.Uniform(0, 1e6)), id++},
+                 value);
+    BTree::Key key;
+    benchmark::DoNotOptimize(queue.PopFirstUpTo(1e9f, &key, value));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BTreeInsertPop);
+
+}  // namespace
+}  // namespace rexp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Extract the figure-reproduction tables from bench_output.txt into CSV.
+
+Usage:
+    python3 scripts/extract_results.py [bench_output.txt] [out_dir]
+
+Writes one CSV per table (figure) found in the benchmark output, named
+after the table title (e.g. ``figure_13_search_io_per_query.csv``), ready
+for plotting with any tool. No third-party dependencies.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:60]
+
+
+def parse_tables(lines):
+    """Yields (title, header_row, data_rows) for every TablePrinter block."""
+    i = 0
+    while i < len(lines):
+        line = lines[i].rstrip("\n")
+        # A table is a title line followed by a dashed underline.
+        if i + 1 < len(lines) and re.fullmatch(r"-{3,}", lines[i + 1].strip()):
+            title = line.strip()
+            header = re.split(r"\s{2,}", lines[i + 2].strip())
+            rows = []
+            j = i + 3
+            while j < len(lines):
+                row_line = lines[j].rstrip("\n")
+                if not row_line.strip():
+                    break
+                cells = re.split(r"\s{2,}", row_line.strip())
+                if len(cells) != len(header):
+                    break
+                rows.append(cells)
+                j += 1
+            if rows:
+                yield title, header, rows
+            i = j
+        else:
+            i += 1
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
+    with open(src) as f:
+        lines = f.readlines()
+    os.makedirs(out_dir, exist_ok=True)
+    count = 0
+    for title, header, rows in parse_tables(lines):
+        path = os.path.join(out_dir, slugify(title) + ".csv")
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(header)
+            writer.writerows(rows)
+        print(f"wrote {path} ({len(rows)} rows)")
+        count += 1
+    if count == 0:
+        print("no tables found — did the benchmark sweep run?",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

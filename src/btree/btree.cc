@@ -1,0 +1,423 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rexp {
+namespace {
+
+// Page header: level (u16) + count (u16).
+constexpr uint32_t kHeaderSize = 4;
+constexpr uint32_t kKeySize = 8;    // float t + uint32 id.
+constexpr uint32_t kChildSize = 4;  // PageId.
+
+}  // namespace
+
+BTree::BTree(PageFile* file, uint32_t buffer_frames, uint32_t value_size)
+    : file_(file), buffer_(file, buffer_frames), value_size_(value_size) {
+  uint32_t page = file->page_size();
+  leaf_capacity_ = static_cast<int>((page - kHeaderSize) /
+                                    (kKeySize + value_size));
+  // Internal capacity counts children: count * kChildSize +
+  // (count - 1) * kKeySize must fit.
+  internal_capacity_ = static_cast<int>(
+      (page - kHeaderSize + kKeySize) / (kKeySize + kChildSize));
+  REXP_CHECK(leaf_capacity_ >= 4 && internal_capacity_ >= 4);
+  REXP_CHECK(file->allocated_pages() == 0);
+  BtNode root;
+  root.level = 0;
+  root_ = AllocNode(root);
+  height_ = 1;
+  buffer_.FlushDirty();
+}
+
+BTree::~BTree() { buffer_.FlushDirty(); }
+
+// ---------------------------------------------------------------------------
+// Node serialization.
+
+BTree::BtNode BTree::ReadNode(PageId id) {
+  Page* page = buffer_.Fetch(id);
+  BtNode node;
+  node.level = page->Read<uint16_t>(0);
+  int count = page->Read<uint16_t>(2);
+  uint32_t off = kHeaderSize;
+  if (node.level == 0) {
+    node.keys.resize(count);
+    node.values.resize(static_cast<size_t>(count) * value_size_);
+    for (int i = 0; i < count; ++i) {
+      node.keys[i].t = page->Read<float>(off);
+      node.keys[i].id = page->Read<uint32_t>(off + 4);
+      off += kKeySize;
+      if (value_size_ > 0) {
+        std::memcpy(node.values.data() + static_cast<size_t>(i) * value_size_,
+                    page->data() + off, value_size_);
+        off += value_size_;
+      }
+    }
+  } else {
+    // `count` is the number of children.
+    node.children.resize(count);
+    node.keys.resize(count > 0 ? count - 1 : 0);
+    for (int i = 0; i < count; ++i) {
+      node.children[i] = page->Read<uint32_t>(off);
+      off += kChildSize;
+      if (i + 1 < count) {
+        node.keys[i].t = page->Read<float>(off);
+        node.keys[i].id = page->Read<uint32_t>(off + 4);
+        off += kKeySize;
+      }
+    }
+  }
+  return node;
+}
+
+void BTree::WriteNode(PageId id, const BtNode& node) {
+  Page* page = buffer_.Fetch(id);
+  page->Write<uint16_t>(0, static_cast<uint16_t>(node.level));
+  uint32_t off = kHeaderSize;
+  if (node.level == 0) {
+    int count = static_cast<int>(node.keys.size());
+    REXP_CHECK(count <= leaf_capacity_);
+    page->Write<uint16_t>(2, static_cast<uint16_t>(count));
+    for (int i = 0; i < count; ++i) {
+      page->Write<float>(off, node.keys[i].t);
+      page->Write<uint32_t>(off + 4, node.keys[i].id);
+      off += kKeySize;
+      if (value_size_ > 0) {
+        std::memcpy(page->data() + off,
+                    node.values.data() + static_cast<size_t>(i) * value_size_,
+                    value_size_);
+        off += value_size_;
+      }
+    }
+  } else {
+    int count = static_cast<int>(node.children.size());
+    REXP_CHECK(count <= internal_capacity_);
+    REXP_CHECK(node.keys.size() + 1 == node.children.size());
+    page->Write<uint16_t>(2, static_cast<uint16_t>(count));
+    for (int i = 0; i < count; ++i) {
+      page->Write<uint32_t>(off, node.children[i]);
+      off += kChildSize;
+      if (i + 1 < count) {
+        page->Write<float>(off, node.keys[i].t);
+        page->Write<uint32_t>(off + 4, node.keys[i].id);
+        off += kKeySize;
+      }
+    }
+  }
+  buffer_.MarkDirty(id);
+}
+
+PageId BTree::AllocNode(const BtNode& node) {
+  PageId id;
+  buffer_.NewPage(&id);
+  WriteNode(id, node);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion.
+
+BTree::SplitResult BTree::InsertRecurse(PageId id, const Key& key,
+                                        const uint8_t* value) {
+  BtNode node = ReadNode(id);
+  SplitResult result;
+  if (node.level == 0) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    REXP_CHECK(it == node.keys.end() || *it != key);  // Keys are unique.
+    size_t pos = static_cast<size_t>(it - node.keys.begin());
+    node.keys.insert(it, key);
+    if (value_size_ > 0) {
+      node.values.insert(node.values.begin() + pos * value_size_,
+                         value, value + value_size_);
+    }
+    if (static_cast<int>(node.keys.size()) > leaf_capacity_) {
+      size_t split = node.keys.size() / 2;
+      BtNode right;
+      right.level = 0;
+      right.keys.assign(node.keys.begin() + split, node.keys.end());
+      node.keys.resize(split);
+      if (value_size_ > 0) {
+        right.values.assign(node.values.begin() + split * value_size_,
+                            node.values.end());
+        node.values.resize(split * value_size_);
+      }
+      result.split = true;
+      result.separator = right.keys.front();
+      result.right = AllocNode(right);
+    }
+    WriteNode(id, node);
+    return result;
+  }
+
+  // Internal: find the child whose key range covers `key`.
+  size_t ci = static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+  SplitResult child = InsertRecurse(node.children[ci], key, value);
+  if (!child.split) return result;
+  node.keys.insert(node.keys.begin() + ci, child.separator);
+  node.children.insert(node.children.begin() + ci + 1, child.right);
+  if (static_cast<int>(node.children.size()) > internal_capacity_) {
+    size_t split = node.children.size() / 2;  // Right gets children[split..].
+    BtNode right;
+    right.level = node.level;
+    right.children.assign(node.children.begin() + split, node.children.end());
+    right.keys.assign(node.keys.begin() + split, node.keys.end());
+    result.separator = node.keys[split - 1];
+    node.children.resize(split);
+    node.keys.resize(split - 1);
+    result.split = true;
+    result.right = AllocNode(right);
+  }
+  WriteNode(id, node);
+  return result;
+}
+
+void BTree::Insert(const Key& key, const uint8_t* value) {
+  SplitResult result = InsertRecurse(root_, key, value);
+  if (result.split) {
+    BtNode new_root;
+    new_root.level = height_;
+    new_root.children = {root_, result.right};
+    new_root.keys = {result.separator};
+    root_ = AllocNode(new_root);
+    ++height_;
+  }
+  ++size_;
+  buffer_.FlushDirty();
+}
+
+// ---------------------------------------------------------------------------
+// Deletion.
+
+void BTree::FixChildUnderflow(BtNode* parent, PageId parent_id,
+                              int child_index) {
+  (void)parent_id;
+  const int ci = child_index;
+  PageId child_id = parent->children[ci];
+  BtNode child = ReadNode(child_id);
+
+  auto try_sibling = [&](int si) -> bool {
+    if (si < 0 || si >= static_cast<int>(parent->children.size())) {
+      return false;
+    }
+    PageId sib_id = parent->children[si];
+    BtNode sib = ReadNode(sib_id);
+    int sib_count = sib.level == 0 ? static_cast<int>(sib.keys.size())
+                                   : static_cast<int>(sib.children.size());
+    if (sib_count <= MinEntries(sib)) return false;
+    // Borrow one entry across the separator.
+    if (si == ci - 1) {  // Borrow from the left sibling's tail.
+      if (child.level == 0) {
+        child.keys.insert(child.keys.begin(), sib.keys.back());
+        sib.keys.pop_back();
+        if (value_size_ > 0) {
+          child.values.insert(child.values.begin(),
+                              sib.values.end() - value_size_,
+                              sib.values.end());
+          sib.values.resize(sib.values.size() - value_size_);
+        }
+        parent->keys[ci - 1] = child.keys.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent->keys[ci - 1]);
+        child.children.insert(child.children.begin(), sib.children.back());
+        parent->keys[ci - 1] = sib.keys.back();
+        sib.keys.pop_back();
+        sib.children.pop_back();
+      }
+    } else {  // Borrow from the right sibling's head.
+      if (child.level == 0) {
+        child.keys.push_back(sib.keys.front());
+        sib.keys.erase(sib.keys.begin());
+        if (value_size_ > 0) {
+          child.values.insert(child.values.end(), sib.values.begin(),
+                              sib.values.begin() + value_size_);
+          sib.values.erase(sib.values.begin(),
+                           sib.values.begin() + value_size_);
+        }
+        parent->keys[ci] = sib.keys.front();
+      } else {
+        child.keys.push_back(parent->keys[ci]);
+        child.children.push_back(sib.children.front());
+        parent->keys[ci] = sib.keys.front();
+        sib.keys.erase(sib.keys.begin());
+        sib.children.erase(sib.children.begin());
+      }
+    }
+    WriteNode(sib_id, sib);
+    WriteNode(child_id, child);
+    return true;
+  };
+
+  if (try_sibling(ci - 1) || try_sibling(ci + 1)) return;
+
+  // Merge with a sibling (one must exist; the root has >= 2 children).
+  int li = ci > 0 ? ci - 1 : ci;      // Left node index of the merged pair.
+  int ri = li + 1;
+  PageId left_id = parent->children[li];
+  PageId right_id = parent->children[ri];
+  BtNode left, right;
+  if (li == ci) {
+    left = std::move(child);
+    right = ReadNode(right_id);
+  } else {
+    left = ReadNode(left_id);
+    right = std::move(child);
+  }
+  if (left.level == 0) {
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.values.insert(left.values.end(), right.values.begin(),
+                       right.values.end());
+  } else {
+    left.keys.push_back(parent->keys[li]);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.children.insert(left.children.end(), right.children.begin(),
+                         right.children.end());
+  }
+  WriteNode(left_id, left);
+  buffer_.FreePage(right_id);
+  parent->children.erase(parent->children.begin() + ri);
+  parent->keys.erase(parent->keys.begin() + li);
+}
+
+bool BTree::DeleteRecurse(PageId id, const Key& key, bool* underflow) {
+  BtNode node = ReadNode(id);
+  *underflow = false;
+  if (node.level == 0) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it == node.keys.end() || *it != key) return false;
+    size_t pos = static_cast<size_t>(it - node.keys.begin());
+    node.keys.erase(it);
+    if (value_size_ > 0) {
+      node.values.erase(node.values.begin() + pos * value_size_,
+                        node.values.begin() + (pos + 1) * value_size_);
+    }
+    WriteNode(id, node);
+    *underflow = static_cast<int>(node.keys.size()) < MinEntries(node);
+    return true;
+  }
+  size_t ci = static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+  bool child_underflow = false;
+  if (!DeleteRecurse(node.children[ci], key, &child_underflow)) return false;
+  if (child_underflow) {
+    FixChildUnderflow(&node, id, static_cast<int>(ci));
+    WriteNode(id, node);
+    *underflow = static_cast<int>(node.children.size()) < MinEntries(node);
+  }
+  return true;
+}
+
+bool BTree::Delete(const Key& key) {
+  bool underflow = false;
+  bool found = DeleteRecurse(root_, key, &underflow);
+  if (found) {
+    --size_;
+    // Shrink the root while it is an internal node with a single child.
+    while (height_ > 1) {
+      BtNode root = ReadNode(root_);
+      if (root.level == 0 || root.children.size() > 1) break;
+      PageId old_root = root_;
+      root_ = root.children[0];
+      buffer_.FreePage(old_root);
+      --height_;
+    }
+  }
+  buffer_.FlushDirty();
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Minimum access.
+
+bool BTree::PeekMin(Key* key) {
+  PageId id = root_;
+  for (;;) {
+    BtNode node = ReadNode(id);
+    if (node.level == 0) {
+      if (node.keys.empty()) return false;
+      *key = node.keys.front();
+      return true;
+    }
+    id = node.children.front();
+  }
+}
+
+bool BTree::PopFirstUpTo(float t_max, Key* key, uint8_t* value) {
+  // Locate the minimum and copy it out, then delete through the normal
+  // rebalancing path.
+  PageId id = root_;
+  for (;;) {
+    BtNode node = ReadNode(id);
+    if (node.level == 0) {
+      if (node.keys.empty() || node.keys.front().t > t_max) return false;
+      *key = node.keys.front();
+      if (value != nullptr && value_size_ > 0) {
+        std::memcpy(value, node.values.data(), value_size_);
+      }
+      break;
+    }
+    id = node.children.front();
+  }
+  REXP_CHECK(Delete(*key));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking.
+
+BTree::Key BTree::CheckSubtree(PageId id, int level, const Key* lower_bound,
+                               uint64_t* entries, uint64_t* pages) {
+  BtNode node = ReadNode(id);
+  ++*pages;
+  REXP_CHECK(node.level == level);
+  // Keys sorted strictly.
+  for (size_t i = 1; i < node.keys.size(); ++i) {
+    REXP_CHECK(node.keys[i - 1] < node.keys[i]);
+  }
+  if (node.level == 0) {
+    if (id != root_) {
+      REXP_CHECK(static_cast<int>(node.keys.size()) >= MinEntries(node));
+    }
+    REXP_CHECK(node.values.size() == node.keys.size() * value_size_);
+    *entries += node.keys.size();
+    if (lower_bound != nullptr && !node.keys.empty()) {
+      REXP_CHECK(!(node.keys.front() < *lower_bound));
+    }
+    return node.keys.empty() ? (lower_bound ? *lower_bound : Key{})
+                             : node.keys.back();
+  }
+  if (id != root_) {
+    REXP_CHECK(static_cast<int>(node.children.size()) >= MinEntries(node));
+  } else {
+    REXP_CHECK(node.children.size() >= 2);
+  }
+  Key max_seen{};
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const Key* lb = i == 0 ? lower_bound : &node.keys[i - 1];
+    Key child_max = CheckSubtree(node.children[i], level - 1, lb, entries,
+                                 pages);
+    if (i + 1 < node.children.size()) {
+      // Everything in child i is strictly below separator i.
+      REXP_CHECK(child_max < node.keys[i]);
+    }
+    max_seen = child_max;
+  }
+  return max_seen;
+}
+
+void BTree::CheckInvariants() {
+  uint64_t entries = 0, pages = 0;
+  CheckSubtree(root_, height_ - 1, nullptr, &entries, &pages);
+  REXP_CHECK(entries == size_);
+  REXP_CHECK(pages == file_->allocated_pages());
+}
+
+}  // namespace rexp

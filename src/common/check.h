@@ -1,0 +1,39 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Checked-assertion macros. The library does not use exceptions; invariant
+// violations abort with a diagnostic. REXP_CHECK is always on; REXP_DCHECK
+// compiles away in NDEBUG builds and is used on hot paths.
+
+#ifndef REXP_COMMON_CHECK_H_
+#define REXP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rexp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "REXP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rexp::internal
+
+#define REXP_CHECK(expr)                                     \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::rexp::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define REXP_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define REXP_DCHECK(expr) REXP_CHECK(expr)
+#endif
+
+#endif  // REXP_COMMON_CHECK_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Directed double -> float rounding. On-page entries store 32-bit floats
+// (giving the paper's fan-outs); bounding-rectangle soundness requires that
+// the stored bounds only ever widen: lower bounds and their velocities are
+// rounded down, upper bounds and their velocities up, expiration times up.
+
+#ifndef REXP_COMMON_FLOAT_ROUND_H_
+#define REXP_COMMON_FLOAT_ROUND_H_
+
+#include <cmath>
+#include <limits>
+
+namespace rexp {
+
+// Largest float <= x.
+inline float FloatRoundDown(double x) {
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) > x) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+// Smallest float >= x.
+inline float FloatRoundUp(double x) {
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) < x) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_FLOAT_ROUND_H_

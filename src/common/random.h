@@ -1,0 +1,103 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic pseudo-random number generation. All randomness in the
+// library (workload generation, the near-optimal TPBR dimension order,
+// randomized tests) flows from seeded generators defined here, so every
+// experiment is exactly reproducible from its seed.
+//
+// SplitMix64 is used for seeding; Xoshiro256** is the main generator
+// (Blackman & Vigna, 2018 — public-domain reference algorithms,
+// re-implemented here so the library has no external dependencies).
+
+#ifndef REXP_COMMON_RANDOM_H_
+#define REXP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace rexp {
+
+// SplitMix64: tiny generator used to expand a 64-bit seed into the
+// Xoshiro256** state. Also usable standalone for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: fast, high-quality 64-bit generator with 256 bits of state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (uint64_t& s : state_) s = sm.Next();
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    REXP_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    REXP_DCHECK(n > 0);
+    // Lemire's nearly-divisionless bounded generation would be faster; the
+    // simple modulo is fine here because n is tiny relative to 2^64 in all
+    // of our uses, making the bias negligible for simulation purposes.
+    return NextU64() % n;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Fisher–Yates shuffle of `n` ints written into `out[0..n)` as a random
+  // permutation of {0, ..., n-1}.
+  void Permutation(int n, int* out) {
+    for (int i = 0; i < n; ++i) out[i] = i;
+    for (int i = n - 1; i > 0; --i) {
+      int j = static_cast<int>(UniformInt(static_cast<uint64_t>(i) + 1));
+      int tmp = out[i];
+      out[i] = out[j];
+      out[j] = tmp;
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_RANDOM_H_

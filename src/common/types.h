@@ -1,0 +1,39 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Fundamental scalar types shared by all rexp modules: object/page
+// identifiers, simulation time, and the sentinel values used for "no page"
+// and "never expires".
+
+#ifndef REXP_COMMON_TYPES_H_
+#define REXP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rexp {
+
+// Identifier of a moving object. 32 bits, matching the on-page entry layout
+// that yields the paper's fan-outs (170 leaf / 102 internal entries per
+// 4 KiB page at two dimensions).
+using ObjectId = uint32_t;
+
+// Identifier of a disk page within a PageFile.
+using PageId = uint32_t;
+
+// Sentinel: no page / null child pointer.
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+// Simulation time. The unit is abstract; the paper's workloads interpret it
+// as minutes. All in-memory computation uses doubles; on-page storage uses
+// 32-bit floats (rounded outward where soundness requires it).
+using Time = double;
+
+// Expiration time of an entry that never expires.
+inline constexpr Time kNeverExpires = std::numeric_limits<Time>::infinity();
+
+// Returns true if `t` denotes a finite expiration time.
+inline bool IsFiniteTime(Time t) { return t < kNeverExpires; }
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_TYPES_H_

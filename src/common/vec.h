@@ -1,0 +1,91 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Small fixed-dimension vector and axis-aligned rectangle types. The
+// dimensionality is a compile-time parameter; the library instantiates
+// one, two, and three dimensions, matching the TPR-tree family's scope.
+
+#ifndef REXP_COMMON_VEC_H_
+#define REXP_COMMON_VEC_H_
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rexp {
+
+// A point or velocity vector in kDims-dimensional space.
+template <int kDims>
+struct Vec {
+  double c[kDims] = {};
+
+  double& operator[](int d) { return c[d]; }
+  double operator[](int d) const { return c[d]; }
+
+  friend Vec operator+(Vec a, const Vec& b) {
+    for (int d = 0; d < kDims; ++d) a.c[d] += b.c[d];
+    return a;
+  }
+  friend Vec operator-(Vec a, const Vec& b) {
+    for (int d = 0; d < kDims; ++d) a.c[d] -= b.c[d];
+    return a;
+  }
+  friend Vec operator*(Vec a, double s) {
+    for (int d = 0; d < kDims; ++d) a.c[d] *= s;
+    return a;
+  }
+  friend bool operator==(const Vec& a, const Vec& b) {
+    for (int d = 0; d < kDims; ++d) {
+      if (a.c[d] != b.c[d]) return false;
+    }
+    return true;
+  }
+
+  double Norm() const {
+    double s = 0;
+    for (int d = 0; d < kDims; ++d) s += c[d] * c[d];
+    return std::sqrt(s);
+  }
+};
+
+// A static (non-moving) axis-aligned rectangle, used for query regions.
+template <int kDims>
+struct Rect {
+  Vec<kDims> lo;
+  Vec<kDims> hi;
+
+  bool Contains(const Vec<kDims>& p) const {
+    for (int d = 0; d < kDims; ++d) {
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  bool IsValid() const {
+    for (int d = 0; d < kDims; ++d) {
+      if (lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  // Hyper-volume (length / area / volume for 1/2/3 dimensions).
+  double Volume() const {
+    double v = 1;
+    for (int d = 0; d < kDims; ++d) v *= hi[d] - lo[d];
+    return v;
+  }
+
+  // The rectangle centered at `center` whose extent is `side` in every
+  // dimension.
+  static Rect Cube(const Vec<kDims>& center, double side) {
+    Rect r;
+    for (int d = 0; d < kDims; ++d) {
+      r.lo[d] = center[d] - side / 2;
+      r.hi[d] = center[d] + side / 2;
+    }
+    return r;
+  }
+};
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_VEC_H_

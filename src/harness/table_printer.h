@@ -1,0 +1,56 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Minimal fixed-width table printing for the figure-reproduction
+// benchmarks: one row per x-axis value, one column per index variant,
+// matching the series of the paper's plots.
+
+#ifndef REXP_HARNESS_TABLE_PRINTER_H_
+#define REXP_HARNESS_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rexp {
+
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::string x_label,
+               std::vector<std::string> series)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        series_(std::move(series)) {}
+
+  void AddRow(double x, const std::vector<double>& values) {
+    rows_.push_back(Row{x, values});
+  }
+
+  void Print() const {
+    std::printf("\n%s\n", title_.c_str());
+    for (size_t i = 0; i < title_.size(); ++i) std::printf("-");
+    std::printf("\n%-12s", x_label_.c_str());
+    for (const std::string& s : series_) std::printf("  %20s", s.c_str());
+    std::printf("\n");
+    for (const Row& row : rows_) {
+      std::printf("%-12g", row.x);
+      for (double v : row.values) std::printf("  %20.2f", v);
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rexp
+
+#endif  // REXP_HARNESS_TABLE_PRINTER_H_

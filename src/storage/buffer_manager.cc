@@ -1,0 +1,145 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "storage/buffer_manager.h"
+
+#include "common/check.h"
+
+namespace rexp {
+
+BufferManager::BufferManager(PageFile* file, uint32_t num_frames)
+    : file_(file), num_frames_(num_frames) {
+  REXP_CHECK(num_frames >= 1);
+  frames_.reserve(num_frames);
+  for (uint32_t i = 0; i < num_frames; ++i) {
+    frames_.emplace_back(file->page_size());
+    free_frames_.push_back(num_frames - 1 - i);  // Use frame 0 first.
+  }
+}
+
+BufferManager::~BufferManager() { FlushDirty(); }
+
+Page* BufferManager::Fetch(PageId id) {
+  REXP_CHECK(id != kInvalidPageId);
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    Touch(it->second);
+    return &frames_[it->second].page;
+  }
+  uint32_t fi = AcquireFrame();
+  Frame& f = frames_[fi];
+  file_->ReadPage(id, &f.page);
+  ++stats_.reads;
+  f.id = id;
+  f.dirty = false;
+  f.pin_count = 0;
+  frame_of_[id] = fi;
+  Touch(fi);
+  return &f.page;
+}
+
+Page* BufferManager::NewPage(PageId* id) {
+  *id = file_->Allocate();
+  // The page may be a recycled one that is still buffered with stale
+  // contents; reuse its frame in that case.
+  uint32_t fi;
+  auto it = frame_of_.find(*id);
+  if (it != frame_of_.end()) {
+    fi = it->second;
+  } else {
+    fi = AcquireFrame();
+    frames_[fi].id = *id;
+    frames_[fi].pin_count = 0;
+    frame_of_[*id] = fi;
+  }
+  Frame& f = frames_[fi];
+  f.page.Clear();
+  f.dirty = true;
+  Touch(fi);
+  return &f.page;
+}
+
+void BufferManager::MarkDirty(PageId id) {
+  auto it = frame_of_.find(id);
+  REXP_CHECK(it != frame_of_.end());
+  frames_[it->second].dirty = true;
+}
+
+void BufferManager::Pin(PageId id) {
+  auto it = frame_of_.find(id);
+  REXP_CHECK(it != frame_of_.end());
+  Frame& f = frames_[it->second];
+  if (f.pin_count++ == 0) RemoveFromLru(it->second);
+}
+
+void BufferManager::Unpin(PageId id) {
+  auto it = frame_of_.find(id);
+  REXP_CHECK(it != frame_of_.end());
+  Frame& f = frames_[it->second];
+  REXP_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) Touch(it->second);
+}
+
+void BufferManager::FreePage(PageId id) {
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    uint32_t fi = it->second;
+    Frame& f = frames_[fi];
+    REXP_CHECK(f.pin_count == 0);
+    RemoveFromLru(fi);
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    frame_of_.erase(it);
+    free_frames_.push_back(fi);
+  }
+  file_->Free(id);
+}
+
+void BufferManager::FlushDirty() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      file_->WritePage(f.id, f.page);
+      ++stats_.writes;
+      f.dirty = false;
+    }
+  }
+}
+
+uint32_t BufferManager::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    uint32_t fi = free_frames_.back();
+    free_frames_.pop_back();
+    return fi;
+  }
+  // Evict the least-recently-used unpinned page.
+  REXP_CHECK(!lru_.empty());  // All frames pinned => misconfigured buffer.
+  uint32_t fi = lru_.back();
+  Frame& f = frames_[fi];
+  RemoveFromLru(fi);
+  if (f.dirty) {
+    file_->WritePage(f.id, f.page);
+    ++stats_.writes;
+    f.dirty = false;
+  }
+  frame_of_.erase(f.id);
+  f.id = kInvalidPageId;
+  return fi;
+}
+
+void BufferManager::Touch(uint32_t frame_index) {
+  Frame& f = frames_[frame_index];
+  if (f.pin_count > 0) return;  // Pinned pages are not on the LRU list.
+  if (f.in_lru) lru_.erase(f.lru_pos);
+  lru_.push_front(frame_index);
+  f.lru_pos = lru_.begin();
+  f.in_lru = true;
+}
+
+void BufferManager::RemoveFromLru(uint32_t frame_index) {
+  Frame& f = frames_[frame_index];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+}
+
+}  // namespace rexp

@@ -1,0 +1,101 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// LRU buffer manager, reproducing the paper's experimental setup: a fixed
+// number of page frames (50 frames of 4 KiB = 200 KiB in the paper), the
+// root page pinned, least-recently-used replacement. Pages modified during
+// an index operation are marked dirty and written out at the end of the
+// operation (FlushDirty) or when they are evicted — exactly the write-
+// counting discipline described in Section 5.1.
+//
+// Pointer validity rule: the Page* returned by Fetch/NewPage is valid only
+// until the next call on this BufferManager. Callers (the node serializers)
+// copy node contents out of the frame immediately.
+
+#ifndef REXP_STORAGE_BUFFER_MANAGER_H_
+#define REXP_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace rexp {
+
+class BufferManager {
+ public:
+  // `file` must outlive the buffer manager. `num_frames` >= 1.
+  BufferManager(PageFile* file, uint32_t num_frames);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  ~BufferManager();
+
+  // Returns the buffered page, reading it from the device on a miss (which
+  // counts one read I/O, possibly plus one write I/O if a dirty page must
+  // be evicted to make room).
+  Page* Fetch(PageId id);
+
+  // Allocates a new page in the file and returns a zeroed, dirty frame for
+  // it. No device read is performed.
+  Page* NewPage(PageId* id);
+
+  // Marks a buffered page dirty. The page must currently be buffered.
+  void MarkDirty(PageId id);
+
+  // Pins / unpins a page so it is never evicted. Pins nest.
+  void Pin(PageId id);
+  void Unpin(PageId id);
+
+  // Deallocates a page: drops it from the buffer (discarding any dirty
+  // contents without a write — it is garbage now) and returns it to the
+  // file's free list.
+  void FreePage(PageId id);
+
+  // Writes out all dirty pages (counting write I/Os). Called by the index
+  // structures at the end of each logical operation.
+  void FlushDirty();
+
+  // True if `id` currently occupies a frame (test hook).
+  bool IsBuffered(PageId id) const { return frame_of_.count(id) > 0; }
+
+  uint32_t num_frames() const { return num_frames_; }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    bool dirty = false;
+    uint32_t pin_count = 0;
+    // Position in lru_ (valid when id != kInvalidPageId and unpinned).
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+
+    explicit Frame(uint32_t page_size) : page(page_size) {}
+  };
+
+  // Returns a free frame index, evicting the LRU unpinned page if needed.
+  uint32_t AcquireFrame();
+  void Touch(uint32_t frame_index);
+  void RemoveFromLru(uint32_t frame_index);
+
+  PageFile* const file_;
+  const uint32_t num_frames_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  // Front = most recently used; back = least recently used.
+  std::list<uint32_t> lru_;
+  std::unordered_map<PageId, uint32_t> frame_of_;
+  IoStats stats_;
+};
+
+}  // namespace rexp
+
+#endif  // REXP_STORAGE_BUFFER_MANAGER_H_

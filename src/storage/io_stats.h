@@ -1,0 +1,30 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// I/O counters. The paper's metrics are I/O counts measured at the buffer
+// manager boundary: a read is counted when a page is fetched and misses the
+// buffer; a write is counted when a dirty page is flushed (at the end of an
+// index operation or on eviction).
+
+#ifndef REXP_STORAGE_IO_STATS_H_
+#define REXP_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace rexp {
+
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t Total() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{reads - other.reads, writes - other.writes};
+  }
+
+  void Reset() { reads = writes = 0; }
+};
+
+}  // namespace rexp
+
+#endif  // REXP_STORAGE_IO_STATS_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// A fixed-size disk page: a raw byte buffer plus typed little-endian
+// accessors used by the node serializers. The page size is a runtime
+// parameter of the PageFile (the paper's experiments use 4 KiB).
+
+#ifndef REXP_STORAGE_PAGE_H_
+#define REXP_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rexp {
+
+class Page {
+ public:
+  explicit Page(uint32_t size) : data_(size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  void Clear() { std::memset(data_.data(), 0, data_.size()); }
+
+  // Typed accessors. `offset + sizeof(T)` must not exceed the page size.
+  // All supported hosts are little-endian; a static_assert in page_file.cc
+  // guards the assumption.
+  template <typename T>
+  T Read(uint32_t offset) const {
+    REXP_DCHECK(offset + sizeof(T) <= data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Write(uint32_t offset, T value) {
+    REXP_DCHECK(offset + sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace rexp
+
+#endif  // REXP_STORAGE_PAGE_H_

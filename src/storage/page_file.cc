@@ -1,0 +1,116 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "storage/page_file.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rexp {
+
+static_assert(std::endian::native == std::endian::little,
+              "Page accessors assume a little-endian host.");
+
+PageId PageFile::Allocate() {
+  ++allocated_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  return Grow();
+}
+
+void PageFile::Free(PageId id) {
+  REXP_CHECK(id != kInvalidPageId && id < capacity_);
+  REXP_CHECK(allocated_ > 0);
+  --allocated_;
+  free_list_.push_back(id);
+}
+
+void PageFile::RestoreFreeList(std::vector<PageId> ids, uint64_t leaked) {
+  for (PageId id : ids) {
+    REXP_CHECK(id < capacity_);
+  }
+  REXP_CHECK(ids.size() + leaked <= capacity_);
+  // Absolute restore: every page not on the free list is allocated
+  // (leaked pages included). Idempotent for in-process re-opens, correct
+  // for device re-opens where everything started out "allocated".
+  free_list_ = std::move(ids);
+  allocated_ = capacity_ - free_list_.size();
+  leaked_ = leaked;
+}
+
+void MemoryPageFile::ReadPage(PageId id, Page* page) {
+  REXP_CHECK(id < pages_.size());
+  REXP_CHECK(page->size() == page_size());
+  std::memcpy(page->data(), pages_[id].data(), page_size());
+}
+
+void MemoryPageFile::WritePage(PageId id, const Page& page) {
+  REXP_CHECK(id < pages_.size());
+  REXP_CHECK(page.size() == page_size());
+  std::memcpy(pages_[id].data(), page.data(), page_size());
+}
+
+PageId MemoryPageFile::Grow() {
+  pages_.emplace_back(page_size(), 0);
+  return static_cast<PageId>(capacity_++);
+}
+
+DiskPageFile::DiskPageFile(const std::string& path, uint32_t page_size,
+                           bool keep)
+    : PageFile(page_size), path_(path), keep_(keep) {
+  // Re-open an existing file without truncation; create it otherwise.
+  file_ = std::fopen(path.c_str(), "r+b");
+  if (file_ == nullptr) {
+    file_ = std::fopen(path.c_str(), "w+b");
+  }
+  REXP_CHECK(file_ != nullptr);
+  REXP_CHECK(std::fseek(file_, 0, SEEK_END) == 0);
+  long size = std::ftell(file_);
+  REXP_CHECK(size >= 0);
+  REXP_CHECK(static_cast<uint64_t>(size) % page_size == 0);
+  capacity_ = static_cast<uint64_t>(size) / page_size;
+  // Every existing page is treated as allocated (see the header note on
+  // free lists being process-local).
+  RestoreAllocated(capacity_);
+}
+
+DiskPageFile::~DiskPageFile() {
+  std::fclose(file_);
+  if (!keep_) std::remove(path_.c_str());
+}
+
+void DiskPageFile::ReadPage(PageId id, Page* page) {
+  REXP_CHECK(id < capacity_);
+  REXP_CHECK(page->size() == page_size());
+  REXP_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
+                        SEEK_SET) == 0);
+  size_t n = std::fread(page->data(), 1, page_size(), file_);
+  REXP_CHECK(n == page_size());
+}
+
+void DiskPageFile::WritePage(PageId id, const Page& page) {
+  REXP_CHECK(id < capacity_);
+  REXP_CHECK(page.size() == page_size());
+  REXP_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
+                        SEEK_SET) == 0);
+  size_t n = std::fwrite(page.data(), 1, page_size(), file_);
+  REXP_CHECK(n == page_size());
+}
+
+PageId DiskPageFile::Grow() {
+  PageId id = static_cast<PageId>(capacity_++);
+  // Extend the file with a zero page so subsequent reads are well-defined.
+  std::vector<uint8_t> zeros(page_size(), 0);
+  REXP_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
+                        SEEK_SET) == 0);
+  size_t n = std::fwrite(zeros.data(), 1, page_size(), file_);
+  REXP_CHECK(n == page_size());
+  return id;
+}
+
+}  // namespace rexp

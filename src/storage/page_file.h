@@ -1,0 +1,131 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Page files: the raw storage devices under the buffer manager. Two
+// implementations are provided:
+//
+//   * MemoryPageFile — pages live in memory. This is the default for the
+//     experiments: the paper's metric is the I/O *count*, not device
+//     latency, and the count is taken at the buffer-manager boundary, so a
+//     memory-backed device reproduces the measurements exactly while
+//     keeping runs fast.
+//   * DiskPageFile — pages live in an ordinary file (stdio), demonstrating
+//     that the index is a genuine external-memory structure.
+//
+// Both maintain a free list so that deallocated pages (subtrees dropped by
+// the lazy expiration purge) are reused before the file grows.
+
+#ifndef REXP_STORAGE_PAGE_FILE_H_
+#define REXP_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace rexp {
+
+// Abstract page device. Not thread-safe; the index structures are
+// single-writer by design (as in the paper's experimental setup).
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  // Allocates a page (reusing a freed one if possible) and returns its id.
+  // The page's previous contents are unspecified.
+  PageId Allocate();
+
+  // Returns `id` to the free list. The page must be allocated.
+  void Free(PageId id);
+
+  // Number of pages currently allocated (excludes freed pages).
+  uint64_t allocated_pages() const { return allocated_; }
+
+  // Total number of page slots the file has ever grown to.
+  uint64_t capacity_pages() const { return capacity_; }
+
+  // The current free list (pages returned by Free and not yet reused).
+  // Index structures persist it in their metadata so that reopening a
+  // file resumes page reuse.
+  const std::vector<PageId>& free_list() const { return free_list_; }
+
+  // Restores a previously persisted free list. `leaked` counts pages that
+  // were free at save time but did not fit in the persisted metadata;
+  // they stay allocated-but-unreachable. Only meaningful right after
+  // re-opening, before any allocation.
+  void RestoreFreeList(std::vector<PageId> ids, uint64_t leaked);
+
+  // Pages permanently lost to free-list truncation across re-opens.
+  uint64_t leaked_pages() const { return leaked_; }
+
+  // Device-level transfer. `page->size()` must equal page_size().
+  virtual void ReadPage(PageId id, Page* page) = 0;
+  virtual void WritePage(PageId id, const Page& page) = 0;
+
+ protected:
+  explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
+
+  // Grows the device by one page and returns the new page's id.
+  virtual PageId Grow() = 0;
+
+  // Marks all `n` existing pages as allocated (device re-open).
+  void RestoreAllocated(uint64_t n) { allocated_ = n; }
+
+  uint64_t capacity_ = 0;
+
+ private:
+  const uint32_t page_size_;
+  std::vector<PageId> free_list_;
+  uint64_t allocated_ = 0;
+  uint64_t leaked_ = 0;
+};
+
+// Memory-backed page file.
+class MemoryPageFile final : public PageFile {
+ public:
+  explicit MemoryPageFile(uint32_t page_size) : PageFile(page_size) {}
+
+  void ReadPage(PageId id, Page* page) override;
+  void WritePage(PageId id, const Page& page) override;
+
+ private:
+  PageId Grow() override;
+
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+// Stdio-backed page file. A new file is created if `path` does not exist;
+// an existing file is re-opened with its pages intact (its size must be a
+// multiple of the page size), which is how an index persisted by a
+// previous process is brought back. The file is removed on destruction
+// unless `keep` is set.
+//
+// Note: the free list is process-local state; pages freed in a previous
+// session are not reused after a re-open (the file simply keeps its size).
+class DiskPageFile final : public PageFile {
+ public:
+  DiskPageFile(const std::string& path, uint32_t page_size,
+               bool keep = false);
+  ~DiskPageFile() override;
+
+  void ReadPage(PageId id, Page* page) override;
+  void WritePage(PageId id, const Page& page) override;
+
+ private:
+  PageId Grow() override;
+
+  std::string path_;
+  std::FILE* file_;
+  bool keep_;
+};
+
+}  // namespace rexp
+
+#endif  // REXP_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,220 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "tpbr/integrals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tpbr/poly.h"
+
+namespace rexp {
+namespace {
+
+using internal_tpbr::Poly;
+
+// Integral over [0, T] of max(0, e0 + w*tau), where e0 >= 0 is assumed
+// (callers clamp).
+double ClampedLinearIntegral(double e0, double w, double T) {
+  double t_end = T;
+  if (w < 0) {
+    double z = -e0 / w;
+    if (z < t_end) t_end = z;
+  }
+  if (t_end <= 0) return 0;
+  return e0 * t_end + w * t_end * t_end / 2;
+}
+
+}  // namespace
+
+const char* TpbrKindName(TpbrKind kind) {
+  switch (kind) {
+    case TpbrKind::kConservative:
+      return "conservative";
+    case TpbrKind::kStatic:
+      return "static";
+    case TpbrKind::kUpdateMinimum:
+      return "update-minimum";
+    case TpbrKind::kNearOptimal:
+      return "near-optimal";
+    case TpbrKind::kOptimal:
+      return "optimal";
+  }
+  return "unknown";
+}
+
+template <int kDims>
+double AreaIntegral(const Tpbr<kDims>& b, Time t_eval, double T) {
+  if (T <= 0) return 0;
+  // Extents in local time: e_d(tau) = E_d + W_d * tau.
+  double t_end = T;
+  Poly poly = Poly::One();
+  for (int d = 0; d < kDims; ++d) {
+    double e0 = std::max(0.0, b.ExtentAt(d, t_eval));
+    double w = (b.vhi[d] - b.vlo[d]);
+    if (w < 0) {
+      double z = -e0 / w;
+      if (z < t_end) t_end = z;  // Volume is zero past the first collapse.
+    }
+    poly.MulLinear(e0, w);
+  }
+  if (t_end <= 0) return 0;
+  return poly.Integrate(0, t_end);
+}
+
+template <int kDims>
+double MarginIntegral(const Tpbr<kDims>& b, Time t_eval, double T) {
+  if (T <= 0) return 0;
+  double sum = 0;
+  for (int d = 0; d < kDims; ++d) {
+    double e0 = std::max(0.0, b.ExtentAt(d, t_eval));
+    double w = (b.vhi[d] - b.vlo[d]);
+    sum += ClampedLinearIntegral(e0, w, T);
+  }
+  return sum;
+}
+
+template <int kDims>
+double OverlapIntegral(const Tpbr<kDims>& a, const Tpbr<kDims>& b,
+                       Time t_eval, double T) {
+  if (T <= 0) return 0;
+
+  // Fast reject: most rectangle pairs never overlap inside [0, T]. The
+  // overlap is non-zero only where 2*kDims linear inequalities hold
+  // simultaneously; restrict [0, T] by each and bail out on emptiness.
+  {
+    double lo = 0, hi = T;
+    auto restrict_leq = [&](double p, double s) {
+      // p + s * tau <= 0 (values at absolute time t_eval + tau).
+      if (s == 0) return p <= 0;
+      double root = -p / s;
+      if (s > 0) {
+        if (root < hi) hi = root;
+      } else {
+        if (root > lo) lo = root;
+      }
+      return lo <= hi;
+    };
+    for (int d = 0; d < kDims; ++d) {
+      // a.lo_d(tau) <= b.hi_d(tau) and b.lo_d(tau) <= a.hi_d(tau).
+      if (!restrict_leq(a.LoAt(d, t_eval) - b.HiAt(d, t_eval),
+                        a.vlo[d] - b.vhi[d]) ||
+          !restrict_leq(b.LoAt(d, t_eval) - a.HiAt(d, t_eval),
+                        b.vlo[d] - a.vhi[d])) {
+        return 0;
+      }
+    }
+  }
+
+  // Per-dimension overlap in local time tau:
+  //   ol_d(tau) = min(a.hi_d, b.hi_d)(tau) - max(a.lo_d, b.lo_d)(tau),
+  // a piecewise-linear function whose breakpoints are the times where the
+  // arguments of the min/max cross. Collect all candidate breakpoints,
+  // then integrate the product of the (sign-constant) linear pieces.
+  double events[2 * kDims * 2 + 2];
+  int num_events = 0;
+  events[num_events++] = 0;
+  events[num_events++] = T;
+
+  auto add_crossing = [&](double pa, double sa, double pb, double sb) {
+    // Crossing of two absolute-time lines evaluated in local time:
+    // values at local tau are (pa + sa*(t_eval+tau)) etc.
+    double dp = (pa - pb) + (sa - sb) * t_eval;
+    double ds = sa - sb;
+    if (ds == 0) return;
+    double tau = -dp / ds;
+    if (tau > 0 && tau < T) events[num_events++] = tau;
+  };
+
+  for (int d = 0; d < kDims; ++d) {
+    add_crossing(a.hi[d], a.vhi[d], b.hi[d], b.vhi[d]);
+    add_crossing(a.lo[d], a.vlo[d], b.lo[d], b.vlo[d]);
+  }
+  std::sort(events, events + num_events);
+
+  auto ol_at = [&](int d, double tau) {
+    double t = t_eval + tau;
+    double hi = std::min(a.HiAt(d, t), b.HiAt(d, t));
+    double lo = std::max(a.LoAt(d, t), b.LoAt(d, t));
+    return hi - lo;
+  };
+
+  double total = 0;
+  for (int e = 0; e + 1 < num_events; ++e) {
+    double s0 = events[e], s1 = events[e + 1];
+    if (s1 - s0 <= 0) continue;
+    // Within (s0, s1) each dimension's overlap is a single linear piece;
+    // recover it from its endpoint values. The piece may still cross zero
+    // inside the segment, so split at those crossings too.
+    double e0[kDims], w[kDims];
+    double zeros[kDims + 2];
+    int num_zeros = 0;
+    zeros[num_zeros++] = s0;
+    zeros[num_zeros++] = s1;
+    for (int d = 0; d < kDims; ++d) {
+      double v0 = ol_at(d, s0);
+      double v1 = ol_at(d, s1);
+      w[d] = (v1 - v0) / (s1 - s0);
+      e0[d] = v0;
+      if ((v0 < 0) != (v1 < 0) && w[d] != 0) {
+        double z = s0 - v0 / w[d];
+        if (z > s0 && z < s1) zeros[num_zeros++] = z;
+      }
+    }
+    std::sort(zeros, zeros + num_zeros);
+    for (int z = 0; z + 1 < num_zeros; ++z) {
+      double u0 = zeros[z], u1 = zeros[z + 1];
+      if (u1 - u0 <= 0) continue;
+      double mid = (u0 + u1) / 2;
+      Poly poly = Poly::One();
+      bool positive = true;
+      for (int d = 0; d < kDims; ++d) {
+        double val_mid = e0[d] + w[d] * (mid - s0);
+        if (val_mid <= 0) {
+          positive = false;
+          break;
+        }
+        // Linear piece in tau: value = (e0 - w*s0) + w*tau.
+        poly.MulLinear(e0[d] - w[d] * s0, w[d]);
+      }
+      if (positive) total += poly.Integrate(u0, u1);
+    }
+  }
+  return total;
+}
+
+template <int kDims>
+double CenterDistSqIntegral(const Tpbr<kDims>& a, const Tpbr<kDims>& b,
+                            Time t_eval, double T) {
+  if (T <= 0) return 0;
+  // Center difference per dim: delta_d(tau) = P_d + S_d * tau.
+  double quad = 0, lin = 0, constant = 0;
+  for (int d = 0; d < kDims; ++d) {
+    double ca0 = (a.LoAt(d, t_eval) + a.HiAt(d, t_eval)) / 2;
+    double cb0 = (b.LoAt(d, t_eval) + b.HiAt(d, t_eval)) / 2;
+    double va = (a.vlo[d] + a.vhi[d]) / 2;
+    double vb = (b.vlo[d] + b.vhi[d]) / 2;
+    double p = ca0 - cb0;
+    double s = va - vb;
+    constant += p * p;
+    lin += 2 * p * s;
+    quad += s * s;
+  }
+  return constant * T + lin * T * T / 2 + quad * T * T * T / 3;
+}
+
+// Explicit instantiations for the supported dimensionalities.
+#define REXP_INSTANTIATE(D)                                                  \
+  template double AreaIntegral<D>(const Tpbr<D>&, Time, double);             \
+  template double MarginIntegral<D>(const Tpbr<D>&, Time, double);           \
+  template double OverlapIntegral<D>(const Tpbr<D>&, const Tpbr<D>&, Time,   \
+                                     double);                                \
+  template double CenterDistSqIntegral<D>(const Tpbr<D>&, const Tpbr<D>&,    \
+                                          Time, double);
+
+REXP_INSTANTIATE(1)
+REXP_INSTANTIATE(2)
+REXP_INSTANTIATE(3)
+#undef REXP_INSTANTIATE
+
+}  // namespace rexp

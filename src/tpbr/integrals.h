@@ -1,0 +1,44 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Time-integrals of the R*-tree objective functions (paper Section 4.2.1,
+// Equation 1). The R^exp/TPR insertion algorithms replace area, margin,
+// overlap, and center distance of bounding rectangles with their integrals
+// over [t_eval, t_eval + T], where T is derived from the time horizon
+// H = UI + W and the rectangles' expiration times.
+//
+// All functions integrate in local time tau = t - t_eval over [0, T] and
+// clamp negative extents/overlaps at zero (a shrinking rectangle's volume
+// contribution ends when some extent reaches zero).
+
+#ifndef REXP_TPBR_INTEGRALS_H_
+#define REXP_TPBR_INTEGRALS_H_
+
+#include "common/types.h"
+#include "tpbr/tpbr.h"
+
+namespace rexp {
+
+// Integral of the rectangle's volume (length/area/volume for d = 1/2/3).
+template <int kDims>
+double AreaIntegral(const Tpbr<kDims>& b, Time t_eval, double T);
+
+// Integral of the rectangle's margin: the sum of (clamped) extents.
+template <int kDims>
+double MarginIntegral(const Tpbr<kDims>& b, Time t_eval, double T);
+
+// Integral of the volume of the intersection of two rectangles.
+template <int kDims>
+double OverlapIntegral(const Tpbr<kDims>& a, const Tpbr<kDims>& b,
+                       Time t_eval, double T);
+
+// Integral of the *squared* distance between the rectangles' centers.
+// Used only to rank entries for forced reinsertion, where any monotone
+// transform of the distance preserves the ordering; the square has a
+// closed form.
+template <int kDims>
+double CenterDistSqIntegral(const Tpbr<kDims>& a, const Tpbr<kDims>& b,
+                            Time t_eval, double T);
+
+}  // namespace rexp
+
+#endif  // REXP_TPBR_INTEGRALS_H_

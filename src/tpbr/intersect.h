@@ -1,0 +1,66 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Intersection test between a time-parameterized bounding rectangle (a
+// (d+1)-dimensional trapezoid in (x, t) space) and a query trapezoid, over
+// the time interval [q.t_lo, min(q.t_hi, expiry)] — the R^exp-tree's query
+// predicate (paper Section 4.1.5). The same routine serves leaf entries
+// (degenerate TPBRs) and internal entries.
+//
+// Method: both the rectangle's bounds and the query's bounds are linear
+// functions of time, so "the regions overlap at time t" is a conjunction of
+// 2*kDims linear inequalities in t. Each inequality restricts t to a
+// half-line; intersecting them with the time window yields a (possibly
+// empty) interval. Non-empty => the trapezoids intersect.
+
+#ifndef REXP_TPBR_INTERSECT_H_
+#define REXP_TPBR_INTERSECT_H_
+
+#include "common/query.h"
+#include "common/types.h"
+#include "tpbr/tpbr.h"
+
+namespace rexp {
+
+// Restricts [*t_min, *t_max] to the half-line where p + s*t <= 0.
+// Returns false if the restriction empties the interval.
+inline bool RestrictLinearLeq(double p, double s, double* t_min,
+                              double* t_max) {
+  if (s == 0) return p <= 0;
+  double root = -p / s;
+  if (s > 0) {
+    if (root < *t_max) *t_max = root;
+  } else {
+    if (root > *t_min) *t_min = root;
+  }
+  return *t_min <= *t_max;
+}
+
+// True if `b` intersects `q` at some time in [q.t_lo, min(q.t_hi, expiry)],
+// where `expiry` caps the rectangle's validity (pass b.t_exp, or an
+// effective expiry including the natural one; pass kNeverExpires to ignore
+// expiration, as the plain TPR-tree does).
+template <int kDims>
+bool Intersects(const Tpbr<kDims>& b, const Query<kDims>& q, Time expiry) {
+  double t_min = q.t_lo;
+  double t_max = q.t_hi < expiry ? q.t_hi : expiry;
+  if (t_min > t_max) return false;
+
+  for (int d = 0; d < kDims; ++d) {
+    // b.lo_d(t) <= q.hi_d(t):  (b.lo + b.vlo*t) - (qh0 + qhv*(t - t_lo)) <= 0
+    double qhv = q.HiVel(d);
+    double p1 = b.lo[d] - (q.r1.hi[d] - qhv * q.t_lo);
+    double s1 = b.vlo[d] - qhv;
+    if (!RestrictLinearLeq(p1, s1, &t_min, &t_max)) return false;
+
+    // q.lo_d(t) <= b.hi_d(t):  (ql0 + qlv*(t - t_lo)) - (b.hi + b.vhi*t) <= 0
+    double qlv = q.LoVel(d);
+    double p2 = (q.r1.lo[d] - qlv * q.t_lo) - b.hi[d];
+    double s2 = qlv - b.vhi[d];
+    if (!RestrictLinearLeq(p2, s2, &t_min, &t_max)) return false;
+  }
+  return true;
+}
+
+}  // namespace rexp
+
+#endif  // REXP_TPBR_INTERSECT_H_

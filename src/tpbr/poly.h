@@ -1,0 +1,61 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Internal: small fixed-degree polynomials in one variable, used by the
+// objective-function integrals and the Lemma 4.2 median computation.
+// Degree 3 suffices (a product of at most three linear extents); a spare
+// slot guards against off-by-one.
+
+#ifndef REXP_TPBR_POLY_H_
+#define REXP_TPBR_POLY_H_
+
+#include <algorithm>
+
+namespace rexp::internal_tpbr {
+
+inline constexpr int kMaxDeg = 4;
+
+struct Poly {
+  double c[kMaxDeg + 1] = {};
+
+  static Poly One() {
+    Poly p;
+    p.c[0] = 1;
+    return p;
+  }
+
+  // Multiplies by the linear factor (a + b*tau).
+  void MulLinear(double a, double b) {
+    double next[kMaxDeg + 1] = {};
+    for (int i = 0; i <= kMaxDeg; ++i) {
+      next[i] += c[i] * a;
+      if (i + 1 <= kMaxDeg) next[i + 1] += c[i] * b;
+    }
+    std::copy(next, next + kMaxDeg + 1, c);
+  }
+
+  double ValueAt(double t) const {
+    double result = 0;
+    double p = 1;
+    for (int i = 0; i <= kMaxDeg; ++i) {
+      result += c[i] * p;
+      p *= t;
+    }
+    return result;
+  }
+
+  // Definite integral over [t0, t1].
+  double Integrate(double t0, double t1) const {
+    double result = 0;
+    double p0 = t0, p1 = t1;  // Running powers t^(i+1).
+    for (int i = 0; i <= kMaxDeg; ++i) {
+      result += c[i] * (p1 - p0) / (i + 1);
+      p0 *= t0;
+      p1 *= t1;
+    }
+    return result;
+  }
+};
+
+}  // namespace rexp::internal_tpbr
+
+#endif  // REXP_TPBR_POLY_H_

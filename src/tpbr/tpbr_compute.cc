@@ -1,0 +1,445 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "tpbr/tpbr_compute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "hull/convex_hull.h"
+#include "tpbr/poly.h"
+
+namespace rexp {
+namespace {
+
+using hull::Line;
+using hull::Point2;
+using internal_tpbr::Poly;
+
+// Maximum expiration time over the entries.
+template <int kDims>
+Time MaxExpiry(std::span<const Tpbr<kDims>> entries) {
+  Time m = 0;
+  for (const auto& e : entries) m = std::max(m, e.t_exp);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Conservative rectangles (Section 4.1.2, TPR-tree style).
+
+template <int kDims>
+Tpbr<kDims> ComputeConservative(std::span<const Tpbr<kDims>> entries,
+                                Time t_upd) {
+  Tpbr<kDims> out;
+  for (int d = 0; d < kDims; ++d) {
+    double lo_pos = entries[0].LoAt(d, t_upd);
+    double hi_pos = entries[0].HiAt(d, t_upd);
+    double vlo = entries[0].vlo[d];
+    double vhi = entries[0].vhi[d];
+    for (size_t i = 1; i < entries.size(); ++i) {
+      lo_pos = std::min(lo_pos, entries[i].LoAt(d, t_upd));
+      hi_pos = std::max(hi_pos, entries[i].HiAt(d, t_upd));
+      vlo = std::min(vlo, entries[i].vlo[d]);
+      vhi = std::max(vhi, entries[i].vhi[d]);
+    }
+    out.lo[d] = lo_pos - vlo * t_upd;  // Normalize to reference time 0.
+    out.hi[d] = hi_pos - vhi * t_upd;
+    out.vlo[d] = vlo;
+    out.vhi[d] = vhi;
+  }
+  out.t_exp = MaxExpiry(entries);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Static rectangles: zero-velocity bounds covering each entry's lifetime.
+
+template <int kDims>
+Tpbr<kDims> ComputeStatic(std::span<const Tpbr<kDims>> entries, Time t_upd) {
+  Tpbr<kDims> out;
+  for (int d = 0; d < kDims; ++d) {
+    double lo = entries[0].LoAt(d, t_upd);
+    double hi = entries[0].HiAt(d, t_upd);
+    for (const auto& e : entries) {
+      REXP_CHECK(IsFiniteTime(e.t_exp));
+      lo = std::min(lo, std::min(e.LoAt(d, t_upd), e.LoAt(d, e.t_exp)));
+      hi = std::max(hi, std::max(e.HiAt(d, t_upd), e.HiAt(d, e.t_exp)));
+    }
+    out.lo[d] = lo;
+    out.hi[d] = hi;
+    out.vlo[d] = out.vhi[d] = 0;
+  }
+  out.t_exp = MaxExpiry(entries);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Update-minimum rectangles: minimum at t_upd, bound velocities relaxed as
+// much as expiration times allow (Section 4.1.2, Figure 4).
+
+template <int kDims>
+Tpbr<kDims> ComputeUpdateMinimum(std::span<const Tpbr<kDims>> entries,
+                                 Time t_upd) {
+  Tpbr<kDims> out;
+  for (int d = 0; d < kDims; ++d) {
+    double lo_pos = entries[0].LoAt(d, t_upd);
+    double hi_pos = entries[0].HiAt(d, t_upd);
+    for (const auto& e : entries) {
+      lo_pos = std::min(lo_pos, e.LoAt(d, t_upd));
+      hi_pos = std::max(hi_pos, e.HiAt(d, t_upd));
+    }
+    // The loosest velocities that keep every entry inside until it expires.
+    // For a finite entry it suffices to contain its expiration endpoint;
+    // for a never-expiring entry the bound must move at least as fast.
+    bool have_vlo = false, have_vhi = false;
+    double vlo = 0, vhi = 0;
+    for (const auto& e : entries) {
+      if (IsFiniteTime(e.t_exp)) {
+        double dt = e.t_exp - t_upd;
+        if (dt <= 0) continue;  // Expires now: position constraint only.
+        double need_hi = (e.HiAt(d, e.t_exp) - hi_pos) / dt;
+        double need_lo = (e.LoAt(d, e.t_exp) - lo_pos) / dt;
+        vhi = have_vhi ? std::max(vhi, need_hi) : need_hi;
+        vlo = have_vlo ? std::min(vlo, need_lo) : need_lo;
+      } else {
+        vhi = have_vhi ? std::max(vhi, e.vhi[d]) : e.vhi[d];
+        vlo = have_vlo ? std::min(vlo, e.vlo[d]) : e.vlo[d];
+      }
+      have_vhi = have_vlo = true;
+    }
+    out.lo[d] = lo_pos - vlo * t_upd;
+    out.hi[d] = hi_pos - vhi * t_upd;
+    out.vlo[d] = vlo;
+    out.vhi[d] = vhi;
+  }
+  out.t_exp = MaxExpiry(entries);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Near-optimal and optimal rectangles (Sections 4.1.3–4.1.4).
+
+// One dimension's bound computation state: the trajectory endpoints of the
+// entries in the (local-time, position) plane (written into caller-owned
+// buffers — the hot paths compute millions of tiny bounds and must not
+// allocate), plus the constraints contributed by never-expiring entries (a
+// bounding line must dominate their rays: slope beyond the extreme
+// velocity).
+struct DimPointsView {
+  Point2* upper = nullptr;  // Endpoints constraining the upper bound.
+  Point2* lower = nullptr;
+  int count = 0;            // Same for both buffers.
+  bool has_infinite = false;
+  double inf_vhi = 0;  // max vhi over never-expiring entries.
+  double inf_vlo = 0;  // min vlo over never-expiring entries.
+};
+
+// `upper_buf` / `lower_buf` must hold at least 2 * entries.size() points.
+template <int kDims>
+DimPointsView CollectDimPoints(std::span<const Tpbr<kDims>> entries, int d,
+                               Time t_upd, Point2* upper_buf,
+                               Point2* lower_buf) {
+  DimPointsView pts;
+  pts.upper = upper_buf;
+  pts.lower = lower_buf;
+  for (const auto& e : entries) {
+    upper_buf[pts.count] = {0, e.HiAt(d, t_upd)};
+    lower_buf[pts.count] = {0, e.LoAt(d, t_upd)};
+    ++pts.count;
+    if (IsFiniteTime(e.t_exp)) {
+      double tau = e.t_exp - t_upd;
+      if (tau > 0) {
+        upper_buf[pts.count] = {tau, e.HiAt(d, e.t_exp)};
+        lower_buf[pts.count] = {tau, e.LoAt(d, e.t_exp)};
+        ++pts.count;
+      }
+    } else {
+      if (!pts.has_infinite) {
+        pts.inf_vhi = e.vhi[d];
+        pts.inf_vlo = e.vlo[d];
+        pts.has_infinite = true;
+      } else {
+        pts.inf_vhi = std::max(pts.inf_vhi, e.vhi[d]);
+        pts.inf_vlo = std::min(pts.inf_vlo, e.vlo[d]);
+      }
+    }
+  }
+  return pts;
+}
+
+// Lowers/raises a candidate bounding line so it dominates the rays of
+// never-expiring entries, then recomputes the tightest intercept via the
+// support function (whose maximum is attained on a hull vertex, so
+// evaluating it over the chain is exact).
+Line EnforceRays(Line line, const Point2* chain, int n, bool is_upper,
+                 double ray_slope, bool has_rays) {
+  if (!has_rays) return line;
+  bool violated = is_upper ? line.slope < ray_slope : line.slope > ray_slope;
+  if (!violated) return line;
+  double slope = ray_slope;
+  double intercept = chain[0].y - slope * chain[0].x;
+  for (int i = 1; i < n; ++i) {
+    double a = chain[i].y - slope * chain[i].x;
+    intercept = is_upper ? std::max(intercept, a) : std::min(intercept, a);
+  }
+  return Line{intercept, slope};
+}
+
+// Bounds one dimension with the hull-bridge construction, median at m
+// (local time). Returns {upper, lower} lines in local time. Consumes the
+// view's buffers (chains are built in place).
+struct DimBounds {
+  Line upper;
+  Line lower;
+};
+
+DimBounds BoundDimension(const DimPointsView& pts, double m) {
+  int nu = hull::UpperHullInPlace(pts.upper, pts.count);
+  int nl = hull::LowerHullInPlace(pts.lower, pts.count);
+  Line u = hull::UpperBridge(pts.upper, nu, m);
+  Line l = hull::LowerBridge(pts.lower, nl, m);
+  u = EnforceRays(u, pts.upper, nu, /*is_upper=*/true, pts.inf_vhi,
+                  pts.has_infinite);
+  l = EnforceRays(l, pts.lower, nl, /*is_upper=*/false, pts.inf_vlo,
+                  pts.has_infinite);
+  return DimBounds{u, l};
+}
+
+// Scratch buffers for hull construction: stack storage for node-sized
+// entry sets, heap fallback beyond.
+class DimScratch {
+ public:
+  explicit DimScratch(size_t entries) {
+    size_t needed = 2 * entries;
+    if (needed > kStackPoints) {
+      heap_.resize(2 * needed);
+      upper_ = heap_.data();
+      lower_ = heap_.data() + needed;
+    } else {
+      upper_ = stack_upper_;
+      lower_ = stack_lower_;
+    }
+  }
+  Point2* upper() { return upper_; }
+  Point2* lower() { return lower_; }
+
+ private:
+  static constexpr size_t kStackPoints = 512;
+  Point2 stack_upper_[kStackPoints];
+  Point2 stack_lower_[kStackPoints];
+  std::vector<Point2> heap_;
+  Point2* upper_;
+  Point2* lower_;
+};
+
+// Converts per-dimension local-time lines into a reference-time-0 TPBR.
+template <int kDims>
+Tpbr<kDims> AssembleFromLines(const DimBounds (&bounds)[kDims], Time t_upd,
+                              Time t_exp) {
+  Tpbr<kDims> out;
+  for (int d = 0; d < kDims; ++d) {
+    const Line& u = bounds[d].upper;
+    const Line& l = bounds[d].lower;
+    out.hi[d] = u.intercept - u.slope * t_upd;
+    out.vhi[d] = u.slope;
+    out.lo[d] = l.intercept - l.slope * t_upd;
+    out.vlo[d] = l.slope;
+  }
+  out.t_exp = t_exp;
+  return out;
+}
+
+template <int kDims>
+Tpbr<kDims> ComputeNearOptimal(std::span<const Tpbr<kDims>> entries,
+                               Time t_upd, double horizon, Rng* rng) {
+  Time max_exp = MaxExpiry(entries);
+  double delta = IsFiniteTime(max_exp) ? std::min(horizon, max_exp - t_upd)
+                                       : horizon;
+  if (delta <= 0) return ComputeConservative(entries, t_upd);
+
+  int order[kDims];
+  if (rng != nullptr) {
+    rng->Permutation(kDims, order);
+  } else {
+    for (int d = 0; d < kDims; ++d) order[d] = d;
+  }
+
+  DimScratch scratch(entries.size());
+  DimBounds bounds[kDims];
+  double extent_values[kDims], extent_slopes[kDims];
+  for (int k = 0; k < kDims; ++k) {
+    int d = order[k];
+    double m = MedianFromExtents({extent_values, static_cast<size_t>(k)},
+                                 {extent_slopes, static_cast<size_t>(k)},
+                                 delta);
+    DimPointsView pts = CollectDimPoints(entries, d, t_upd, scratch.upper(),
+                                         scratch.lower());
+    bounds[d] = BoundDimension(pts, m);
+    extent_values[k] = bounds[d].upper.intercept - bounds[d].lower.intercept;
+    extent_slopes[k] = bounds[d].upper.slope - bounds[d].lower.slope;
+  }
+  return AssembleFromLines<kDims>(bounds, t_upd, max_exp);
+}
+
+// Candidate (upper, lower) bridge pairs of one dimension as the median
+// line sweeps [0, delta]: one pair per interval between hull-vertex time
+// coordinates (Section 4.1.4's "sweeping median lines").
+std::vector<DimBounds> SweepCandidates(const std::vector<Point2>& uh,
+                                       const std::vector<Point2>& lh,
+                                       double delta) {
+  std::vector<double> cuts;
+  cuts.push_back(0);
+  cuts.push_back(delta);
+  for (const Point2& p : uh) {
+    if (p.x > 0 && p.x < delta) cuts.push_back(p.x);
+  }
+  for (const Point2& p : lh) {
+    if (p.x > 0 && p.x < delta) cuts.push_back(p.x);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<DimBounds> result;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (cuts[i + 1] - cuts[i] <= 0) continue;
+    double m = (cuts[i] + cuts[i + 1]) / 2;
+    result.push_back(DimBounds{hull::UpperBridge(uh, m),
+                               hull::LowerBridge(lh, m)});
+  }
+  if (result.empty()) {
+    result.push_back(
+        DimBounds{hull::UpperBridge(uh, 0), hull::LowerBridge(lh, 0)});
+  }
+  return result;
+}
+
+template <int kDims>
+Tpbr<kDims> ComputeOptimal(std::span<const Tpbr<kDims>> entries, Time t_upd,
+                           double horizon, Rng* rng) {
+  // Never-expiring entries make the enumeration unbounded; the paper notes
+  // the generalization but evaluates finite workloads. Fall back.
+  for (const auto& e : entries) {
+    if (!IsFiniteTime(e.t_exp)) {
+      return ComputeNearOptimal(entries, t_upd, horizon, rng);
+    }
+  }
+  Time max_exp = MaxExpiry(entries);
+  double delta = std::min(horizon, max_exp - t_upd);
+  if (delta <= 0) return ComputeConservative(entries, t_upd);
+
+  // Per-dimension hulls of the trajectory endpoints (built once; bridges
+  // for different medians reuse them).
+  std::vector<Point2> uh[kDims], lh[kDims];
+  std::vector<DimBounds> candidates[kDims];
+  {
+    std::vector<Point2> upper_buf(2 * entries.size());
+    std::vector<Point2> lower_buf(2 * entries.size());
+    for (int d = 0; d < kDims; ++d) {
+      DimPointsView view = CollectDimPoints(entries, d, t_upd,
+                                            upper_buf.data(),
+                                            lower_buf.data());
+      uh[d].assign(view.upper, view.upper + view.count);
+      lh[d].assign(view.lower, view.lower + view.count);
+      uh[d] = hull::UpperHull(std::move(uh[d]));
+      lh[d] = hull::LowerHull(std::move(lh[d]));
+      if (d + 1 < kDims) candidates[d] = SweepCandidates(uh[d], lh[d], delta);
+    }
+  }
+
+  // Enumerate candidate bridge pairs in dimensions 0..kDims-2; the last
+  // dimension responds optimally via the Lemma 4.2 median.
+  DimBounds chosen[kDims];
+  DimBounds best[kDims];
+  double best_objective = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+
+  auto evaluate_last = [&]() {
+    double values[kDims], slopes[kDims];
+    for (int d = 0; d + 1 < kDims; ++d) {
+      values[d] = chosen[d].upper.intercept - chosen[d].lower.intercept;
+      slopes[d] = chosen[d].upper.slope - chosen[d].lower.slope;
+    }
+    double m = MedianFromExtents(
+        {values, static_cast<size_t>(kDims - 1)},
+        {slopes, static_cast<size_t>(kDims - 1)}, delta);
+    chosen[kDims - 1] = DimBounds{hull::UpperBridge(uh[kDims - 1], m),
+                                  hull::LowerBridge(lh[kDims - 1], m)};
+    values[kDims - 1] = chosen[kDims - 1].upper.intercept -
+                        chosen[kDims - 1].lower.intercept;
+    slopes[kDims - 1] =
+        chosen[kDims - 1].upper.slope - chosen[kDims - 1].lower.slope;
+    Poly poly = Poly::One();
+    for (int d = 0; d < kDims; ++d) poly.MulLinear(values[d], slopes[d]);
+    double objective = poly.Integrate(0, delta);
+    if (!have_best || objective < best_objective) {
+      best_objective = objective;
+      for (int d = 0; d < kDims; ++d) best[d] = chosen[d];
+      have_best = true;
+    }
+  };
+
+  // Depth-first enumeration over dims 0..kDims-2 (at most two levels).
+  auto recurse = [&](auto&& self, int d) -> void {
+    if (d == kDims - 1) {
+      evaluate_last();
+      return;
+    }
+    for (const DimBounds& cand : candidates[d]) {
+      chosen[d] = cand;
+      self(self, d + 1);
+    }
+  };
+  recurse(recurse, 0);
+  REXP_CHECK(have_best);
+  return AssembleFromLines<kDims>(best, t_upd, max_exp);
+}
+
+}  // namespace
+
+double MedianFromExtents(std::span<const double> extent_values,
+                         std::span<const double> extent_slopes,
+                         double delta) {
+  REXP_CHECK(extent_values.size() == extent_slopes.size());
+  Poly poly = Poly::One();
+  for (size_t j = 0; j < extent_values.size(); ++j) {
+    poly.MulLinear(std::max(0.0, extent_values[j]), extent_slopes[j]);
+  }
+  double num = 0, den = 0;
+  double pow_d = delta;  // delta^(i+1)
+  for (int i = 0; i <= internal_tpbr::kMaxDeg; ++i) {
+    den += poly.c[i] * pow_d / (i + 1);
+    pow_d *= delta;
+    num += poly.c[i] * pow_d / (i + 2);
+  }
+  if (!(den > 0)) return delta / 2;
+  double m = num / den;
+  return std::clamp(m, 0.0, delta);
+}
+
+template <int kDims>
+Tpbr<kDims> ComputeTpbr(TpbrKind kind, std::span<const Tpbr<kDims>> entries,
+                        Time t_upd, double horizon, Rng* rng) {
+  REXP_CHECK(!entries.empty());
+  switch (kind) {
+    case TpbrKind::kConservative:
+      return ComputeConservative(entries, t_upd);
+    case TpbrKind::kStatic:
+      return ComputeStatic(entries, t_upd);
+    case TpbrKind::kUpdateMinimum:
+      return ComputeUpdateMinimum(entries, t_upd);
+    case TpbrKind::kNearOptimal:
+      return ComputeNearOptimal(entries, t_upd, horizon, rng);
+    case TpbrKind::kOptimal:
+      return ComputeOptimal(entries, t_upd, horizon, rng);
+  }
+  REXP_CHECK(false);
+}
+
+template Tpbr<1> ComputeTpbr<1>(TpbrKind, std::span<const Tpbr<1>>, Time,
+                                double, Rng*);
+template Tpbr<2> ComputeTpbr<2>(TpbrKind, std::span<const Tpbr<2>>, Time,
+                                double, Rng*);
+template Tpbr<3> ComputeTpbr<3>(TpbrKind, std::span<const Tpbr<3>>, Time,
+                                double, Rng*);
+
+}  // namespace rexp

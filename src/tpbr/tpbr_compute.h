@@ -1,0 +1,51 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Computation of time-parameterized bounding rectangles from a set of
+// entries (data points and/or child TPBRs), implementing the five bounding
+// strategies of paper Sections 4.1.2–4.1.4.
+//
+// All strategies produce a rectangle that contains every entry `e` at every
+// time t in [t_upd, e.t_exp] (and, for conservative rectangles, forever).
+// The result's expiration time is the maximum of the entries' expiration
+// times; on-page storage may discard it (tree configuration), in which case
+// queries fall back to the rectangle's natural expiry.
+
+#ifndef REXP_TPBR_TPBR_COMPUTE_H_
+#define REXP_TPBR_TPBR_COMPUTE_H_
+
+#include <span>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "tpbr/tpbr.h"
+
+namespace rexp {
+
+// Computes a bounding rectangle of `entries` (non-empty; every entry live
+// at t_upd) as of computation time `t_upd`.
+//
+//   kind     — bounding strategy.
+//   horizon  — h: how far into the future queries are expected to access
+//              the rectangle (per-level H maintained by the tree). Used by
+//              the near-optimal/optimal strategies; ignored by the others.
+//   rng      — used by kNearOptimal to randomize the dimension order so no
+//              dimension is systematically preferred (paper Section 4.1.4);
+//              may be null, in which case the natural order is used.
+//
+// kStatic requires every entry to have a finite expiration time. kOptimal
+// falls back to kNearOptimal when some entry never expires (the sweeping
+// enumeration requires finite trajectories; the paper notes the extension
+// is straightforward and near-optimal handles it).
+template <int kDims>
+Tpbr<kDims> ComputeTpbr(TpbrKind kind, std::span<const Tpbr<kDims>> entries,
+                        Time t_upd, double horizon, Rng* rng = nullptr);
+
+// The median line position for the (k+1)-st dimension of a near-optimal /
+// optimal TPBR given the extents (value-at-t_upd, slope) of the k already
+// computed dimensions — Lemma 4.2. With k = 0, returns delta / 2.
+double MedianFromExtents(std::span<const double> extent_values,
+                         std::span<const double> extent_slopes, double delta);
+
+}  // namespace rexp
+
+#endif  // REXP_TPBR_TPBR_COMPUTE_H_

@@ -1,0 +1,1212 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "tree/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "tpbr/integrals.h"
+#include "tpbr/intersect.h"
+#include "tpbr/tpbr_compute.h"
+
+namespace rexp {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x52455850;  // "REXP"
+constexpr int kMaxLevels = 20;
+
+// Number of area-enlargement-best candidates to which the quadratic R*
+// overlap-enlargement test is restricted (the R*-tree paper's own
+// optimization; it suggests 32).
+constexpr int kOverlapCandidates = 32;
+
+}  // namespace
+
+template <int kDims>
+Tpbr<kDims> MakeMovingPoint(const Vec<kDims>& pos, const Vec<kDims>& vel,
+                            Time t_obs, Time t_exp) {
+  Tpbr<kDims> p;
+  for (int d = 0; d < kDims; ++d) {
+    float v = static_cast<float>(vel[d]);
+    // Normalize to reference time 0 using the float velocity so the record
+    // round-trips through 32-bit page storage exactly.
+    float ref = static_cast<float>(pos[d] - static_cast<double>(v) * t_obs);
+    p.lo[d] = p.hi[d] = ref;
+    p.vlo[d] = p.vhi[d] = v;
+  }
+  p.t_exp = static_cast<float>(t_exp);
+  return p;
+}
+
+template <int kDims>
+Tree<kDims>::Tree(const TreeConfig& config, PageFile* file)
+    : config_(config),
+      file_(file),
+      buffer_(file, config.buffer_frames),
+      codec_(config.page_size, config.StoresVelocities(),
+             config.store_tpbr_expiration),
+      rng_(config.seed),
+      horizon_(config.initial_ui, config.horizon_alpha,
+               static_cast<uint32_t>(codec_.leaf_capacity())) {
+  config_.Validate();
+  REXP_CHECK(file->page_size() == config.page_size);
+  if (file_->allocated_pages() == 0) {
+    Page* meta = buffer_.NewPage(&meta_page_);
+    (void)meta;
+    REXP_CHECK(meta_page_ == 0);
+    SaveMeta();
+  } else {
+    meta_page_ = 0;
+    REXP_CHECK(LoadMeta());
+    if (root_ != kInvalidPageId) PinRoot(root_);
+  }
+}
+
+template <int kDims>
+Tree<kDims>::~Tree() {
+  SaveMeta();
+  PinRoot(kInvalidPageId);
+  buffer_.FlushDirty();
+}
+
+// ---------------------------------------------------------------------------
+// Metadata persistence.
+
+template <int kDims>
+void Tree<kDims>::SaveMeta() {
+  if (meta_page_ == kInvalidPageId) return;
+  Page* page = buffer_.Fetch(meta_page_);
+  uint32_t off = 0;
+  page->Write<uint32_t>(off, kMetaMagic);
+  off += 4;
+  page->Write<uint32_t>(off, static_cast<uint32_t>(kDims));
+  off += 4;
+  page->Write<uint32_t>(off, root_);
+  off += 4;
+  page->Write<uint32_t>(off, static_cast<uint32_t>(height_));
+  off += 4;
+  for (int l = 0; l < kMaxLevels; ++l) {
+    uint64_t n = l < static_cast<int>(level_counts_.size())
+                     ? level_counts_[l]
+                     : 0;
+    page->Write<uint64_t>(off, n);
+    off += 8;
+  }
+  page->Write<double>(off, horizon_.ui());
+  off += 8;
+  // Persist the device free list (as much of it as fits on the meta page)
+  // so that page reuse resumes after a re-open; the overflow is counted as
+  // leaked.
+  const std::vector<PageId>& free_ids = file_->free_list();
+  uint32_t max_ids = (config_.page_size - off - 12) / 4;
+  uint32_t persisted = static_cast<uint32_t>(
+      std::min<size_t>(free_ids.size(), max_ids));
+  uint64_t leaked = file_->leaked_pages() + (free_ids.size() - persisted);
+  page->Write<uint32_t>(off, persisted);
+  off += 4;
+  page->Write<uint64_t>(off, leaked);
+  off += 8;
+  for (uint32_t i = 0; i < persisted; ++i) {
+    page->Write<uint32_t>(off, free_ids[i]);
+    off += 4;
+  }
+  buffer_.MarkDirty(meta_page_);
+}
+
+template <int kDims>
+bool Tree<kDims>::LoadMeta() {
+  Page* page = buffer_.Fetch(meta_page_);
+  uint32_t off = 0;
+  if (page->Read<uint32_t>(off) != kMetaMagic) return false;
+  off += 4;
+  if (page->Read<uint32_t>(off) != static_cast<uint32_t>(kDims)) return false;
+  off += 4;
+  root_ = page->Read<uint32_t>(off);
+  off += 4;
+  height_ = static_cast<int>(page->Read<uint32_t>(off));
+  off += 4;
+  level_counts_.assign(height_, 0);
+  for (int l = 0; l < kMaxLevels; ++l) {
+    uint64_t n = page->Read<uint64_t>(off);
+    off += 8;
+    if (l < height_) level_counts_[l] = n;
+  }
+  double ui = page->Read<double>(off);
+  off += 8;
+  if (ui > 0) horizon_.RestoreUi(ui);
+  uint32_t persisted = page->Read<uint32_t>(off);
+  off += 4;
+  uint64_t leaked = page->Read<uint64_t>(off);
+  off += 8;
+  std::vector<PageId> free_ids;
+  free_ids.reserve(persisted);
+  for (uint32_t i = 0; i < persisted; ++i) {
+    free_ids.push_back(page->Read<uint32_t>(off));
+    off += 4;
+  }
+  file_->RestoreFreeList(std::move(free_ids), leaked);
+  return true;
+}
+
+template <int kDims>
+void Tree<kDims>::PinRoot(PageId new_root) {
+  if (pinned_root_ != kInvalidPageId) buffer_.Unpin(pinned_root_);
+  if (new_root != kInvalidPageId) {
+    buffer_.Fetch(new_root);
+    buffer_.Pin(new_root);
+  }
+  pinned_root_ = new_root;
+}
+
+// ---------------------------------------------------------------------------
+// Node I/O.
+
+template <int kDims>
+Node<kDims> Tree<kDims>::ReadNode(PageId id) {
+  Node<kDims> node;
+  codec_.Decode(*buffer_.Fetch(id), &node);
+  return node;
+}
+
+template <int kDims>
+void Tree<kDims>::WriteNode(PageId id, const Node<kDims>& node) {
+  codec_.Encode(node, buffer_.Fetch(id));
+  buffer_.MarkDirty(id);
+}
+
+template <int kDims>
+PageId Tree<kDims>::AllocNode(const Node<kDims>& node) {
+  PageId id;
+  Page* page = buffer_.NewPage(&id);
+  codec_.Encode(node, page);
+  return id;
+}
+
+template <int kDims>
+void Tree<kDims>::FreeNode(PageId id) {
+  buffer_.FreePage(id);
+}
+
+template <int kDims>
+void Tree<kDims>::FreeSubtree(PageId id, int level) {
+  if (level > 0) {
+    Node<kDims> node = ReadNode(id);
+    REXP_CHECK(node.level == level);
+    for (const NodeEntry<kDims>& e : node.entries) {
+      FreeSubtree(e.id, level - 1);
+    }
+    level_counts_[level] -= node.entries.size();
+  } else {
+    Node<kDims> node = ReadNode(id);
+    level_counts_[0] -= node.entries.size();
+  }
+  FreeNode(id);
+}
+
+// ---------------------------------------------------------------------------
+// Expiration handling.
+
+template <int kDims>
+bool Tree<kDims>::EntryLive(const NodeEntry<kDims>& e, Time now) const {
+  if (!config_.expire_entries) return true;
+  return e.region.t_exp >= now;
+}
+
+template <int kDims>
+void Tree<kDims>::PurgeExpired(Node<kDims>* node, Time now,
+                               uint32_t skip_id) {
+  if (!config_.expire_entries) return;
+  size_t kept = 0;
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    NodeEntry<kDims>& e = node->entries[i];
+    bool keep = EntryLive(e, now) || (!node->IsLeaf() && e.id == skip_id);
+    if (keep) {
+      node->entries[kept++] = e;
+    } else if (!node->IsLeaf()) {
+      // Dropping an expired internal entry deallocates its whole subtree
+      // (paper Section 4.3).
+      FreeSubtree(e.id, node->level - 1);
+    }
+  }
+  size_t removed = node->entries.size() - kept;
+  if (removed > 0) {
+    level_counts_[node->level] -= removed;
+    node->entries.resize(kept);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds and heuristics.
+
+template <int kDims>
+double Tree<kDims>::TpbrHorizonForLevel(int parent_level) const {
+  uint64_t level_entries =
+      parent_level < static_cast<int>(level_counts_.size())
+          ? level_counts_[parent_level]
+          : 1;
+  uint64_t leaf_entries = level_counts_.empty() ? 0 : level_counts_[0];
+  return horizon_.TpbrHorizon(level_entries, leaf_entries);
+}
+
+template <int kDims>
+Tpbr<kDims> Tree<kDims>::ComputeBound(const Node<kDims>& node, Time now) {
+  std::vector<Tpbr<kDims>> regions;
+  regions.reserve(node.entries.size());
+  for (const NodeEntry<kDims>& e : node.entries) {
+    if (EntryLive(e, now)) regions.push_back(e.region);
+  }
+  if (regions.empty()) {
+    // A node with no live entries (possible only transiently); bound
+    // whatever is physically there.
+    for (const NodeEntry<kDims>& e : node.entries) {
+      regions.push_back(e.region);
+    }
+  }
+  REXP_CHECK(!regions.empty());
+  TpbrKind kind = config_.expire_entries ? config_.tpbr_kind
+                                         : TpbrKind::kConservative;
+  return ComputeTpbr<kDims>(kind, regions, now,
+                            TpbrHorizonForLevel(node.level + 1), &rng_);
+}
+
+template <int kDims>
+TpbrKind Tree<kDims>::GroupingKind() const {
+  switch (config_.grouping_policy) {
+    case GroupingPolicy::kFollowStored:
+      return config_.tpbr_kind;
+    case GroupingPolicy::kConservative:
+      return TpbrKind::kConservative;
+    case GroupingPolicy::kUpdateMinimum:
+      return TpbrKind::kUpdateMinimum;
+  }
+  REXP_CHECK(false);
+}
+
+template <int kDims>
+Tpbr<kDims> Tree<kDims>::DecisionBound(const Tpbr<kDims>& base,
+                                       const Tpbr<kDims>& add, Time now,
+                                       int parent_level) {
+  Tpbr<kDims> pair[2] = {base, add};
+  if (!config_.expire_entries || config_.choose_subtree_ignores_expiration) {
+    return ComputeTpbr<kDims>(TpbrKind::kConservative, pair, now, 0.0,
+                              nullptr);
+  }
+  return ComputeTpbr<kDims>(GroupingKind(), pair, now,
+                            TpbrHorizonForLevel(parent_level), &rng_);
+}
+
+namespace {
+
+// Upper integration bound for objective integrals involving rectangles
+// that expire at `t_exp` (paper Section 4.2.1): min(H, t_exp - now),
+// at least 0.
+double MetricHorizon(double h, Time t_exp, Time now, bool use_expiration) {
+  if (!use_expiration || !IsFiniteTime(t_exp)) return h;
+  return std::clamp(t_exp - now, 0.0, h);
+}
+
+}  // namespace
+
+template <int kDims>
+int Tree<kDims>::ChooseSubtree(const Node<kDims>& node,
+                               const Tpbr<kDims>& region, Time now) {
+  REXP_CHECK(!node.entries.empty());
+  std::vector<int> candidates;
+  candidates.reserve(node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (EntryLive(node.entries[i], now)) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  if (candidates.empty()) {
+    // No live children (transient); fall back to all.
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  if (candidates.size() == 1) return candidates[0];
+
+  const double h = horizon_.DecisionHorizon();
+  const bool honor_exp =
+      config_.expire_entries && !config_.choose_subtree_ignores_expiration;
+
+  struct Scored {
+    int index;
+    double area_enlargement;
+    double area;
+    Tpbr<kDims> what_if;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (int i : candidates) {
+    const Tpbr<kDims>& old_region = node.entries[i].region;
+    Tpbr<kDims> what_if = DecisionBound(old_region, region, now, node.level);
+    double t_cap =
+        MetricHorizon(h, std::max(old_region.t_exp, what_if.t_exp), now,
+                      honor_exp);
+    double old_area = AreaIntegral(old_region, now, t_cap);
+    double new_area = AreaIntegral(what_if, now, t_cap);
+    scored.push_back(Scored{i, new_area - old_area, old_area, what_if});
+  }
+
+  auto area_better = [](const Scored& a, const Scored& b) {
+    if (a.area_enlargement != b.area_enlargement) {
+      return a.area_enlargement < b.area_enlargement;
+    }
+    return a.area < b.area;
+  };
+
+  // R*'s overlap-enlargement heuristic applies at the level just above the
+  // leaves; restricted (as the R*-tree paper suggests) to the
+  // kOverlapCandidates entries with the least area enlargement. The
+  // R^exp-tree configuration disables this heuristic entirely, making
+  // ChooseSubtree linear (paper Section 4.2.2).
+  if (config_.use_overlap_enlargement && node.level == 1) {
+    std::sort(scored.begin(), scored.end(), area_better);
+    size_t top = std::min<size_t>(scored.size(), kOverlapCandidates);
+    int best = -1;
+    double best_overlap = 0, best_enlargement = 0;
+    for (size_t k = 0; k < top; ++k) {
+      const Scored& s = scored[k];
+      double delta_overlap = 0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (static_cast<int>(j) == s.index) continue;
+        const Tpbr<kDims>& other = node.entries[j].region;
+        double t_cap = MetricHorizon(
+            h, std::max(s.what_if.t_exp, other.t_exp), now, honor_exp);
+        delta_overlap += OverlapIntegral(s.what_if, other, now, t_cap) -
+                         OverlapIntegral(node.entries[s.index].region, other,
+                                         now, t_cap);
+      }
+      if (best < 0 || delta_overlap < best_overlap ||
+          (delta_overlap == best_overlap &&
+           s.area_enlargement < best_enlargement)) {
+        best = s.index;
+        best_overlap = delta_overlap;
+        best_enlargement = s.area_enlargement;
+      }
+    }
+    return best;
+  }
+
+  const Scored* best = &scored[0];
+  for (const Scored& s : scored) {
+    if (area_better(s, *best)) best = &s;
+  }
+  return best->index;
+}
+
+template <int kDims>
+std::vector<typename Tree<kDims>::PathStep> Tree<kDims>::ChoosePath(
+    const Tpbr<kDims>& region, int target_level, Time now) {
+  REXP_CHECK(root_ != kInvalidPageId);
+  REXP_CHECK(target_level <= height_ - 1);
+  std::vector<PathStep> path;
+  path.push_back(PathStep{root_});
+  Node<kDims> node = ReadNode(root_);
+  while (node.level > target_level) {
+    int idx = ChooseSubtree(node, region, now);
+    PageId child = node.entries[idx].id;
+    path.push_back(PathStep{child});
+    node = ReadNode(child);
+  }
+  REXP_CHECK(node.level == target_level);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Split and forced reinsertion.
+
+template <int kDims>
+Node<kDims> Tree<kDims>::SplitNode(Node<kDims>* node, Time now) {
+  const int total = static_cast<int>(node->entries.size());
+  const int cap = codec_.Capacity(node->level);
+  const int min_entries =
+      std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
+  REXP_CHECK(total > cap);
+  REXP_CHECK(total >= 2 * min_entries);
+
+  const double h = horizon_.DecisionHorizon();
+  const bool honor_exp =
+      config_.expire_entries && !config_.choose_subtree_ignores_expiration;
+  // Split *metrics* (margin/overlap/area integrals of candidate groups)
+  // are evaluated on cheap O(n) bounds — by default update-minimum when
+  // expiration times inform grouping, conservative otherwise (an explicit
+  // grouping policy overrides this). The bounds actually stored for the
+  // resulting nodes are recomputed with the configured strategy by the
+  // propagation step, so only the distribution choice is affected;
+  // evaluating every distribution with hull-based bounds would dominate
+  // the whole insertion cost.
+  TpbrKind metric_kind =
+      honor_exp ? TpbrKind::kUpdateMinimum : TpbrKind::kConservative;
+  if (honor_exp &&
+      config_.grouping_policy == GroupingPolicy::kConservative) {
+    metric_kind = TpbrKind::kConservative;
+  }
+  const double level_h = TpbrHorizonForLevel(node->level + 1);
+
+  std::vector<Tpbr<kDims>> regions(total);
+  auto group_bound = [&](int from, int to) {
+    return ComputeTpbr<kDims>(
+        metric_kind,
+        std::span<const Tpbr<kDims>>(regions.data() + from, to - from), now,
+        level_h, &rng_);
+  };
+
+  // Candidate orderings: by lower/upper bound position at `now` and by
+  // lower/upper bound velocity, per axis (the TPR-tree's extension of the
+  // R* split to time-parameterized entries).
+  enum SortKey { kLoPos, kHiPos, kLoVel, kHiVel };
+  auto make_sorted = [&](int axis, SortKey key) {
+    std::vector<NodeEntry<kDims>> sorted = node->entries;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const NodeEntry<kDims>& a, const NodeEntry<kDims>& b) {
+                switch (key) {
+                  case kLoPos:
+                    return a.region.LoAt(axis, now) < b.region.LoAt(axis, now);
+                  case kHiPos:
+                    return a.region.HiAt(axis, now) < b.region.HiAt(axis, now);
+                  case kLoVel:
+                    return a.region.vlo[axis] < b.region.vlo[axis];
+                  case kHiVel:
+                    return a.region.vhi[axis] < b.region.vhi[axis];
+                }
+                return false;
+              });
+    return sorted;
+  };
+
+  auto fill_regions = [&](const std::vector<NodeEntry<kDims>>& sorted) {
+    for (int i = 0; i < total; ++i) regions[i] = sorted[i].region;
+  };
+
+  // Phase 1: choose the split axis by minimum total margin integral.
+  int best_axis = 0;
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < kDims; ++axis) {
+    double margin_sum = 0;
+    for (SortKey key : {kLoPos, kHiPos, kLoVel, kHiVel}) {
+      std::vector<NodeEntry<kDims>> sorted = make_sorted(axis, key);
+      fill_regions(sorted);
+      for (int k = min_entries; k <= total - min_entries; ++k) {
+        Tpbr<kDims> b1 = group_bound(0, k);
+        Tpbr<kDims> b2 = group_bound(k, total);
+        double t1 = MetricHorizon(h, b1.t_exp, now, honor_exp);
+        double t2 = MetricHorizon(h, b2.t_exp, now, honor_exp);
+        margin_sum += MarginIntegral(b1, now, t1) + MarginIntegral(b2, now, t2);
+      }
+    }
+    if (margin_sum < best_axis_margin) {
+      best_axis_margin = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // Phase 2: on the chosen axis, pick the distribution with the least
+  // overlap integral (ties: least total area integral).
+  std::vector<NodeEntry<kDims>> best_split;
+  int best_k = -1;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (SortKey key : {kLoPos, kHiPos, kLoVel, kHiVel}) {
+    std::vector<NodeEntry<kDims>> sorted = make_sorted(best_axis, key);
+    fill_regions(sorted);
+    for (int k = min_entries; k <= total - min_entries; ++k) {
+      Tpbr<kDims> b1 = group_bound(0, k);
+      Tpbr<kDims> b2 = group_bound(k, total);
+      double t_pair = MetricHorizon(h, std::max(b1.t_exp, b2.t_exp), now,
+                                    honor_exp);
+      double overlap = OverlapIntegral(b1, b2, now, t_pair);
+      double area = AreaIntegral(b1, now, MetricHorizon(h, b1.t_exp, now,
+                                                        honor_exp)) +
+                    AreaIntegral(b2, now, MetricHorizon(h, b2.t_exp, now,
+                                                        honor_exp));
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_split = sorted;
+        best_k = k;
+      }
+    }
+  }
+  REXP_CHECK(best_k > 0);
+
+  Node<kDims> right;
+  right.level = node->level;
+  right.entries.assign(best_split.begin() + best_k, best_split.end());
+  node->entries.assign(best_split.begin(), best_split.begin() + best_k);
+  return right;
+}
+
+template <int kDims>
+void Tree<kDims>::RemoveForReinsert(Node<kDims>* node, Time now) {
+  const int total = static_cast<int>(node->entries.size());
+  int remove = static_cast<int>(config_.reinsert_fraction * total);
+  remove = std::clamp(remove, 1, total - 2);
+
+  Tpbr<kDims> bound = ComputeBound(*node, now);
+  const double h = horizon_.DecisionHorizon();
+  std::vector<std::pair<double, int>> by_distance;  // (distance, index)
+  by_distance.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    by_distance.emplace_back(
+        CenterDistSqIntegral(node->entries[i].region, bound, now, h), i);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+
+  // The `remove` farthest entries are queued for reinsertion, closest
+  // first (R*'s "close reinsert").
+  std::vector<NodeEntry<kDims>> kept;
+  kept.reserve(total - remove);
+  for (int i = 0; i < total - remove; ++i) {
+    kept.push_back(node->entries[by_distance[i].second]);
+  }
+  for (int i = total - remove; i < total; ++i) {
+    pending_.push_back(Pending{node->level,
+                               node->entries[by_distance[i].second]});
+  }
+  level_counts_[node->level] -= remove;
+  node->entries = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Structural propagation (the paper's CondenseTree / PropagateUp).
+
+template <int kDims>
+void Tree<kDims>::FixPath(const std::vector<PathStep>& path,
+                          Node<kDims> node, Time now) {
+  bool have_extra = false;
+  NodeEntry<kDims> extra;
+  bool child_removed = false;
+
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    const PageId id = path[i].id;
+    const bool is_root = (i == 0);
+    const int cap = codec_.Capacity(node.level);
+    const int min_entries =
+        std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
+
+    child_removed = false;
+    have_extra = false;
+
+    if (static_cast<int>(node.entries.size()) > cap) {
+      const uint32_t level_bit = 1u << node.level;
+      if (!is_root && config_.reinsert_fraction > 0 &&
+          !(reinserted_levels_ & level_bit)) {
+        reinserted_levels_ |= level_bit;
+        RemoveForReinsert(&node, now);
+        WriteNode(id, node);
+      } else {
+        Node<kDims> right = SplitNode(&node, now);
+        WriteNode(id, node);
+        PageId right_id = AllocNode(right);
+        if (is_root) {
+          GrowRoot(id, right_id, now);
+          return;
+        }
+        have_extra = true;
+        // Bound the new sibling as stored on its page (float-rounded), so
+        // that parent bounds always cover the on-page child exactly.
+        extra = NodeEntry<kDims>{ComputeBound(ReadNode(right_id), now),
+                                 right_id};
+      }
+    } else if (!is_root &&
+               static_cast<int>(node.entries.size()) < min_entries) {
+      if (pending_.size() + node.entries.size() > config_.max_orphans) {
+        // Orphan list is (almost) full: stop handling underfull nodes for
+        // this operation (paper Section 4.3). The node stays underfull —
+        // harmless for correctness — and a later modification fixes it.
+        ++underfull_remnants_;
+        WriteNode(id, node);
+      } else {
+        // Underfull: orphan the live entries and dissolve the node (paper
+        // step PU2).
+        for (const NodeEntry<kDims>& e : node.entries) {
+          pending_.push_back(Pending{node.level, e});
+        }
+        level_counts_[node.level] -= node.entries.size();
+        FreeNode(id);
+        child_removed = true;
+      }
+    } else {
+      WriteNode(id, node);
+    }
+
+    if (is_root) {
+      MaybeShrinkRoot(now);
+      return;
+    }
+
+    Node<kDims> parent = ReadNode(path[i - 1].id);
+    // Purging may not drop the entry for the child we are updating: its
+    // recorded expiration predates this operation's changes.
+    PurgeExpired(&parent, now, /*skip_id=*/id);
+    int idx = parent.FindId(id);
+    if (child_removed) {
+      if (idx >= 0) {
+        parent.entries.erase(parent.entries.begin() + idx);
+        level_counts_[parent.level] -= 1;
+      }
+    } else {
+      REXP_CHECK(idx >= 0);
+      // Recompute the bound from the node as stored on its page: encoding
+      // rounds entries outward, and the parent bound must cover the
+      // on-page representation.
+      parent.entries[idx].region = ComputeBound(ReadNode(id), now);
+    }
+    if (have_extra) {
+      parent.entries.push_back(extra);
+      level_counts_[parent.level] += 1;
+    }
+    node = std::move(parent);
+  }
+}
+
+template <int kDims>
+void Tree<kDims>::GrowRoot(PageId left, PageId right, Time now) {
+  Node<kDims> left_node = ReadNode(left);
+  Node<kDims> right_node = ReadNode(right);
+  Node<kDims> new_root;
+  new_root.level = left_node.level + 1;
+  REXP_CHECK(new_root.level < kMaxLevels);
+  new_root.entries.push_back(
+      NodeEntry<kDims>{ComputeBound(left_node, now), left});
+  new_root.entries.push_back(
+      NodeEntry<kDims>{ComputeBound(right_node, now), right});
+  root_ = AllocNode(new_root);
+  height_ = new_root.level + 1;
+  level_counts_.resize(height_, 0);
+  level_counts_[new_root.level] += 2;
+  PinRoot(root_);
+}
+
+template <int kDims>
+void Tree<kDims>::MaybeShrinkRoot(Time now) {
+  (void)now;
+  while (root_ != kInvalidPageId) {
+    Node<kDims> root = ReadNode(root_);
+    if (root.level == 0) return;  // Leaf roots may hold any count.
+    if (root.entries.size() == 1) {
+      // CT4: declare the only child the new root.
+      PageId old_root = root_;
+      PageId new_root = root.entries[0].id;
+      level_counts_[root.level] -= 1;
+      height_ = root.level;
+      level_counts_.resize(height_);
+      root_ = new_root;
+      PinRoot(root_);
+      FreeNode(old_root);
+      continue;
+    }
+    if (root.entries.empty()) {
+      // Exotic case: every entry of the root expired or was orphaned.
+      PageId old_root = root_;
+      root_ = kInvalidPageId;
+      height_ = 0;
+      level_counts_.clear();
+      PinRoot(kInvalidPageId);
+      FreeNode(old_root);
+      return;
+    }
+    return;
+  }
+}
+
+template <int kDims>
+void Tree<kDims>::EnsureHeightFor(int level, Time now) {
+  if (root_ == kInvalidPageId) return;
+  while (height_ - 1 < level) {
+    Node<kDims> root = ReadNode(root_);
+    Node<kDims> new_root;
+    new_root.level = root.level + 1;
+    REXP_CHECK(new_root.level < kMaxLevels);
+    new_root.entries.push_back(
+        NodeEntry<kDims>{ComputeBound(root, now), root_});
+    root_ = AllocNode(new_root);
+    height_ = new_root.level + 1;
+    level_counts_.resize(height_, 0);
+    level_counts_[new_root.level] += 1;
+    PinRoot(root_);
+  }
+}
+
+template <int kDims>
+void Tree<kDims>::InsertPending(Pending pending, Time now) {
+  if (root_ == kInvalidPageId) {
+    // Empty tree: the entry becomes (the only entry of) a new root at its
+    // own level (paper CT3.1).
+    Node<kDims> root;
+    root.level = pending.level;
+    root.entries.push_back(pending.entry);
+    root_ = AllocNode(root);
+    height_ = pending.level + 1;
+    level_counts_.assign(height_, 0);
+    level_counts_[pending.level] = 1;
+    PinRoot(root_);
+    return;
+  }
+  EnsureHeightFor(pending.level, now);
+  std::vector<PathStep> path =
+      ChoosePath(pending.entry.region, pending.level, now);
+  Node<kDims> node = ReadNode(path.back().id);
+  PurgeExpired(&node, now);
+  node.entries.push_back(pending.entry);
+  level_counts_[pending.level] += 1;
+  FixPath(path, std::move(node), now);
+}
+
+template <int kDims>
+void Tree<kDims>::DrainPending(Time now) {
+  // Highest level first (paper CT3), FIFO within a level (which realizes
+  // R*'s close-first reinsertion order).
+  while (!pending_.empty()) {
+    size_t pick = 0;
+    for (size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i].level > pending_[pick].level) pick = i;
+    }
+    Pending p = pending_[pick];
+    pending_.erase(pending_.begin() + pick);
+    InsertPending(std::move(p), now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public operations.
+
+template <int kDims>
+void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
+#ifndef NDEBUG
+  for (int d = 0; d < kDims; ++d) {
+    REXP_DCHECK(point.lo[d] == point.hi[d] && point.vlo[d] == point.vhi[d]);
+    REXP_DCHECK(static_cast<double>(static_cast<float>(point.lo[d])) ==
+                point.lo[d]);
+  }
+#endif
+  reinserted_levels_ = 0;
+  horizon_.RecordInsertion(
+      now, level_counts_.empty() ? 0 : level_counts_[0]);
+  InsertPending(Pending{0, NodeEntry<kDims>{point, oid}}, now);
+  DrainPending(now);
+  buffer_.FlushDirty();
+}
+
+template <int kDims>
+bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
+                                const Tpbr<kDims>& point, Time now,
+                                bool see_expired,
+                                std::vector<PathStep>* path) {
+  path->push_back(PathStep{id});
+  Node<kDims> node = ReadNode(id);
+  REXP_CHECK(node.level == level);
+  // The record is guaranteed to lie inside every ancestor bound while it
+  // is live; for an already-expired record (scheduled deletions arriving
+  // slightly late) test containment at the last instant it was live.
+  const Time t_test = (config_.expire_entries && point.t_exp < now)
+                          ? static_cast<Time>(point.t_exp)
+                          : now;
+  if (node.IsLeaf()) {
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const NodeEntry<kDims>& e = node.entries[i];
+      if (e.id != oid) continue;
+      if (!see_expired && !EntryLive(e, now)) continue;
+      bool match = e.region.t_exp == point.t_exp;
+      for (int d = 0; match && d < kDims; ++d) {
+        match = e.region.lo[d] == point.lo[d] &&
+                e.region.vlo[d] == point.vlo[d];
+      }
+      if (!match) continue;
+      node.entries.erase(node.entries.begin() + i);
+      level_counts_[0] -= 1;
+      PurgeExpired(&node, now);
+      FixPath(*path, std::move(node), now);
+      return true;
+    }
+  } else {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      if (!see_expired && !EntryLive(e, now)) continue;
+      bool contains = true;
+      for (int d = 0; contains && d < kDims; ++d) {
+        double pos = point.LoAt(d, t_test);
+        contains = e.region.LoAt(d, t_test) <= pos &&
+                   pos <= e.region.HiAt(d, t_test);
+      }
+      if (!contains) continue;
+      if (DeleteRecurse(e.id, level - 1, oid, point, now, see_expired,
+                        path)) {
+        return true;
+      }
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+template <int kDims>
+bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
+                         bool see_expired) {
+  if (root_ == kInvalidPageId) return false;
+  reinserted_levels_ = 0;
+  std::vector<PathStep> path;
+  bool found = DeleteRecurse(root_, height_ - 1, oid, point, now,
+                             see_expired, &path);
+  if (found) DrainPending(now);
+  buffer_.FlushDirty();
+  return found;
+}
+
+template <int kDims>
+void Tree<kDims>::Search(const Query<kDims>& query,
+                         std::vector<ObjectId>* out) {
+  if (root_ == kInvalidPageId) return;
+  std::vector<PageId> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    Node<kDims> node = ReadNode(id);
+    for (const NodeEntry<kDims>& e : node.entries) {
+      Time expiry = kNeverExpires;
+      if (config_.expire_entries) {
+        expiry = node.IsLeaf() ? e.region.t_exp
+                               : e.region.EffectiveExpiry(0);
+      }
+      if (!Intersects(e.region, query, expiry)) continue;
+      if (node.IsLeaf()) {
+        out->push_back(e.id);
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loading (sort-tile-recursive).
+
+namespace {
+
+// Splits `n` items into `pieces` nearly equal chunks; returns the start
+// index of chunk `i`.
+inline size_t ChunkStart(size_t n, size_t pieces, size_t i) {
+  return n * i / pieces;
+}
+
+// Recursively orders items[begin, end) so that consecutive groups of
+// (end-begin)/num_nodes items form spatial tiles: sort by the center
+// coordinate of dimension `dim` at time `now`, carve into slabs, recurse
+// on the remaining dimensions within each slab.
+template <int kDims>
+void StrOrder(std::vector<NodeEntry<kDims>>* items, size_t begin, size_t end,
+              int dim, size_t num_nodes, Time now) {
+  if (num_nodes <= 1 || end - begin <= 1) return;
+  std::sort(items->begin() + begin, items->begin() + end,
+            [dim, now](const NodeEntry<kDims>& a, const NodeEntry<kDims>& b) {
+              double ca = a.region.LoAt(dim, now) + a.region.HiAt(dim, now);
+              double cb = b.region.LoAt(dim, now) + b.region.HiAt(dim, now);
+              return ca < cb;
+            });
+  if (dim == kDims - 1) return;  // Final dimension: sequential chunks.
+  // Number of slabs along this dimension: the (kDims-dim)-th root of the
+  // node count.
+  double exponent = 1.0 / (kDims - dim);
+  size_t slabs = static_cast<size_t>(
+      std::ceil(std::pow(static_cast<double>(num_nodes), exponent)));
+  slabs = std::clamp<size_t>(slabs, 1, num_nodes);
+  size_t n = end - begin;
+  for (size_t s = 0; s < slabs; ++s) {
+    size_t node_lo = ChunkStart(num_nodes, slabs, s);
+    size_t node_hi = ChunkStart(num_nodes, slabs, s + 1);
+    if (node_hi == node_lo) continue;
+    size_t item_lo = begin + ChunkStart(n, num_nodes, node_lo);
+    size_t item_hi = begin + ChunkStart(n, num_nodes, node_hi);
+    StrOrder(items, item_lo, item_hi, dim + 1, node_hi - node_lo, now);
+  }
+}
+
+}  // namespace
+
+template <int kDims>
+std::vector<NodeEntry<kDims>> Tree<kDims>::PackLevel(
+    std::vector<NodeEntry<kDims>> items, int level, Time now, double fill) {
+  const int cap = codec_.Capacity(level);
+  const int min_entries =
+      std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
+  size_t target = std::max<size_t>(
+      min_entries, static_cast<size_t>(cap * fill));
+  size_t num_nodes = (items.size() + target - 1) / target;
+  // Keep every node at or above the minimum fill (merging the tail into
+  // fewer nodes if needed); sizes stay within capacity because fill and
+  // the minimum are both at most cap.
+  while (num_nodes > 1 &&
+         items.size() / num_nodes < static_cast<size_t>(min_entries)) {
+    --num_nodes;
+  }
+  REXP_CHECK(num_nodes >= 1);
+  REXP_CHECK(items.size() / num_nodes <= static_cast<size_t>(cap));
+
+  StrOrder<kDims>(&items, 0, items.size(), 0, num_nodes, now);
+
+  std::vector<NodeEntry<kDims>> parents;
+  parents.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t lo = ChunkStart(items.size(), num_nodes, i);
+    size_t hi = ChunkStart(items.size(), num_nodes, i + 1);
+    Node<kDims> node;
+    node.level = level;
+    node.entries.assign(items.begin() + lo, items.begin() + hi);
+    REXP_CHECK(static_cast<int>(node.entries.size()) <= cap);
+    PageId id = AllocNode(node);
+    level_counts_[level] += node.entries.size();
+    // Bound the node as stored on its page (matching the insert path).
+    parents.push_back(NodeEntry<kDims>{ComputeBound(ReadNode(id), now), id});
+  }
+  return parents;
+}
+
+template <int kDims>
+void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
+                           double fill) {
+  REXP_CHECK(root_ == kInvalidPageId && height_ == 0);
+  REXP_CHECK(fill > config_.min_fill_fraction && fill <= 1.0);
+  if (records.empty()) return;
+
+  std::vector<NodeEntry<kDims>> items;
+  items.reserve(records.size());
+  for (const BulkRecord& r : records) {
+    items.push_back(NodeEntry<kDims>{r.point, r.oid});
+  }
+  level_counts_.assign(1, 0);
+  int level = 0;
+  for (;;) {
+    items = PackLevel(std::move(items), level, now, fill);
+    if (items.size() == 1) break;
+    ++level;
+    REXP_CHECK(level < kMaxLevels);
+    level_counts_.resize(level + 1, 0);
+  }
+  root_ = items[0].id;
+  height_ = level + 1;
+  PinRoot(root_);
+  SaveMeta();
+  buffer_.FlushDirty();
+}
+
+namespace {
+
+// Squared distance from `point` to `region` evaluated at time t (zero if
+// the point lies inside).
+template <int kDims>
+double MinDistSqAt(const Vec<kDims>& point, const Tpbr<kDims>& region,
+                   Time t) {
+  double d2 = 0;
+  for (int d = 0; d < kDims; ++d) {
+    double lo = region.LoAt(d, t);
+    double hi = region.HiAt(d, t);
+    double delta = 0;
+    if (point[d] < lo) {
+      delta = lo - point[d];
+    } else if (point[d] > hi) {
+      delta = point[d] - hi;
+    }
+    d2 += delta * delta;
+  }
+  return d2;
+}
+
+}  // namespace
+
+template <int kDims>
+void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                                   std::vector<ObjectId>* out) {
+  out->clear();
+  if (root_ == kInvalidPageId || k <= 0) return;
+
+  // Best-first search (Hjaltason & Samet): a min-heap of pending nodes
+  // and leaf objects keyed by their minimum distance at time t; ties
+  // broken by object id for a deterministic answer.
+  struct Item {
+    double dist;
+    bool is_object;
+    uint32_t id;  // Page id or object id.
+    int level;
+
+    bool operator>(const Item& other) const {
+      if (dist != other.dist) return dist > other.dist;
+      if (is_object != other.is_object) return is_object && !other.is_object;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push(Item{0.0, false, root_, height_ - 1});
+
+  while (!heap.empty() && static_cast<int>(out->size()) < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.is_object) {
+      out->push_back(item.id);
+      continue;
+    }
+    Node<kDims> node = ReadNode(item.id);
+    for (const NodeEntry<kDims>& e : node.entries) {
+      // Only entries valid at time t participate.
+      if (config_.expire_entries) {
+        Time expiry = node.IsLeaf() ? e.region.t_exp
+                                    : e.region.EffectiveExpiry(0);
+        if (expiry < t) continue;
+      }
+      double dist = MinDistSqAt(point, e.region, t);
+      heap.push(Item{dist, node.IsLeaf(), e.id, node.level - 1});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+template <int kDims>
+struct Tree<kDims>::CheckState {
+  std::vector<uint64_t> seen_counts;
+  uint64_t pages_seen = 0;
+  uint64_t underfull_nodes = 0;
+};
+
+// Recursive helper: validates the subtree under `id` and returns the true
+// maximum expiration time of its (live) contents. `bound` is the region
+// stored for this subtree in the parent (null at the root).
+//
+// When expiration times are not recorded in internal entries, a decoded
+// entry's expiry is the rectangle's natural one, which legitimately
+// over-estimates the content lifetime — so the containment requirement on
+// the parent bound is capped by the bottom-up *true* expiry of each child
+// entry, not by the decoded value.
+template <int kDims>
+Time Tree<kDims>::CheckSubtree(PageId id, int level,
+                               const Tpbr<kDims>* bound, Time now,
+                               CheckState* state) {
+  Node<kDims> node = ReadNode(id);
+  ++state->pages_seen;
+  REXP_CHECK(node.level == level);
+  const int cap = codec_.Capacity(node.level);
+  const int min_entries =
+      std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
+  REXP_CHECK(static_cast<int>(node.entries.size()) <= cap);
+  if (id != root_ &&
+      static_cast<int>(node.entries.size()) < min_entries) {
+    // Underfull nodes may only exist if the orphan cap left some behind.
+    ++state->underfull_nodes;
+    REXP_CHECK(state->underfull_nodes <= underfull_remnants_);
+  }
+  state->seen_counts[node.level] += node.entries.size();
+
+  const double eps = 1e-3;
+  // Maximum expiration over the subtree's live contents; -infinity when
+  // the subtree holds no live entry at all (everything expired but not
+  // yet purged).
+  Time subtree_expiry = -std::numeric_limits<Time>::infinity();
+  for (const NodeEntry<kDims>& e : node.entries) {
+    Time true_expiry;
+    if (node.IsLeaf()) {
+      true_expiry = e.region.t_exp;
+    } else {
+      true_expiry = CheckSubtree(e.id, level - 1, &e.region, now, state);
+      // The decoded expiry (stored or natural) must never under-estimate
+      // the true content lifetime — otherwise queries could prune live
+      // subtrees. (Subtrees with no live content impose no requirement.)
+      if (config_.expire_entries && true_expiry >= now) {
+        if (!(e.region.t_exp >= true_expiry - 1e-6)) {
+          std::fprintf(stderr,
+                       "expiry under-estimate: level=%d now=%.6f "
+                       "entry_texp=%.9g true=%.9g\n",
+                       node.level, now, e.region.t_exp, true_expiry);
+          REXP_CHECK(false);
+        }
+      }
+    }
+    if (bound != nullptr && EntryLive(e, now) &&
+        (!config_.expire_entries || true_expiry >= now)) {
+      Time to = true_expiry;
+      if (!IsFiniteTime(to) || !config_.expire_entries) {
+        to = now + 10 * horizon_.ui();
+      }
+      if (to < now) to = now;
+      if (!bound->Bounds(e.region, now, to, eps)) {
+        std::fprintf(stderr,
+                     "containment violation: level=%d now=%.6f to=%.6f "
+                     "entry_texp=%.6f bound_texp=%.6f true=%.6f\n",
+                     node.level, now, to, e.region.t_exp, bound->t_exp,
+                     true_expiry);
+        for (int d = 0; d < kDims; ++d) {
+          std::fprintf(
+              stderr,
+              "  d=%d bound=[%.9g,%.9g]v[%.9g,%.9g] entry=[%.9g,%.9g]"
+              "v[%.9g,%.9g]\n",
+              d, bound->lo[d], bound->hi[d], bound->vlo[d], bound->vhi[d],
+              e.region.lo[d], e.region.hi[d], e.region.vlo[d],
+              e.region.vhi[d]);
+        }
+        REXP_CHECK(false);
+      }
+    }
+    if (EntryLive(e, now) && true_expiry > subtree_expiry) {
+      subtree_expiry = true_expiry;
+    }
+  }
+  return subtree_expiry;
+}
+
+template <int kDims>
+void Tree<kDims>::CheckInvariants(Time now) {
+  if (root_ == kInvalidPageId) {
+    REXP_CHECK(height_ == 0);
+    REXP_CHECK(file_->allocated_pages() == 1);  // Meta page only.
+    return;
+  }
+  CheckState state;
+  state.seen_counts.assign(height_, 0);
+  CheckSubtree(root_, height_ - 1, /*bound=*/nullptr, now, &state);
+  for (int l = 0; l < height_; ++l) {
+    REXP_CHECK(state.seen_counts[l] == level_counts_[l]);
+  }
+  // Every allocated page is either the meta page, a reachable node, or a
+  // page leaked by free-list truncation across re-opens.
+  REXP_CHECK(state.pages_seen + 1 + file_->leaked_pages() ==
+             file_->allocated_pages());
+}
+
+template <int kDims>
+double Tree<kDims>::ExpiredLeafFraction(Time now) {
+  if (root_ == kInvalidPageId) return 0;
+  uint64_t total = 0, expired = 0;
+  std::vector<std::pair<PageId, int>> stack;
+  stack.push_back({root_, height_ - 1});
+  while (!stack.empty()) {
+    auto [id, level] = stack.back();
+    stack.pop_back();
+    Node<kDims> node = ReadNode(id);
+    for (const NodeEntry<kDims>& e : node.entries) {
+      if (node.IsLeaf()) {
+        ++total;
+        if (e.region.t_exp < now) ++expired;
+      } else {
+        stack.push_back({e.id, level - 1});
+      }
+    }
+  }
+  return total == 0 ? 0 : static_cast<double>(expired) / total;
+}
+
+// ---------------------------------------------------------------------------
+
+template Tpbr<1> MakeMovingPoint<1>(const Vec<1>&, const Vec<1>&, Time, Time);
+template Tpbr<2> MakeMovingPoint<2>(const Vec<2>&, const Vec<2>&, Time, Time);
+template Tpbr<3> MakeMovingPoint<3>(const Vec<3>&, const Vec<3>&, Time, Time);
+
+template class Tree<1>;
+template class Tree<2>;
+template class Tree<3>;
+
+}  // namespace rexp

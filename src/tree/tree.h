@@ -1,0 +1,254 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// The R^exp-tree / TPR-tree engine: a paged, R*-tree-based index of the
+// current and anticipated future positions of moving point objects with
+// per-object expiration times (Šaltenis & Jensen, "Indexing of Moving
+// Objects for Location-Based Services").
+//
+// One engine, configured by TreeConfig, covers the full design space of
+// the paper: the TPBR strategy, whether expiration times are recorded in
+// internal entries, whether insertion decisions honor or ignore expiration
+// times, and whether entries expire at all (the TPR-tree baseline).
+//
+// Expired entries are removed lazily (paper Section 4.3): search, insert,
+// and delete see only live entries; a node physically drops its expired
+// entries whenever it is modified and written; dropping an expired
+// internal entry deallocates the whole subtree; underfull nodes arising
+// anywhere in an update are dissolved into an orphan list whose entries
+// are reinserted level by level (highest level first), and the tree grows
+// and shrinks at the root as needed.
+//
+// Typical use:
+//
+//   MemoryPageFile file(4096);
+//   RexpTree2 tree(TreeConfig::Rexp(), &file);
+//   auto p = MakeMovingPoint<2>({x, y}, {vx, vy}, now, now + 60.0);
+//   tree.Insert(oid, p, now);
+//   std::vector<ObjectId> hits;
+//   tree.Search(Query<2>::Timeslice(rect, now + 10.0), &hits);
+
+#ifndef REXP_TREE_TREE_H_
+#define REXP_TREE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/query.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_file.h"
+#include "tree/horizon.h"
+#include "tree/node.h"
+#include "tree/tree_config.h"
+
+namespace rexp {
+
+// Builds the canonical (float-exact) record for a moving point whose
+// position `pos` and velocity `vel` were observed at time `t_obs` and whose
+// information expires at `t_exp`. Both the index and any external copy of
+// the record (needed later to delete/update the object) must use this
+// canonical form so that records round-trip through 32-bit page storage
+// exactly.
+template <int kDims>
+Tpbr<kDims> MakeMovingPoint(const Vec<kDims>& pos, const Vec<kDims>& vel,
+                            Time t_obs, Time t_exp);
+
+template <int kDims>
+class Tree {
+ public:
+  // Creates a fresh index in `file` (which must be empty) or re-opens the
+  // index previously persisted in it. `file` must outlive the tree. The
+  // configuration must match the one the index was created with.
+  Tree(const TreeConfig& config, PageFile* file);
+
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  // Persists metadata. (Nodes are flushed at the end of every operation.)
+  ~Tree();
+
+  // Inserts a canonical moving-point record (see MakeMovingPoint). `now`
+  // must be non-decreasing across operations.
+  void Insert(ObjectId oid, const Tpbr<kDims>& point, Time now);
+
+  // Bulk-loads an empty tree with canonical moving-point records using a
+  // sort-tile-recursive packing of the positions at `now`, building the
+  // index bottom-up at roughly `fill` node occupancy (leaving headroom
+  // for subsequent inserts). Orders of magnitude faster than repeated
+  // Insert for initial population; the resulting tree satisfies all
+  // structural invariants and answers queries identically.
+  struct BulkRecord {
+    ObjectId oid;
+    Tpbr<kDims> point;
+  };
+  void BulkLoad(std::vector<BulkRecord> records, Time now,
+                double fill = 0.7);
+
+  // Deletes the entry for `oid` whose record equals `point` (the record
+  // from the object's most recent insertion). Returns false if no such
+  // live entry exists — in particular if it already expired, matching the
+  // paper's semantics ("the regular search procedure does not see expired
+  // entries"). With `see_expired` the search descends irrespective of
+  // expiration, which the scheduled-deletion variants require.
+  bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
+              bool see_expired = false);
+
+  // Reports the ids of all live objects whose trajectories intersect the
+  // query. The query's time interval must not precede the time of the
+  // last update operation. (With expire_entries == false — the TPR-tree —
+  // expired objects are reported too; the paper calls these false drops
+  // and filters them outside the index.)
+  void Search(const Query<kDims>& query, std::vector<ObjectId>* out);
+
+  // Reports the (up to) k live objects whose predicted positions at time
+  // `t` are nearest to `point`, ordered by ascending distance (ties by
+  // object id). A natural extension beyond the paper's three query types
+  // (location-based services ask "who is closest?" constantly); uses
+  // best-first branch-and-bound over the time-parameterized bounding
+  // rectangles evaluated at `t`.
+  void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                        std::vector<ObjectId>* out);
+
+  // --- Introspection --------------------------------------------------
+
+  // Number of entries physically present at the leaf level (live entries
+  // plus not-yet-purged expired ones).
+  uint64_t leaf_entries() const { return level_counts_[0]; }
+
+  // Number of entries at each level, leaf first.
+  const std::vector<uint64_t>& level_counts() const { return level_counts_; }
+
+  int height() const { return height_; }
+  PageId root() const { return root_; }
+
+  // Number of underfull nodes left in place by the orphan cap (see
+  // TreeConfig::max_orphans). Monotone counter; the nodes themselves may
+  // since have been re-balanced.
+  uint64_t underfull_remnants() const { return underfull_remnants_; }
+  const TreeConfig& config() const { return config_; }
+  const NodeCodec<kDims>& codec() const { return codec_; }
+  const HorizonEstimator& horizon() const { return horizon_; }
+
+  // Pages allocated in the underlying file (tree nodes + one meta page).
+  uint64_t PagesUsed() const { return file_->allocated_pages(); }
+
+  // Buffer-manager I/O counters (the paper's performance metric).
+  const IoStats& io_stats() const { return buffer_.stats(); }
+  void ResetIoStats() { buffer_.ResetStats(); }
+
+  // Reads a node (counted as I/O like any other access). Test/checker hook.
+  Node<kDims> ReadNodeForTest(PageId id) { return ReadNode(id); }
+
+  // Walks the whole tree and verifies structural invariants: bounding
+  // containment over entry lifetimes, fill factors, level bookkeeping, no
+  // page leaks. Aborts on violation. `now` is the current time (entries
+  // expired before `now` may legally linger; their containment is not
+  // required). Intended for tests; performs unmeasured I/O.
+  void CheckInvariants(Time now);
+
+  // Fraction of physically present leaf entries that are expired at `now`.
+  // The paper's lazy purge keeps this small. Unmeasured I/O.
+  double ExpiredLeafFraction(Time now);
+
+ private:
+  struct CheckState;  // Defined in tree.cc (invariant-checker bookkeeping).
+
+  struct PathStep {
+    PageId id;
+  };
+  struct Pending {
+    int level;
+    NodeEntry<kDims> entry;
+  };
+
+  // --- node I/O ---
+  Node<kDims> ReadNode(PageId id);
+  void WriteNode(PageId id, const Node<kDims>& node);
+  PageId AllocNode(const Node<kDims>& node);
+  void FreeNode(PageId id);
+  void FreeSubtree(PageId id, int level);
+
+  // --- expiration ---
+  bool EntryLive(const NodeEntry<kDims>& e, Time now) const;
+  // Drops expired entries (freeing subtrees of expired internal entries).
+  // `skip_id` is a child page id whose entry must be kept even if its
+  // recorded expiration lapsed (it is being updated by the caller).
+  void PurgeExpired(Node<kDims>* node, Time now,
+                    uint32_t skip_id = kInvalidPageId);
+
+  // --- insertion machinery ---
+  void InsertPending(Pending pending, Time now);
+  std::vector<PathStep> ChoosePath(const Tpbr<kDims>& region,
+                                   int target_level, Time now);
+  int ChooseSubtree(const Node<kDims>& node, const Tpbr<kDims>& region,
+                    Time now);
+  // Propagates changes from the node at path.back() (already purged and
+  // modified, not yet written) up to the root: splits/forced reinsertion
+  // on overflow, orphaning on underflow, TPBR recomputation otherwise.
+  void FixPath(const std::vector<PathStep>& path, Node<kDims> node,
+               Time now);
+  Node<kDims> SplitNode(Node<kDims>* node, Time now);
+  void RemoveForReinsert(Node<kDims>* node, Time now);
+  void GrowRoot(PageId left, PageId right, Time now);
+  void MaybeShrinkRoot(Time now);
+  void EnsureHeightFor(int level, Time now);
+  void DrainPending(Time now);
+
+  // --- bounds ---
+  // The TPBR strategy used for grouping decisions (GroupingPolicy).
+  TpbrKind GroupingKind() const;
+  // The stored bounding rectangle of a node (configured TPBR kind).
+  Tpbr<kDims> ComputeBound(const Node<kDims>& node, Time now);
+  // The what-if bound used by insertion decisions (conservative union when
+  // the configuration ignores expiration times).
+  Tpbr<kDims> DecisionBound(const Tpbr<kDims>& base, const Tpbr<kDims>& add,
+                            Time now, int parent_level);
+  double TpbrHorizonForLevel(int parent_level) const;
+
+  // --- search ---
+  bool DeleteRecurse(PageId id, int level, ObjectId oid,
+                     const Tpbr<kDims>& point, Time now, bool see_expired,
+                     std::vector<PathStep>* path);
+
+  Time CheckSubtree(PageId id, int level, const Tpbr<kDims>* bound, Time now,
+                    CheckState* state);
+
+  // Bulk-load helper: packs `items` into nodes at `level` (sort-tile-
+  // recursive order), returning the parent entries for the next level.
+  std::vector<NodeEntry<kDims>> PackLevel(std::vector<NodeEntry<kDims>> items,
+                                          int level, Time now, double fill);
+
+  void SaveMeta();
+  bool LoadMeta();
+  void PinRoot(PageId new_root);
+
+  TreeConfig config_;
+  PageFile* file_;
+  BufferManager buffer_;
+  NodeCodec<kDims> codec_;
+  Rng rng_;
+  HorizonEstimator horizon_;
+
+  PageId meta_page_ = kInvalidPageId;
+  PageId root_ = kInvalidPageId;
+  PageId pinned_root_ = kInvalidPageId;
+  int height_ = 0;  // Number of levels; root level = height_ - 1.
+  std::vector<uint64_t> level_counts_;
+
+  // Per-operation state.
+  std::vector<Pending> pending_;
+  uint32_t reinserted_levels_ = 0;  // Bitmask: forced reinsert done at level.
+
+  // Number of underfull nodes left in place because the orphan cap was
+  // reached (each may later be re-balanced by another update).
+  uint64_t underfull_remnants_ = 0;
+};
+
+using RexpTree1 = Tree<1>;
+using RexpTree2 = Tree<2>;
+using RexpTree3 = Tree<3>;
+
+}  // namespace rexp
+
+#endif  // REXP_TREE_TREE_H_

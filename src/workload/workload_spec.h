@@ -1,0 +1,98 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Workload parameters — paper Section 5.1 and Table 1. Bold (standard)
+// values from the table are the defaults here:
+//
+//   ExpT  (expiration duration)  30, 60, *120*, 180, 240
+//   ExpD  (expiration distance)  45, 90, *180*, 270, 360
+//   NewOb (fraction new objects) *0*, 0.5, 1, 1.5, 2
+//   UI    (update interval)      30, *60*, 90, 120
+//
+// The paper runs 100,000 live objects and 1,000,000 insertions; `scale`
+// shrinks both proportionally so the full figure set regenerates quickly
+// on one machine (set scale = 1 for the paper-size runs).
+
+#ifndef REXP_WORKLOAD_WORKLOAD_SPEC_H_
+#define REXP_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace rexp {
+
+struct WorkloadSpec {
+  enum class Data {
+    kNetwork,  // Objects move between destinations on a route network.
+    kUniform,  // Uniform positions/velocities (Section 5.1's second mode).
+  };
+  enum class Expiration {
+    kDuration,  // t_exp = t_upd + ExpT.
+    kDistance,  // t_exp = t_upd + ExpD / speed (fast objects expire fast).
+  };
+
+  Data data = Data::kNetwork;
+  Expiration expiration = Expiration::kDuration;
+
+  double exp_t = 120.0;  // Expiration duration (minutes).
+  double exp_d = 180.0;  // Expiration distance (km).
+  double new_ob = 0.0;   // Fraction of objects replaced over the workload.
+  double ui = 60.0;      // Target average update interval.
+
+  // Querying window W. The paper uses W = UI/2, except W = 15 for the
+  // ExpT = 30 workloads. Negative means "derive as ui / 2".
+  double query_window = -1.0;
+
+  // Space and query geometry: 1000x1000 km; each query is a square
+  // covering 0.25 % of the space (side 50 km).
+  double space = 1000.0;
+  double query_area_fraction = 0.0025;
+
+  // One query per 100 insertions; type mix 0.6 / 0.2 / 0.2 for timeslice /
+  // window / moving (Section 5.1).
+  uint32_t insertions_per_query = 100;
+  double p_timeslice = 0.6;
+  double p_window = 0.2;
+
+  // Network scenario: 20 destinations, fully connected by one-way routes;
+  // three equally likely object classes with maximum speeds 0.75, 1.5 and
+  // 3 km/min (45, 90, 180 km/h).
+  int num_destinations = 20;
+  double max_speeds[3] = {0.75, 1.5, 3.0};
+
+  // Scale knob (see header comment).
+  uint64_t target_objects = 100000;
+  uint64_t total_insertions = 1000000;
+
+  uint64_t seed = 1;
+
+  double QueryWindow() const {
+    return query_window > 0 ? query_window : ui / 2;
+  }
+  double QuerySide() const {
+    // sqrt of the query area (the fraction applies to the full space).
+    double area = query_area_fraction * space * space;
+    double side = 1.0;
+    // Newton iteration for sqrt keeps this header dependency-free.
+    for (int i = 0; i < 32; ++i) side = (side + area / side) / 2;
+    return side;
+  }
+
+  WorkloadSpec Scaled(double scale) const {
+    REXP_CHECK(scale > 0);
+    WorkloadSpec s = *this;
+    s.target_objects =
+        static_cast<uint64_t>(static_cast<double>(target_objects) * scale);
+    if (s.target_objects < 500) s.target_objects = 500;
+    s.total_insertions =
+        static_cast<uint64_t>(static_cast<double>(total_insertions) * scale);
+    if (s.total_insertions < 10 * s.target_objects) {
+      s.total_insertions = 10 * s.target_objects;
+    }
+    return s;
+  }
+};
+
+}  // namespace rexp
+
+#endif  // REXP_WORKLOAD_WORKLOAD_SPEC_H_

@@ -1,0 +1,131 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the common substrate: vectors, rectangles, the three query
+// types, and directed float rounding.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/float_round.h"
+#include "common/query.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "common/vec.h"
+
+namespace rexp {
+namespace {
+
+TEST(Vec, Arithmetic) {
+  Vec<2> a{1, 2}, b{3, -4};
+  Vec<2> sum = a + b;
+  EXPECT_EQ(sum[0], 4);
+  EXPECT_EQ(sum[1], -2);
+  Vec<2> diff = a - b;
+  EXPECT_EQ(diff[0], -2);
+  EXPECT_EQ(diff[1], 6);
+  Vec<2> scaled = a * 2.5;
+  EXPECT_EQ(scaled[0], 2.5);
+  EXPECT_EQ(scaled[1], 5.0);
+  EXPECT_TRUE((a == Vec<2>{1, 2}));
+  EXPECT_FALSE((a == b));
+}
+
+TEST(Vec, NormMatchesPythagoras) {
+  Vec<2> v{3, 4};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  Vec<3> w{1, 2, 2};
+  EXPECT_DOUBLE_EQ(w.Norm(), 3.0);
+  Vec<1> u{-7};
+  EXPECT_DOUBLE_EQ(u.Norm(), 7.0);
+}
+
+TEST(Rect, ContainsAndVolume) {
+  Rect<2> r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_TRUE(r.Contains(Vec<2>{5, 2}));
+  EXPECT_TRUE(r.Contains(Vec<2>{0, 0}));    // Boundary inclusive.
+  EXPECT_TRUE(r.Contains(Vec<2>{10, 5}));
+  EXPECT_FALSE(r.Contains(Vec<2>{10.01, 5}));
+  EXPECT_FALSE(r.Contains(Vec<2>{-0.01, 0}));
+  EXPECT_DOUBLE_EQ(r.Volume(), 50.0);
+}
+
+TEST(Rect, CubeIsCenteredSquare) {
+  Rect<2> r = Rect<2>::Cube({100, 200}, 50);
+  EXPECT_DOUBLE_EQ(r.lo[0], 75);
+  EXPECT_DOUBLE_EQ(r.hi[0], 125);
+  EXPECT_DOUBLE_EQ(r.lo[1], 175);
+  EXPECT_DOUBLE_EQ(r.hi[1], 225);
+  EXPECT_DOUBLE_EQ(r.Volume(), 2500.0);
+}
+
+TEST(Rect, InvalidWhenInverted) {
+  Rect<2> r{{1, 0}, {0, 1}};
+  EXPECT_FALSE(r.IsValid());
+}
+
+TEST(Query, TimesliceIsDegenerateWindow) {
+  Rect<2> r{{0, 0}, {10, 10}};
+  auto q = Query<2>::Timeslice(r, 5);
+  EXPECT_EQ(q.type, QueryType::kTimeslice);
+  EXPECT_EQ(q.t_lo, 5);
+  EXPECT_EQ(q.t_hi, 5);
+  EXPECT_EQ(q.LoAt(0, 5), 0);
+  EXPECT_EQ(q.HiAt(1, 5), 10);
+  EXPECT_EQ(q.LoVel(0), 0);
+}
+
+TEST(Query, MovingInterpolatesLinearly) {
+  Rect<2> r1{{0, 0}, {10, 10}};
+  Rect<2> r2{{20, -10}, {30, 0}};
+  auto q = Query<2>::Moving(r1, r2, 10, 20);
+  EXPECT_EQ(q.type, QueryType::kMoving);
+  // Midpoint in time: midpoint in space.
+  EXPECT_DOUBLE_EQ(q.LoAt(0, 15), 10);
+  EXPECT_DOUBLE_EQ(q.HiAt(0, 15), 20);
+  EXPECT_DOUBLE_EQ(q.LoAt(1, 15), -5);
+  // Velocities: 20 units over 10 time units in x.
+  EXPECT_DOUBLE_EQ(q.LoVel(0), 2.0);
+  EXPECT_DOUBLE_EQ(q.HiVel(1), -1.0);
+  // Endpoints reproduce the rectangles exactly.
+  EXPECT_DOUBLE_EQ(q.LoAt(0, 10), 0);
+  EXPECT_DOUBLE_EQ(q.LoAt(0, 20), 20);
+}
+
+TEST(FloatRound, DirectedRoundingBrackets) {
+  Rng rng(55);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.Uniform(-1e6, 1e6) * std::pow(10, rng.Uniform(-3, 3));
+    float down = FloatRoundDown(x);
+    float up = FloatRoundUp(x);
+    EXPECT_LE(static_cast<double>(down), x);
+    EXPECT_GE(static_cast<double>(up), x);
+    // The bracket is at most one ULP wide.
+    EXPECT_LE(up - down,
+              std::max(std::abs(x) * 2.4e-7, 1e-30));
+  }
+}
+
+TEST(FloatRound, ExactValuesUnchanged) {
+  for (double x : {0.0, 1.0, -2.5, 1024.0, 0.125}) {
+    EXPECT_EQ(static_cast<double>(FloatRoundDown(x)), x);
+    EXPECT_EQ(static_cast<double>(FloatRoundUp(x)), x);
+  }
+}
+
+TEST(FloatRound, InfinityPassesThrough) {
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(FloatRoundUp(inf), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(FloatRoundDown(-inf), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Types, TimeSentinels) {
+  EXPECT_FALSE(IsFiniteTime(kNeverExpires));
+  EXPECT_TRUE(IsFiniteTime(0.0));
+  EXPECT_TRUE(IsFiniteTime(1e30));
+}
+
+}  // namespace
+}  // namespace rexp

@@ -1,0 +1,88 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the experiment harness: variant factories match the paper's
+// configurations, scale parsing, and basic metric plumbing.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace rexp {
+namespace {
+
+TEST(VariantSpecs, RexpMatchesPapersBestFlavor) {
+  VariantSpec v = VariantSpec::Rexp();
+  EXPECT_FALSE(v.scheduled);
+  EXPECT_EQ(v.config.tpbr_kind, TpbrKind::kNearOptimal);
+  EXPECT_TRUE(v.config.expire_entries);
+  EXPECT_FALSE(v.config.store_tpbr_expiration)
+      << "Section 5.2: best results without recorded expiration times";
+  EXPECT_FALSE(v.config.choose_subtree_ignores_expiration);
+  EXPECT_FALSE(v.config.use_overlap_enlargement)
+      << "Section 4.2.2: the Rexp-tree drops overlap enlargement";
+}
+
+TEST(VariantSpecs, TprMatchesBaseline) {
+  VariantSpec v = VariantSpec::Tpr();
+  EXPECT_FALSE(v.scheduled);
+  EXPECT_EQ(v.config.tpbr_kind, TpbrKind::kConservative);
+  EXPECT_FALSE(v.config.expire_entries);
+  EXPECT_TRUE(v.config.use_overlap_enlargement);
+}
+
+TEST(VariantSpecs, ScheduledVariantsUseTheQueue) {
+  EXPECT_TRUE(VariantSpec::RexpScheduled().scheduled);
+  EXPECT_TRUE(VariantSpec::TprScheduled().scheduled);
+  // The paper notes the scheduled Rexp variant is penalized by recording
+  // expiration times.
+  EXPECT_TRUE(VariantSpec::RexpScheduled().config.store_tpbr_expiration);
+}
+
+TEST(VariantSpecs, PaperFanouts) {
+  // With the paper's 4 KiB pages: 170 leaf entries everywhere; 102
+  // internal entries when velocities and expiration are recorded (the
+  // TPR baseline and the scheduled Rexp variant), 113 when expiration is
+  // not recorded (the default Rexp-tree).
+  auto leaf = [](const TreeConfig& c) {
+    return (c.page_size - 4) / (8 * 2 + 8);
+  };
+  EXPECT_EQ(leaf(VariantSpec::Rexp().config), 170u);
+  auto internal = [](const TreeConfig& c) {
+    uint32_t entry = 2 * 2 * 4 + 4;
+    if (c.StoresVelocities()) entry += 2 * 2 * 4;
+    if (c.store_tpbr_expiration) entry += 4;
+    return (c.page_size - 4) / entry;
+  };
+  EXPECT_EQ(internal(VariantSpec::Tpr().config), 102u);
+  EXPECT_EQ(internal(VariantSpec::RexpScheduled().config), 102u);
+  EXPECT_EQ(internal(VariantSpec::Rexp().config), 113u);
+}
+
+TEST(ScaleFromEnv, DefaultAndOverride) {
+  unsetenv("REXP_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.25);
+  setenv("REXP_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.5);
+  setenv("REXP_SCALE", "", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.25);
+  unsetenv("REXP_SCALE");
+}
+
+TEST(Harness, MetricsAreInternallyConsistent) {
+  WorkloadSpec spec;
+  spec.target_objects = 1000;
+  spec.total_insertions = 12000;
+  spec.seed = 17;
+  RunResult r = RunExperiment(spec, VariantSpec::Rexp());
+  // One query per 100 insertions.
+  EXPECT_NEAR(static_cast<double>(r.queries), 120.0, 5.0);
+  // Update ops >= insertions (updates count as two ops).
+  EXPECT_GE(r.update_ops, spec.total_insertions);
+  EXPECT_GT(r.avg_result_size, 0.0);
+  EXPECT_GT(r.index_pages, 5u);
+}
+
+}  // namespace
+}  // namespace rexp

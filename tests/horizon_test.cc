@@ -1,0 +1,82 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the online UI/W/H estimation of paper Section 4.2.3.
+
+#include <gtest/gtest.h>
+
+#include "tree/horizon.h"
+
+namespace rexp {
+namespace {
+
+TEST(Horizon, InitialValuesFromConfig) {
+  HorizonEstimator h(60.0, 0.5, 170);
+  EXPECT_DOUBLE_EQ(h.ui(), 60.0);
+  EXPECT_DOUBLE_EQ(h.w(), 30.0);
+  EXPECT_DOUBLE_EQ(h.DecisionHorizon(), 90.0);
+}
+
+TEST(Horizon, EstimatesUiFromInsertionStream) {
+  // N = 1000 live entries, one insertion every 0.05 time units
+  // => UI = 0.05 * 1000 = 50.
+  HorizonEstimator h(10.0, 0.5, 100);
+  Time now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += 0.05;
+    h.RecordInsertion(now, 1000);
+  }
+  EXPECT_NEAR(h.ui(), 50.0, 1e-9);
+}
+
+TEST(Horizon, TracksChangingRate) {
+  HorizonEstimator h(50.0, 0.5, 100);
+  Time now = 0;
+  // Rate doubles: inter-arrival halves => UI halves.
+  for (int i = 0; i < 500; ++i) {
+    now += 0.05;
+    h.RecordInsertion(now, 1000);
+  }
+  EXPECT_NEAR(h.ui(), 50.0, 1e-9);
+  for (int i = 0; i < 500; ++i) {
+    now += 0.025;
+    h.RecordInsertion(now, 1000);
+  }
+  EXPECT_NEAR(h.ui(), 25.0, 1e-9);
+}
+
+TEST(Horizon, IgnoresZeroDurationBatches) {
+  HorizonEstimator h(60.0, 0.5, 10);
+  // All insertions at the same instant: no usable estimate; keep initial.
+  for (int i = 0; i < 100; ++i) h.RecordInsertion(5.0, 1000);
+  EXPECT_DOUBLE_EQ(h.ui(), 60.0);
+}
+
+TEST(Horizon, LevelHorizonScalesWithEntryRatio) {
+  HorizonEstimator h(60.0, 0.5, 170);
+  // A level holding 1% of the leaf entry count is recomputed ~100x more
+  // often: UI_l = UI / 100.
+  double leaf_h = h.TpbrHorizon(100000, 100000);
+  double internal_h = h.TpbrHorizon(1000, 100000);
+  EXPECT_DOUBLE_EQ(leaf_h, 60.0 + 30.0);
+  EXPECT_DOUBLE_EQ(internal_h, 0.6 + 30.0);
+  // Ratio clamps at 1 even with inconsistent counts.
+  EXPECT_DOUBLE_EQ(h.TpbrHorizon(200000, 100000), 90.0);
+  // No leaf entries yet: fall back to the full horizon.
+  EXPECT_DOUBLE_EQ(h.TpbrHorizon(10, 0), 90.0);
+}
+
+TEST(Horizon, RestoreUi) {
+  HorizonEstimator h(60.0, 0.5, 170);
+  h.RestoreUi(42.0);
+  EXPECT_DOUBLE_EQ(h.ui(), 42.0);
+  EXPECT_DOUBLE_EQ(h.w(), 21.0);
+}
+
+TEST(Horizon, AlphaZeroMeansNoQueryWindow) {
+  HorizonEstimator h(60.0, 0.0, 170);
+  EXPECT_DOUBLE_EQ(h.w(), 0.0);
+  EXPECT_DOUBLE_EQ(h.DecisionHorizon(), 60.0);
+}
+
+}  // namespace
+}  // namespace rexp

@@ -1,0 +1,249 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the time-parameterized bounding rectangles: soundness of every
+// strategy (containment over entry lifetimes), strategy-specific
+// properties (tightness at computation time, zero velocity for static
+// bounds, optimality ordering), and the Lemma 4.2 median.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "tpbr/integrals.h"
+#include "tpbr/tpbr.h"
+#include "tpbr/tpbr_compute.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::BoundsSampled;
+using ::rexp::testing::RandomEntries;
+
+constexpr TpbrKind kFiniteKinds[] = {
+    TpbrKind::kConservative, TpbrKind::kStatic, TpbrKind::kUpdateMinimum,
+    TpbrKind::kNearOptimal, TpbrKind::kOptimal};
+
+template <int kDims>
+void CheckSoundness(TpbrKind kind, double infinite_fraction, uint64_t seed) {
+  Rng rng(seed);
+  for (int iter = 0; iter < 120; ++iter) {
+    Time now = rng.Uniform(0, 500);
+    int n = 1 + static_cast<int>(rng.UniformInt(12));
+    auto entries =
+        RandomEntries<kDims>(&rng, now, n, infinite_fraction);
+    double horizon = rng.Uniform(1.0, 200.0);
+    Tpbr<kDims> bound =
+        ComputeTpbr<kDims>(kind, entries, now, horizon, &rng);
+    // The bound expires no earlier than any entry.
+    for (const auto& e : entries) {
+      ASSERT_LE(e.t_exp, bound.t_exp);
+      Time to = IsFiniteTime(e.t_exp) ? e.t_exp : now + 10 * horizon;
+      ASSERT_TRUE(BoundsSampled(bound, e, now, to))
+          << TpbrKindName(kind) << " violates containment (iter " << iter
+          << ")";
+    }
+  }
+}
+
+TEST(TpbrSoundness, AllKindsFiniteEntries1D) {
+  for (TpbrKind kind : kFiniteKinds) CheckSoundness<1>(kind, 0.0, 100);
+}
+TEST(TpbrSoundness, AllKindsFiniteEntries2D) {
+  for (TpbrKind kind : kFiniteKinds) CheckSoundness<2>(kind, 0.0, 200);
+}
+TEST(TpbrSoundness, AllKindsFiniteEntries3D) {
+  for (TpbrKind kind : kFiniteKinds) CheckSoundness<3>(kind, 0.0, 300);
+}
+
+TEST(TpbrSoundness, InfiniteEntriesConservative) {
+  CheckSoundness<2>(TpbrKind::kConservative, 0.5, 400);
+}
+TEST(TpbrSoundness, InfiniteEntriesUpdateMinimum) {
+  CheckSoundness<2>(TpbrKind::kUpdateMinimum, 0.5, 500);
+}
+TEST(TpbrSoundness, InfiniteEntriesNearOptimal) {
+  CheckSoundness<2>(TpbrKind::kNearOptimal, 0.5, 600);
+}
+TEST(TpbrSoundness, InfiniteEntriesOptimalFallsBack) {
+  // Optimal falls back to near-optimal for infinite entries; still sound.
+  CheckSoundness<2>(TpbrKind::kOptimal, 0.3, 700);
+}
+
+TEST(TpbrConservative, MinimumAtComputationTime) {
+  Rng rng(42);
+  for (int iter = 0; iter < 100; ++iter) {
+    Time now = rng.Uniform(0, 100);
+    auto entries = RandomEntries<2>(&rng, now, 8);
+    Tpbr<2> b = ComputeTpbr<2>(TpbrKind::kConservative, entries, now, 60);
+    for (int d = 0; d < 2; ++d) {
+      double lo = entries[0].LoAt(d, now), hi = entries[0].HiAt(d, now);
+      for (const auto& e : entries) {
+        lo = std::min(lo, e.LoAt(d, now));
+        hi = std::max(hi, e.HiAt(d, now));
+      }
+      EXPECT_NEAR(b.LoAt(d, now), lo, 1e-9);
+      EXPECT_NEAR(b.HiAt(d, now), hi, 1e-9);
+    }
+  }
+}
+
+TEST(TpbrUpdateMinimum, MinimumAtComputationTimeAndTighterThanConservative) {
+  Rng rng(43);
+  for (int iter = 0; iter < 100; ++iter) {
+    Time now = rng.Uniform(0, 100);
+    auto entries = RandomEntries<2>(&rng, now, 8);
+    Tpbr<2> um = ComputeTpbr<2>(TpbrKind::kUpdateMinimum, entries, now, 60);
+    Tpbr<2> cons = ComputeTpbr<2>(TpbrKind::kConservative, entries, now, 60);
+    for (int d = 0; d < 2; ++d) {
+      // Same (minimum) extent at computation time.
+      ASSERT_NEAR(um.LoAt(d, now), cons.LoAt(d, now), 1e-9);
+      ASSERT_NEAR(um.HiAt(d, now), cons.HiAt(d, now), 1e-9);
+      // Velocities relaxed inward relative to conservative bounds.
+      ASSERT_LE(um.vhi[d], cons.vhi[d] + 1e-12);
+      ASSERT_GE(um.vlo[d], cons.vlo[d] - 1e-12);
+    }
+  }
+}
+
+TEST(TpbrStatic, ZeroVelocities) {
+  Rng rng(44);
+  Time now = 10;
+  auto entries = RandomEntries<2>(&rng, now, 10);
+  Tpbr<2> b = ComputeTpbr<2>(TpbrKind::kStatic, entries, now, 60);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ(b.vlo[d], 0);
+    EXPECT_EQ(b.vhi[d], 0);
+  }
+}
+
+TEST(TpbrOptimal, NoWorseThanNearOptimalAreaIntegral) {
+  Rng rng(45);
+  int wins = 0, total = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    Time now = rng.Uniform(0, 100);
+    int n = 2 + static_cast<int>(rng.UniformInt(10));
+    auto entries = RandomEntries<2>(&rng, now, n);
+    double horizon = rng.Uniform(10, 120);
+    Time max_exp = 0;
+    for (const auto& e : entries) max_exp = std::max(max_exp, e.t_exp);
+    double delta = std::min(horizon, max_exp - now);
+    if (delta <= 0) continue;
+    Tpbr<2> no = ComputeTpbr<2>(TpbrKind::kNearOptimal, entries, now,
+                                horizon, &rng);
+    Tpbr<2> opt = ComputeTpbr<2>(TpbrKind::kOptimal, entries, now, horizon,
+                                 &rng);
+    double a_no = AreaIntegral(no, now, delta);
+    double a_opt = AreaIntegral(opt, now, delta);
+    ASSERT_LE(a_opt, a_no * (1 + 1e-6) + 1e-9)
+        << "optimal worse than near-optimal at iter " << iter;
+    if (a_opt < a_no * (1 - 1e-9)) ++wins;
+    ++total;
+  }
+  // Optimal should be strictly better at least occasionally (it explores
+  // median positions the greedy pass does not).
+  EXPECT_GT(total, 50);
+}
+
+TEST(TpbrOptimal, OneDimensionalOptimalMatchesLemma41) {
+  // In one dimension the optimal TPBR is the bridge at delta/2 — exactly
+  // what near-optimal computes. The two must agree.
+  Rng rng(46);
+  for (int iter = 0; iter < 100; ++iter) {
+    Time now = rng.Uniform(0, 100);
+    auto entries = RandomEntries<1>(&rng, now, 6);
+    Tpbr<1> no =
+        ComputeTpbr<1>(TpbrKind::kNearOptimal, entries, now, 60, nullptr);
+    Tpbr<1> opt =
+        ComputeTpbr<1>(TpbrKind::kOptimal, entries, now, 60, nullptr);
+    EXPECT_NEAR(no.lo[0], opt.lo[0], 1e-9);
+    EXPECT_NEAR(no.hi[0], opt.hi[0], 1e-9);
+    EXPECT_NEAR(no.vlo[0], opt.vlo[0], 1e-9);
+    EXPECT_NEAR(no.vhi[0], opt.vhi[0], 1e-9);
+  }
+}
+
+TEST(TpbrNearOptimal, BeatsConservativeOnShortLivedFastEntries) {
+  // The paper's motivating case: entries that expire quickly should yield
+  // much smaller area integrals than conservative bounds that assume
+  // infinite lifetimes.
+  Rng rng(47);
+  double sum_cons = 0, sum_near = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    Time now = 0;
+    auto entries = RandomEntries<2>(&rng, now, 10, 0.0, /*max_life=*/10.0);
+    double horizon = 100;
+    Tpbr<2> cons =
+        ComputeTpbr<2>(TpbrKind::kConservative, entries, now, horizon);
+    Tpbr<2> near =
+        ComputeTpbr<2>(TpbrKind::kNearOptimal, entries, now, horizon, &rng);
+    sum_cons += AreaIntegral(cons, now, horizon);
+    sum_near += AreaIntegral(near, now, horizon);
+  }
+  EXPECT_LT(sum_near, sum_cons);
+}
+
+TEST(MedianFromExtents, FirstDimensionIsHalfDelta) {
+  EXPECT_DOUBLE_EQ(MedianFromExtents({}, {}, 80.0), 40.0);
+}
+
+TEST(MedianFromExtents, MatchesPaperExampleForOneComputedDimension) {
+  // Paper (after Lemma 4.2), k = 1: m = Δ(3h + 2wΔ) / (6h + 3wΔ).
+  double h = 5.0, w = 0.25, delta = 40.0;
+  double expected =
+      delta * (3 * h + 2 * w * delta) / (6 * h + 3 * w * delta);
+  double values[] = {h};
+  double slopes[] = {w};
+  EXPECT_NEAR(MedianFromExtents({values, 1}, {slopes, 1}, delta), expected,
+              1e-12);
+}
+
+TEST(MedianFromExtents, GrowingComputedDimensionShiftsMedianRight) {
+  double delta = 60.0;
+  double h = 10.0;
+  double grow[] = {0.5}, shrink[] = {-0.1}, zero[] = {0.0};
+  double values[] = {h};
+  double m_grow = MedianFromExtents({values, 1}, {grow, 1}, delta);
+  double m_zero = MedianFromExtents({values, 1}, {zero, 1}, delta);
+  double m_shrink = MedianFromExtents({values, 1}, {shrink, 1}, delta);
+  EXPECT_GT(m_grow, m_zero);
+  EXPECT_LT(m_shrink, m_zero);
+  EXPECT_DOUBLE_EQ(m_zero, delta / 2);
+}
+
+TEST(TpbrMisc, NaturalExpiryOfShrinkingRectangle) {
+  Tpbr<2> b;
+  b.lo[0] = 0;
+  b.hi[0] = 10;
+  b.vlo[0] = 1;
+  b.vhi[0] = 0;  // Extent shrinks by 1 per time unit: zero at t = 10.
+  b.lo[1] = 0;
+  b.hi[1] = 5;
+  b.vlo[1] = 0;
+  b.vhi[1] = 1;  // Growing: never collapses.
+  EXPECT_DOUBLE_EQ(b.NaturalExpiry(0), 10.0);
+  EXPECT_DOUBLE_EQ(b.NaturalExpiry(15.0), 15.0);  // Clamped to t_from.
+  Tpbr<2> growing;
+  growing.hi[0] = growing.hi[1] = 1;
+  EXPECT_EQ(growing.NaturalExpiry(0), kNeverExpires);
+}
+
+TEST(TpbrMisc, MakeMovingPointRoundTripsThroughFloat) {
+  Rng rng(48);
+  for (int iter = 0; iter < 100; ++iter) {
+    Vec<2> pos{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    Vec<2> vel{rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    Time now = rng.Uniform(0, 1e4);
+    Tpbr<2> p = MakeMovingPoint<2>(pos, vel, now, now + 60);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_EQ(static_cast<double>(static_cast<float>(p.lo[d])), p.lo[d]);
+      EXPECT_EQ(static_cast<double>(static_cast<float>(p.vlo[d])), p.vlo[d]);
+      // Reconstructed position is close to the observed one.
+      EXPECT_NEAR(p.LoAt(d, now), pos[d], 1e-2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rexp
