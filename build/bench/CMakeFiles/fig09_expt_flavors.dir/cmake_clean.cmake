@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_expt_flavors.dir/fig09_expt_flavors.cc.o"
+  "CMakeFiles/fig09_expt_flavors.dir/fig09_expt_flavors.cc.o.d"
+  "fig09_expt_flavors"
+  "fig09_expt_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_expt_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

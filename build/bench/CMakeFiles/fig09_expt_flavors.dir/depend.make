@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_expt_flavors.
+# This may be replaced when dependencies are built.

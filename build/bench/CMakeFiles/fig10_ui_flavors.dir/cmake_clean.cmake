@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ui_flavors.dir/fig10_ui_flavors.cc.o"
+  "CMakeFiles/fig10_ui_flavors.dir/fig10_ui_flavors.cc.o.d"
+  "fig10_ui_flavors"
+  "fig10_ui_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ui_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

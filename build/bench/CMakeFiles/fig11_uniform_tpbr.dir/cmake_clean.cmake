@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_uniform_tpbr.dir/fig11_uniform_tpbr.cc.o"
+  "CMakeFiles/fig11_uniform_tpbr.dir/fig11_uniform_tpbr.cc.o.d"
+  "fig11_uniform_tpbr"
+  "fig11_uniform_tpbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_uniform_tpbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_expd_tpbr.dir/fig12_expd_tpbr.cc.o"
+  "CMakeFiles/fig12_expd_tpbr.dir/fig12_expd_tpbr.cc.o.d"
+  "fig12_expd_tpbr"
+  "fig12_expd_tpbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_expd_tpbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

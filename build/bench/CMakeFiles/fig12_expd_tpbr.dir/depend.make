@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_expd_tpbr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_expd_vs_tpr.dir/fig13_expd_vs_tpr.cc.o"
+  "CMakeFiles/fig13_expd_vs_tpr.dir/fig13_expd_vs_tpr.cc.o.d"
+  "fig13_expd_vs_tpr"
+  "fig13_expd_vs_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_expd_vs_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

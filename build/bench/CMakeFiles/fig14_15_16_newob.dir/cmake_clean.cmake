@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_16_newob.dir/fig14_15_16_newob.cc.o"
+  "CMakeFiles/fig14_15_16_newob.dir/fig14_15_16_newob.cc.o.d"
+  "fig14_15_16_newob"
+  "fig14_15_16_newob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_16_newob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

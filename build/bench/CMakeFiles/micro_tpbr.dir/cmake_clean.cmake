@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tpbr.dir/micro_tpbr.cc.o"
+  "CMakeFiles/micro_tpbr.dir/micro_tpbr.cc.o.d"
+  "micro_tpbr"
+  "micro_tpbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tpbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_game.dir/location_game.cc.o"
+  "CMakeFiles/location_game.dir/location_game.cc.o.d"
+  "location_game"
+  "location_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

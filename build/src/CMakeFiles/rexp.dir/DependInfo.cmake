@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/rexp.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/rexp.dir/btree/btree.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/rexp.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/rexp.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/hull/convex_hull.cc" "src/CMakeFiles/rexp.dir/hull/convex_hull.cc.o" "gcc" "src/CMakeFiles/rexp.dir/hull/convex_hull.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/rexp.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/rexp.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/rexp.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/rexp.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/tpbr/integrals.cc" "src/CMakeFiles/rexp.dir/tpbr/integrals.cc.o" "gcc" "src/CMakeFiles/rexp.dir/tpbr/integrals.cc.o.d"
+  "/root/repo/src/tpbr/tpbr_compute.cc" "src/CMakeFiles/rexp.dir/tpbr/tpbr_compute.cc.o" "gcc" "src/CMakeFiles/rexp.dir/tpbr/tpbr_compute.cc.o.d"
+  "/root/repo/src/tree/node.cc" "src/CMakeFiles/rexp.dir/tree/node.cc.o" "gcc" "src/CMakeFiles/rexp.dir/tree/node.cc.o.d"
+  "/root/repo/src/tree/stats.cc" "src/CMakeFiles/rexp.dir/tree/stats.cc.o" "gcc" "src/CMakeFiles/rexp.dir/tree/stats.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/rexp.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/rexp.dir/tree/tree.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/rexp.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/rexp.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

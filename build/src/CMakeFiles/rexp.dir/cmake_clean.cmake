@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rexp.dir/btree/btree.cc.o"
+  "CMakeFiles/rexp.dir/btree/btree.cc.o.d"
+  "CMakeFiles/rexp.dir/harness/experiment.cc.o"
+  "CMakeFiles/rexp.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/rexp.dir/hull/convex_hull.cc.o"
+  "CMakeFiles/rexp.dir/hull/convex_hull.cc.o.d"
+  "CMakeFiles/rexp.dir/storage/buffer_manager.cc.o"
+  "CMakeFiles/rexp.dir/storage/buffer_manager.cc.o.d"
+  "CMakeFiles/rexp.dir/storage/page_file.cc.o"
+  "CMakeFiles/rexp.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/rexp.dir/tpbr/integrals.cc.o"
+  "CMakeFiles/rexp.dir/tpbr/integrals.cc.o.d"
+  "CMakeFiles/rexp.dir/tpbr/tpbr_compute.cc.o"
+  "CMakeFiles/rexp.dir/tpbr/tpbr_compute.cc.o.d"
+  "CMakeFiles/rexp.dir/tree/node.cc.o"
+  "CMakeFiles/rexp.dir/tree/node.cc.o.d"
+  "CMakeFiles/rexp.dir/tree/stats.cc.o"
+  "CMakeFiles/rexp.dir/tree/stats.cc.o.d"
+  "CMakeFiles/rexp.dir/tree/tree.cc.o"
+  "CMakeFiles/rexp.dir/tree/tree.cc.o.d"
+  "CMakeFiles/rexp.dir/workload/generator.cc.o"
+  "CMakeFiles/rexp.dir/workload/generator.cc.o.d"
+  "librexp.a"
+  "librexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_persistence_test.dir/disk_persistence_test.cc.o"
+  "CMakeFiles/disk_persistence_test.dir/disk_persistence_test.cc.o.d"
+  "disk_persistence_test"
+  "disk_persistence_test.pdb"
+  "disk_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrals_test.dir/integrals_test.cc.o"
+  "CMakeFiles/integrals_test.dir/integrals_test.cc.o.d"
+  "integrals_test"
+  "integrals_test.pdb"
+  "integrals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpbr_property_test.dir/tpbr_property_test.cc.o"
+  "CMakeFiles/tpbr_property_test.dir/tpbr_property_test.cc.o.d"
+  "tpbr_property_test"
+  "tpbr_property_test.pdb"
+  "tpbr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpbr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

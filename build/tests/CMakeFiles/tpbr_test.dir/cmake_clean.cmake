@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpbr_test.dir/tpbr_test.cc.o"
+  "CMakeFiles/tpbr_test.dir/tpbr_test.cc.o.d"
+  "tpbr_test"
+  "tpbr_test.pdb"
+  "tpbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

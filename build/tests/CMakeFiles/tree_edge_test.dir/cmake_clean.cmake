@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_edge_test.dir/tree_edge_test.cc.o"
+  "CMakeFiles/tree_edge_test.dir/tree_edge_test.cc.o.d"
+  "tree_edge_test"
+  "tree_edge_test.pdb"
+  "tree_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_property_test.dir/tree_property_test.cc.o"
+  "CMakeFiles/tree_property_test.dir/tree_property_test.cc.o.d"
+  "tree_property_test"
+  "tree_property_test.pdb"
+  "tree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

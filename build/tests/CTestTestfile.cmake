@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/hull_test[1]_include.cmake")
+include("/root/repo/build/tests/tpbr_test[1]_include.cmake")
+include("/root/repo/build/tests/integrals_test[1]_include.cmake")
+include("/root/repo/build/tests/intersect_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/horizon_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/tpbr_property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_index.dir/inspect_index.cc.o"
+  "CMakeFiles/inspect_index.dir/inspect_index.cc.o.d"
+  "inspect_index"
+  "inspect_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
