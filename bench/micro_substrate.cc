@@ -33,10 +33,10 @@ BENCHMARK(BM_HullAndBridge)->Arg(4)->Arg(32)->Arg(340);
 void BM_BufferFetchHit(benchmark::State& state) {
   MemoryPageFile file(4096);
   BufferManager buffer(&file, 50);
-  PageId id = file.Allocate();
-  buffer.Fetch(id);
+  PageId id = file.Allocate().value();
+  buffer.FetchOrDie(id);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(buffer.Fetch(id));
+    benchmark::DoNotOptimize(buffer.FetchOrDie(id));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -46,11 +46,11 @@ void BM_BufferFetchMissEvict(benchmark::State& state) {
   MemoryPageFile file(4096);
   BufferManager buffer(&file, 8);
   std::vector<PageId> ids;
-  for (int i = 0; i < 64; ++i) ids.push_back(file.Allocate());
+  for (int i = 0; i < 64; ++i) ids.push_back(file.Allocate().value());
   size_t i = 0;
   for (auto _ : state) {
     // Sequential sweep over 64 pages with 8 frames: every fetch misses.
-    benchmark::DoNotOptimize(buffer.Fetch(ids[i % ids.size()]));
+    benchmark::DoNotOptimize(buffer.FetchOrDie(ids[i % ids.size()]));
     ++i;
   }
   state.SetItemsProcessed(state.iterations());

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   std::string path = "/tmp/rexp_fleet_index.bin";
   std::remove(path.c_str());
-  auto file = std::make_unique<DiskPageFile>(path, 4096, /*keep=*/true);
+  auto file = DiskPageFile::Open(path, 4096, /*keep=*/true).value();
   auto tree = std::make_unique<RexpTree2>(TreeConfig::Rexp(), file.get());
 
   WorkloadGenerator fleet(spec);

@@ -32,16 +32,16 @@ BTree::BTree(PageFile* file, uint32_t buffer_frames, uint32_t value_size)
   root.level = 0;
   root_ = AllocNode(root);
   height_ = 1;
-  buffer_.FlushDirty();
+  REXP_CHECK_OK(buffer_.FlushDirty());
 }
 
-BTree::~BTree() { buffer_.FlushDirty(); }
+BTree::~BTree() { REXP_CHECK_OK(buffer_.FlushDirty()); }
 
 // ---------------------------------------------------------------------------
 // Node serialization.
 
 BTree::BtNode BTree::ReadNode(PageId id) {
-  Page* page = buffer_.Fetch(id);
+  Page* page = buffer_.FetchOrDie(id);
   BtNode node;
   node.level = page->Read<uint16_t>(0);
   int count = page->Read<uint16_t>(2);
@@ -77,7 +77,7 @@ BTree::BtNode BTree::ReadNode(PageId id) {
 }
 
 void BTree::WriteNode(PageId id, const BtNode& node) {
-  Page* page = buffer_.Fetch(id);
+  Page* page = buffer_.FetchOrDie(id);
   page->Write<uint16_t>(0, static_cast<uint16_t>(node.level));
   uint32_t off = kHeaderSize;
   if (node.level == 0) {
@@ -115,7 +115,7 @@ void BTree::WriteNode(PageId id, const BtNode& node) {
 
 PageId BTree::AllocNode(const BtNode& node) {
   PageId id;
-  buffer_.NewPage(&id);
+  buffer_.NewPageOrDie(&id);
   WriteNode(id, node);
   return id;
 }
@@ -190,7 +190,7 @@ void BTree::Insert(const Key& key, const uint8_t* value) {
     ++height_;
   }
   ++size_;
-  buffer_.FlushDirty();
+  REXP_CHECK_OK(buffer_.FlushDirty());
 }
 
 // ---------------------------------------------------------------------------
@@ -330,7 +330,7 @@ bool BTree::Delete(const Key& key) {
       --height_;
     }
   }
-  buffer_.FlushDirty();
+  REXP_CHECK_OK(buffer_.FlushDirty());
   return found;
 }
 

@@ -1,0 +1,48 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum used by the page-frame headers to detect bit rot and torn
+// writes. A plain table-driven software implementation — page checksums
+// are computed once per device I/O, which is never the hot path in this
+// codebase (the experiments are buffer-resident by design).
+
+#ifndef REXP_COMMON_CRC32C_H_
+#define REXP_COMMON_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rexp {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace internal
+
+// CRC-32C of `data[0, n)`, continuing from `seed` (pass the result of a
+// previous call to checksum discontiguous buffers as one stream).
+inline uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0) {
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = internal::kCrc32cTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_CRC32C_H_

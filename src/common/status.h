@@ -1,0 +1,190 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Error propagation for the storage substrate. The library does not use
+// exceptions; recoverable failures (device I/O errors, checksum
+// mismatches, invalid persisted state) travel as Status / StatusOr values
+// from the page file up through the buffer manager to the index open and
+// commit paths. REXP_CHECK remains reserved for true programming errors
+// (violated preconditions, impossible states).
+
+#ifndef REXP_COMMON_STATUS_H_
+#define REXP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rexp {
+
+enum class StatusCode : int {
+  kOk = 0,
+  // The device failed (open, seek, read, write, flush). Retrying or fixing
+  // the environment may help; the data itself is not known to be bad.
+  kIOError = 1,
+  // The device returned data that fails validation: checksum mismatch,
+  // misdirected-write stamp, truncated page, or an unparseable metadata
+  // block. Retrying will not help.
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kNotFound = 4,
+  kFailedPrecondition = 5,
+};
+
+// Returns a stable name for `code` ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+
+// A Status or a value. Supports move-only payloads (e.g. unique_ptr).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: lets functions
+  // `return value;` or `return status;` directly.
+  StatusOr(Status status) : status_(std::move(status)) {
+    REXP_CHECK(!status_.ok());  // OK requires a value.
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr::value() on error status: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+
+inline void CheckOkImpl(const Status& status, const char* file, int line,
+                        const char* expr) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "REXP_CHECK_OK failed at %s:%d: %s -> %s\n", file,
+               line, expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace rexp
+
+// Aborts with a diagnostic if `expr` (a Status) is not OK. For call sites
+// where an I/O failure is unrecoverable by design (e.g. legacy in-place
+// index operations) — the error is still *reported*, never swallowed.
+#define REXP_CHECK_OK(expr) \
+  ::rexp::internal::CheckOkImpl((expr), __FILE__, __LINE__, #expr)
+
+// Propagates a non-OK Status to the caller.
+#define REXP_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::rexp::Status rexp_status_ = (expr);     \
+    if (!rexp_status_.ok()) return rexp_status_; \
+  } while (false)
+
+#define REXP_STATUS_CONCAT_INNER_(x, y) x##y
+#define REXP_STATUS_CONCAT_(x, y) REXP_STATUS_CONCAT_INNER_(x, y)
+
+// Evaluates `expr` (a StatusOr<T>), propagating a non-OK status to the
+// caller or moving the value into `lhs`.
+#define REXP_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto REXP_STATUS_CONCAT_(rexp_statusor_, __LINE__) = (expr);            \
+  if (!REXP_STATUS_CONCAT_(rexp_statusor_, __LINE__).ok()) {              \
+    return REXP_STATUS_CONCAT_(rexp_statusor_, __LINE__).status();        \
+  }                                                                       \
+  lhs = std::move(REXP_STATUS_CONCAT_(rexp_statusor_, __LINE__)).value()
+
+#endif  // REXP_COMMON_STATUS_H_

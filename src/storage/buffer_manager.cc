@@ -16,18 +16,30 @@ BufferManager::BufferManager(PageFile* file, uint32_t num_frames)
   }
 }
 
-BufferManager::~BufferManager() { FlushDirty(); }
+BufferManager::~BufferManager() {
+  Status s = FlushDirty();
+  if (!s.ok()) {
+    std::fprintf(stderr, "BufferManager: flush on destruction failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
 
-Page* BufferManager::Fetch(PageId id) {
+StatusOr<Page*> BufferManager::Fetch(PageId id) {
   REXP_CHECK(id != kInvalidPageId);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Touch(it->second);
     return &frames_[it->second].page;
   }
-  uint32_t fi = AcquireFrame();
+  REXP_ASSIGN_OR_RETURN(uint32_t fi, AcquireFrame());
   Frame& f = frames_[fi];
-  file_->ReadPage(id, &f.page);
+  Status read = file_->ReadPage(id, &f.page);
+  if (!read.ok()) {
+    // The frame was never published; hand it back so the buffer stays
+    // consistent and the caller can retry or fail upward.
+    free_frames_.push_back(fi);
+    return read;
+  }
   ++stats_.reads;
   f.id = id;
   f.dirty = false;
@@ -37,8 +49,8 @@ Page* BufferManager::Fetch(PageId id) {
   return &f.page;
 }
 
-Page* BufferManager::NewPage(PageId* id) {
-  *id = file_->Allocate();
+StatusOr<Page*> BufferManager::NewPage(PageId* id) {
+  REXP_ASSIGN_OR_RETURN(*id, file_->Allocate());
   // The page may be a recycled one that is still buffered with stale
   // contents; reuse its frame in that case.
   uint32_t fi;
@@ -46,7 +58,14 @@ Page* BufferManager::NewPage(PageId* id) {
   if (it != frame_of_.end()) {
     fi = it->second;
   } else {
-    fi = AcquireFrame();
+    auto acquired = AcquireFrame();
+    if (!acquired.ok()) {
+      // Undo the allocation; the caller never saw the page.
+      file_->Free(*id);
+      *id = kInvalidPageId;
+      return acquired.status();
+    }
+    fi = *acquired;
     frames_[fi].id = *id;
     frames_[fi].pin_count = 0;
     frame_of_[*id] = fi;
@@ -56,6 +75,26 @@ Page* BufferManager::NewPage(PageId* id) {
   f.dirty = true;
   Touch(fi);
   return &f.page;
+}
+
+Page* BufferManager::FetchOrDie(PageId id) {
+  auto page = Fetch(id);
+  if (!page.ok()) {
+    std::fprintf(stderr, "BufferManager::Fetch(%u) failed: %s\n", id,
+                 page.status().ToString().c_str());
+    std::abort();
+  }
+  return *page;
+}
+
+Page* BufferManager::NewPageOrDie(PageId* id) {
+  auto page = NewPage(id);
+  if (!page.ok()) {
+    std::fprintf(stderr, "BufferManager::NewPage failed: %s\n",
+                 page.status().ToString().c_str());
+    std::abort();
+  }
+  return *page;
 }
 
 void BufferManager::MarkDirty(PageId id) {
@@ -94,17 +133,25 @@ void BufferManager::FreePage(PageId id) {
   file_->Free(id);
 }
 
-void BufferManager::FlushDirty() {
+Status BufferManager::FlushDirty() {
+  Status first_error;
   for (Frame& f : frames_) {
     if (f.id != kInvalidPageId && f.dirty) {
-      file_->WritePage(f.id, f.page);
+      Status s = file_->WritePage(f.id, f.page);
+      if (!s.ok()) {
+        // Keep the page dirty so a later flush can retry; remember the
+        // first failure but try every remaining page.
+        if (first_error.ok()) first_error = s;
+        continue;
+      }
       ++stats_.writes;
       f.dirty = false;
     }
   }
+  return first_error;
 }
 
-uint32_t BufferManager::AcquireFrame() {
+StatusOr<uint32_t> BufferManager::AcquireFrame() {
   if (!free_frames_.empty()) {
     uint32_t fi = free_frames_.back();
     free_frames_.pop_back();
@@ -114,12 +161,15 @@ uint32_t BufferManager::AcquireFrame() {
   REXP_CHECK(!lru_.empty());  // All frames pinned => misconfigured buffer.
   uint32_t fi = lru_.back();
   Frame& f = frames_[fi];
-  RemoveFromLru(fi);
   if (f.dirty) {
-    file_->WritePage(f.id, f.page);
+    // Write the victim out *before* dismantling its mapping: if the write
+    // fails, the page stays buffered and dirty and the buffer is exactly
+    // as it was.
+    REXP_RETURN_IF_ERROR(file_->WritePage(f.id, f.page));
     ++stats_.writes;
     f.dirty = false;
   }
+  RemoveFromLru(fi);
   frame_of_.erase(f.id);
   f.id = kInvalidPageId;
   return fi;

@@ -7,6 +7,11 @@
 // operation (FlushDirty) or when they are evicted — exactly the write-
 // counting discipline described in Section 5.1.
 //
+// Device failures propagate: Fetch, NewPage, and FlushDirty return
+// Status/StatusOr (a fetch miss can hit a checksum failure; making room
+// can fail writing out a dirty victim). The *OrDie variants wrap them for
+// call sites where storage failure is unrecoverable by design.
+//
 // Pointer validity rule: the Page* returned by Fetch/NewPage is valid only
 // until the next call on this BufferManager. Callers (the node serializers)
 // copy node contents out of the frame immediately.
@@ -19,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -38,12 +44,21 @@ class BufferManager {
 
   // Returns the buffered page, reading it from the device on a miss (which
   // counts one read I/O, possibly plus one write I/O if a dirty page must
-  // be evicted to make room).
-  Page* Fetch(PageId id);
+  // be evicted to make room). Fails with the device's kIOError/kCorruption
+  // on a bad read or a failed victim write-out; the buffer state is left
+  // consistent (the frame is returned to the free pool).
+  StatusOr<Page*> Fetch(PageId id);
 
   // Allocates a new page in the file and returns a zeroed, dirty frame for
-  // it. No device read is performed.
-  Page* NewPage(PageId* id);
+  // it. No device read is performed. Fails if the file cannot grow or a
+  // dirty victim cannot be written out.
+  StatusOr<Page*> NewPage(PageId* id);
+
+  // Abort-on-failure wrappers for in-memory devices and legacy call sites
+  // where a storage failure is unrecoverable by design. The error is
+  // reported before aborting, never swallowed.
+  Page* FetchOrDie(PageId id);
+  Page* NewPageOrDie(PageId* id);
 
   // Marks a buffered page dirty. The page must currently be buffered.
   void MarkDirty(PageId id);
@@ -54,12 +69,14 @@ class BufferManager {
 
   // Deallocates a page: drops it from the buffer (discarding any dirty
   // contents without a write — it is garbage now) and returns it to the
-  // file's free list.
+  // file's free list (or the deferred-free quarantine).
   void FreePage(PageId id);
 
   // Writes out all dirty pages (counting write I/Os). Called by the index
-  // structures at the end of each logical operation.
-  void FlushDirty();
+  // structures at the end of each logical operation. On failure, keeps
+  // going — every still-writable page is flushed — and returns the first
+  // error; failed pages stay dirty.
+  Status FlushDirty();
 
   // True if `id` currently occupies a frame (test hook).
   bool IsBuffered(PageId id) const { return frame_of_.count(id) > 0; }
@@ -81,8 +98,9 @@ class BufferManager {
     explicit Frame(uint32_t page_size) : page(page_size) {}
   };
 
-  // Returns a free frame index, evicting the LRU unpinned page if needed.
-  uint32_t AcquireFrame();
+  // Returns a free frame index, evicting the LRU unpinned page if needed
+  // (which can fail on a dirty victim write-out).
+  StatusOr<uint32_t> AcquireFrame();
   void Touch(uint32_t frame_index);
   void RemoveFromLru(uint32_t frame_index);
 

@@ -1,0 +1,86 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "storage/fault_injection_page_file.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rexp {
+
+FaultInjectionPageFile::FaultInjectionPageFile(PageFile* inner,
+                                              const Options& options)
+    : PageFile(inner->page_size()),
+      inner_(inner),
+      options_(options),
+      rng_(options.seed) {
+  capacity_ = inner->capacity_pages();
+  RestoreAllocated(capacity_);
+}
+
+Status FaultInjectionPageFile::ReadFrame(PageId id, uint8_t* frame) {
+  if (options_.read_error_p > 0 && rng_.Bernoulli(options_.read_error_p)) {
+    ++counters_.read_errors;
+    return Status::IOError("injected read error on page " +
+                           std::to_string(id));
+  }
+  return inner_->ReadFrame(id, frame);
+}
+
+Status FaultInjectionPageFile::WriteFrame(PageId id, const uint8_t* frame) {
+  ++writes_attempted_;
+  if (options_.crash_after_writes != 0 &&
+      writes_attempted_ > options_.crash_after_writes) {
+    // Post-crash: the write never reaches the device, but the writer (a
+    // dead process) cannot observe that — report success.
+    ++counters_.dropped_after_crash;
+    return Status::OK();
+  }
+  if (options_.write_error_p > 0 && rng_.Bernoulli(options_.write_error_p)) {
+    ++counters_.write_errors;
+    return Status::IOError("injected write error on page " +
+                           std::to_string(id));
+  }
+  if (options_.record_write_log) {
+    WriteEvent ev;
+    ev.id = id;
+    ev.frame.assign(frame, frame + frame_size());
+    write_log_.push_back(std::move(ev));
+  }
+  if (options_.torn_write_p > 0 && rng_.Bernoulli(options_.torn_write_p)) {
+    // Persist only a random prefix; the tail keeps whatever the device
+    // held before (zeros if nothing was readable).
+    ++counters_.torn_writes;
+    std::vector<uint8_t> torn(frame_size(), 0);
+    (void)inner_->ReadFrame(id, torn.data());
+    const size_t prefix = rng_.UniformInt(frame_size());
+    std::memcpy(torn.data(), frame, prefix);
+    return inner_->WriteFrame(id, torn.data());
+  }
+  if (options_.bit_flip_p > 0 && rng_.Bernoulli(options_.bit_flip_p)) {
+    ++counters_.bit_flips;
+    std::vector<uint8_t> flipped(frame, frame + frame_size());
+    const size_t bit = rng_.UniformInt(frame_size() * 8);
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return inner_->WriteFrame(id, flipped.data());
+  }
+  return inner_->WriteFrame(id, frame);
+}
+
+Status FaultInjectionPageFile::GrowDevice(PageId id) {
+  REXP_CHECK(id == capacity_pages());
+  if (options_.record_write_log) {
+    WriteEvent ev;
+    ev.id = id;
+    ev.grow = true;
+    write_log_.push_back(std::move(ev));
+  }
+  // Grows are always forwarded, crash or not: file extension is metadata
+  // the OS orders independently of data reaching the platter, and the
+  // recovery path must tolerate a grown-but-unwritten tail anyway.
+  return inner_->GrowDevice(id);
+}
+
+Status FaultInjectionPageFile::Sync() { return inner_->Sync(); }
+
+}  // namespace rexp

@@ -1,0 +1,93 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// FaultInjectionPageFile: a seeded decorator over any PageFile that
+// simulates the failure modes disks actually exhibit — failed reads and
+// writes, torn (partial-frame) writes, single-bit flips, and whole-process
+// crashes after N writes. It sits at the *frame* layer, below the checksum
+// sealing in PageFile::ReadPage/WritePage, so injected corruption is
+// detected by the same validation path that would catch real device
+// damage.
+//
+// The decorator keeps its own page bookkeeping (Allocate/Free/free list)
+// as every PageFile does, and forwards frame transfers to the inner
+// device, possibly perturbed. Counters record everything injected so
+// tests can assert faults actually fired. With `record_write_log` set, a
+// faithful log of every frame write and grow is captured — the recovery
+// torture test replays prefixes of this log to materialise the exact disk
+// image a crash at that point would leave behind.
+
+#ifndef REXP_STORAGE_FAULT_INJECTION_PAGE_FILE_H_
+#define REXP_STORAGE_FAULT_INJECTION_PAGE_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/page_file.h"
+
+namespace rexp {
+
+class FaultInjectionPageFile final : public PageFile {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Per-operation probabilities, each in [0, 1].
+    double read_error_p = 0;   // fail a ReadFrame with kIOError
+    double write_error_p = 0;  // fail a WriteFrame with kIOError
+    double bit_flip_p = 0;     // flip one random bit in a written frame
+    double torn_write_p = 0;   // persist only a random prefix of the frame
+    // After this many successful WriteFrame calls the "process" has
+    // crashed: every later write is silently dropped (reported as OK, as
+    // a page cache that never reaches the platter would). 0 disables.
+    uint64_t crash_after_writes = 0;
+    // Capture every write and grow in write_log().
+    bool record_write_log = false;
+  };
+
+  struct Counters {
+    uint64_t read_errors = 0;
+    uint64_t write_errors = 0;
+    uint64_t bit_flips = 0;
+    uint64_t torn_writes = 0;
+    uint64_t dropped_after_crash = 0;
+  };
+
+  // One device-level write event. `grow` events carry an empty frame (the
+  // device extended by one zero frame); write events carry the full frame
+  // as handed to the inner device.
+  struct WriteEvent {
+    PageId id = kInvalidPageId;
+    bool grow = false;
+    std::vector<uint8_t> frame;
+  };
+
+  // `inner` must outlive this object and have the same page size. Pages
+  // already existing in `inner` are visible (capacity is inherited).
+  FaultInjectionPageFile(PageFile* inner, const Options& options);
+
+  Status ReadFrame(PageId id, uint8_t* frame) override;
+  Status WriteFrame(PageId id, const uint8_t* frame) override;
+  Status GrowDevice(PageId id) override;
+  Status Sync() override;
+
+  const Counters& counters() const { return counters_; }
+  const std::vector<WriteEvent>& write_log() const { return write_log_; }
+
+  // True once crash_after_writes successful writes have happened.
+  bool crashed() const {
+    return options_.crash_after_writes != 0 &&
+           writes_attempted_ >= options_.crash_after_writes;
+  }
+
+ private:
+  PageFile* inner_;
+  Options options_;
+  Counters counters_;
+  Rng rng_;
+  uint64_t writes_attempted_ = 0;
+  std::vector<WriteEvent> write_log_;
+};
+
+}  // namespace rexp
+
+#endif  // REXP_STORAGE_FAULT_INJECTION_PAGE_FILE_H_

@@ -11,21 +11,54 @@
 //   * DiskPageFile — pages live in an ordinary file (stdio), demonstrating
 //     that the index is a genuine external-memory structure.
 //
-// Both maintain a free list so that deallocated pages (subtrees dropped by
-// the lazy expiration purge) are reused before the file grows.
+// Durability layering. Every page is stored as a *frame*: a 16-byte header
+// (magic, page-id stamp, CRC-32C) followed by the page payload. The base
+// class implements ReadPage/WritePage on top of the virtual frame-transfer
+// interface (ReadFrame/WriteFrame/GrowDevice) that concrete devices
+// provide; it seals the header on every write and verifies it on every
+// read, so bit rot, torn writes, and misdirected writes surface as typed
+// kCorruption errors instead of silently decoded garbage. Device failures
+// surface as kIOError. An entirely zero frame is accepted as a fresh
+// (never written) page and reads back as zeros.
+//
+// Because checksums are applied in the base class *above* the frame
+// interface, a fault-injecting decorator (FaultInjectionPageFile) can
+// corrupt frames below the checksum layer and the corruption is detected
+// exactly as device-level corruption would be.
+//
+// Both implementations maintain a free list so that deallocated pages
+// (subtrees dropped by the lazy expiration purge) are reused before the
+// file grows. With set_deferred_free(true), freed pages are quarantined
+// until PublishDeferredFrees() — the hook crash-consistent index commits
+// use so that pages referenced by the last durable metadata are never
+// reused (and thus never overwritten) before the next commit.
 
 #ifndef REXP_STORAGE_PAGE_FILE_H_
 #define REXP_STORAGE_PAGE_FILE_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/page.h"
 
 namespace rexp {
+
+// Bytes of frame header preceding each page payload on the device.
+inline constexpr uint32_t kPageHeaderSize = 16;
+
+// Frame header field offsets.
+inline constexpr uint32_t kFrameMagicOffset = 0;
+inline constexpr uint32_t kFramePageIdOffset = 4;
+inline constexpr uint32_t kFrameCrcOffset = 8;
+inline constexpr uint32_t kFrameReservedOffset = 12;
+
+// "RXPG" little-endian: identifies a sealed rexp page frame.
+inline constexpr uint32_t kPageFrameMagic = 0x47505852;
 
 // Abstract page device. Not thread-safe; the index structures are
 // single-writer by design (as in the paper's experimental setup).
@@ -38,12 +71,26 @@ class PageFile {
 
   uint32_t page_size() const { return page_size_; }
 
-  // Allocates a page (reusing a freed one if possible) and returns its id.
-  // The page's previous contents are unspecified.
-  PageId Allocate();
+  // Bytes per on-device frame (header + payload).
+  uint32_t frame_size() const { return page_size_ + kPageHeaderSize; }
 
-  // Returns `id` to the free list. The page must be allocated.
+  // Allocates a page (reusing a freed one if possible) and returns its id.
+  // The page's previous contents are unspecified. Fails with kIOError if
+  // the device cannot grow.
+  StatusOr<PageId> Allocate();
+
+  // Returns `id` to the free list (or, in deferred mode, to the
+  // quarantine). The page must be allocated.
   void Free(PageId id);
+
+  // Deferred-free mode: while enabled, Free() quarantines pages instead of
+  // making them reusable; PublishDeferredFrees() releases the quarantine
+  // to the free list. Crash-consistent commits publish right before
+  // writing metadata so that no page referenced by the previous durable
+  // metadata is ever reused mid-epoch.
+  void set_deferred_free(bool on) { deferred_free_ = on; }
+  void PublishDeferredFrees();
+  uint64_t deferred_free_pages() const { return deferred_.size(); }
 
   // Number of pages currently allocated (excludes freed pages).
   uint64_t allocated_pages() const { return allocated_; }
@@ -51,9 +98,9 @@ class PageFile {
   // Total number of page slots the file has ever grown to.
   uint64_t capacity_pages() const { return capacity_; }
 
-  // The current free list (pages returned by Free and not yet reused).
-  // Index structures persist it in their metadata so that reopening a
-  // file resumes page reuse.
+  // The current free list (pages returned by Free and not yet reused;
+  // excludes quarantined deferred frees). Index structures persist it in
+  // their metadata so that reopening a file resumes page reuse.
   const std::vector<PageId>& free_list() const { return free_list_; }
 
   // Restores a previously persisted free list. `leaked` counts pages that
@@ -65,15 +112,30 @@ class PageFile {
   // Pages permanently lost to free-list truncation across re-opens.
   uint64_t leaked_pages() const { return leaked_; }
 
-  // Device-level transfer. `page->size()` must equal page_size().
-  virtual void ReadPage(PageId id, Page* page) = 0;
-  virtual void WritePage(PageId id, const Page& page) = 0;
+  // Checksummed page transfer. `page->size()` must equal page_size() and
+  // `id` must be allocated-or-free within capacity (anything else is a
+  // programming error). Returns kCorruption if the stored frame fails
+  // validation, kIOError on device failure.
+  Status ReadPage(PageId id, Page* page);
+  Status WritePage(PageId id, const Page& page);
+
+  // Pushes buffered device state toward durability (fflush/fsync for disk
+  // files; a no-op for memory files).
+  virtual Status Sync() { return Status::OK(); }
+
+  // --- Device-level frame transfer ------------------------------------
+  // Raw frames of frame_size() bytes, no validation. Public so that
+  // decorators (fault injection) and recovery tooling can operate below
+  // the checksum layer; normal clients use ReadPage/WritePage.
+  virtual Status ReadFrame(PageId id, uint8_t* frame) = 0;
+  virtual Status WriteFrame(PageId id, const uint8_t* frame) = 0;
+
+  // Extends the device by one frame (id == current device extent),
+  // zero-filled.
+  virtual Status GrowDevice(PageId id) = 0;
 
  protected:
   explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
-
-  // Grows the device by one page and returns the new page's id.
-  virtual PageId Grow() = 0;
 
   // Marks all `n` existing pages as allocated (device re-open).
   void RestoreAllocated(uint64_t n) { allocated_ = n; }
@@ -83,8 +145,13 @@ class PageFile {
  private:
   const uint32_t page_size_;
   std::vector<PageId> free_list_;
+  std::vector<PageId> deferred_;
+  bool deferred_free_ = false;
   uint64_t allocated_ = 0;
   uint64_t leaked_ = 0;
+  // Scratch frame for ReadPage/WritePage (the device is single-threaded
+  // by contract; reusing the buffer avoids a heap allocation per I/O).
+  std::vector<uint8_t> frame_scratch_;
 };
 
 // Memory-backed page file.
@@ -92,34 +159,45 @@ class MemoryPageFile final : public PageFile {
  public:
   explicit MemoryPageFile(uint32_t page_size) : PageFile(page_size) {}
 
-  void ReadPage(PageId id, Page* page) override;
-  void WritePage(PageId id, const Page& page) override;
+  Status ReadFrame(PageId id, uint8_t* frame) override;
+  Status WriteFrame(PageId id, const uint8_t* frame) override;
+  Status GrowDevice(PageId id) override;
 
  private:
-  PageId Grow() override;
-
-  std::vector<std::vector<uint8_t>> pages_;
+  std::vector<std::vector<uint8_t>> frames_;
 };
 
-// Stdio-backed page file. A new file is created if `path` does not exist;
-// an existing file is re-opened with its pages intact (its size must be a
-// multiple of the page size), which is how an index persisted by a
-// previous process is brought back. The file is removed on destruction
-// unless `keep` is set.
+// Stdio-backed page file. Open() creates a new file if `path` does not
+// exist and re-opens an existing file with its pages intact (which is how
+// an index persisted by a previous process is brought back). A trailing
+// partial frame — the signature of a write torn by a crash while the file
+// was growing — is tolerated and ignored: capacity is the number of
+// *complete* frames. The file is removed on destruction unless `keep` is
+// set.
 //
-// Note: the free list is process-local state; pages freed in a previous
-// session are not reused after a re-open (the file simply keeps its size).
+// File offsets are 64-bit (fseeko/ftello), so files larger than 2 GiB are
+// addressed correctly.
 class DiskPageFile final : public PageFile {
  public:
-  DiskPageFile(const std::string& path, uint32_t page_size,
-               bool keep = false);
+  // Fails with kIOError if the file cannot be opened or its size cannot
+  // be determined.
+  static StatusOr<std::unique_ptr<DiskPageFile>> Open(
+      const std::string& path, uint32_t page_size, bool keep = false);
+
   ~DiskPageFile() override;
 
-  void ReadPage(PageId id, Page* page) override;
-  void WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+  Status ReadFrame(PageId id, uint8_t* frame) override;
+  Status WriteFrame(PageId id, const uint8_t* frame) override;
+  Status GrowDevice(PageId id) override;
 
  private:
-  PageId Grow() override;
+  DiskPageFile(const std::string& path, uint32_t page_size, bool keep,
+               std::FILE* file)
+      : PageFile(page_size), path_(path), file_(file), keep_(keep) {}
+
+  Status SeekTo(PageId id);
 
   std::string path_;
   std::FILE* file_;

@@ -31,9 +31,11 @@
 #define REXP_TREE_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/query.h"
+#include "common/status.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "storage/buffer_manager.h"
@@ -60,13 +62,33 @@ class Tree {
   // Creates a fresh index in `file` (which must be empty) or re-opens the
   // index previously persisted in it. `file` must outlive the tree. The
   // configuration must match the one the index was created with.
+  //
+  // Fails if the device errors or the persisted metadata is unrecoverable
+  // (both meta slots damaged, or the root page fails validation). A crash
+  // between commits is not an error: the newest valid meta slot — the
+  // state as of the last completed commit — is recovered.
+  static StatusOr<std::unique_ptr<Tree>> Open(const TreeConfig& config,
+                                              PageFile* file);
+
+  // Convenience constructor for memory-backed use where open failure is a
+  // programming error: as Open(), but aborts (with the error reported) on
+  // failure.
   Tree(const TreeConfig& config, PageFile* file);
 
   Tree(const Tree&) = delete;
   Tree& operator=(const Tree&) = delete;
 
-  // Persists metadata. (Nodes are flushed at the end of every operation.)
+  // Commits on close (best effort; failures are reported to stderr —
+  // callers that must observe them call Commit() themselves first).
   ~Tree();
+
+  // Durably persists the current state: flushes dirty nodes, publishes
+  // deferred page frees, writes the metadata (epoch + root + height +
+  // free list) to the alternating meta slot, and syncs the device. With
+  // TreeConfig::crash_consistent every operation commits automatically;
+  // otherwise state reaches the device on flushes and close, and only
+  // Commit() makes it crash-safe.
+  Status Commit();
 
   // Inserts a canonical moving-point record (see MakeMovingPoint). `now`
   // must be non-decreasing across operations.
@@ -114,7 +136,9 @@ class Tree {
 
   // Number of entries physically present at the leaf level (live entries
   // plus not-yet-purged expired ones).
-  uint64_t leaf_entries() const { return level_counts_[0]; }
+  uint64_t leaf_entries() const {
+    return level_counts_.empty() ? 0 : level_counts_[0];
+  }
 
   // Number of entries at each level, leaf first.
   const std::vector<uint64_t>& level_counts() const { return level_counts_; }
@@ -130,8 +154,17 @@ class Tree {
   const NodeCodec<kDims>& codec() const { return codec_; }
   const HorizonEstimator& horizon() const { return horizon_; }
 
-  // Pages allocated in the underlying file (tree nodes + one meta page).
+  // Pages allocated in the underlying file (tree nodes + the two meta
+  // slots).
   uint64_t PagesUsed() const { return file_->allocated_pages(); }
+
+  // Epoch of the most recent durable commit (monotone; slot = epoch & 1).
+  uint64_t meta_epoch() const { return meta_epoch_; }
+
+  // Meta slots found damaged (bad checksum/magic/epoch parity) while
+  // opening — 1 after recovering from a torn meta write, 0 on a clean
+  // open.
+  int meta_slot_errors() const { return meta_slot_errors_; }
 
   // Buffer-manager I/O counters (the paper's performance metric).
   const IoStats& io_stats() const { return buffer_.stats(); }
@@ -151,7 +184,14 @@ class Tree {
   // The paper's lazy purge keeps this small. Unmeasured I/O.
   double ExpiredLeafFraction(Time now);
 
+  // Reads every reachable page directly from the device (bypassing the
+  // buffer, unmeasured) and verifies frame checksums, node levels, and
+  // meta-slot validity; returns the first kCorruption/kIOError found.
+  // This is how offline tooling detects bit rot in a persisted index.
+  Status VerifyPages();
+
  private:
+  struct PrivateTag {};
   struct CheckState;  // Defined in tree.cc (invariant-checker bookkeeping).
 
   struct PathStep {
@@ -162,9 +202,21 @@ class Tree {
     NodeEntry<kDims> entry;
   };
 
+  Tree(const TreeConfig& config, PageFile* file, PrivateTag);
+
+  // Second-phase initialization shared by Open and the aborting
+  // constructor: creates the meta slots and the initial commit in an
+  // empty file, or recovers from the newest valid meta slot otherwise.
+  Status Init();
+
   // --- node I/O ---
   Node<kDims> ReadNode(PageId id);
   void WriteNode(PageId id, const Node<kDims>& node);
+  // Persists `node` over the page that held it. In-place write (returns
+  // `id`) normally; with crash_consistent the old page is freed into the
+  // deferred quarantine and the node lands on a fresh page (copy-on-
+  // write), whose id is returned.
+  PageId StoreNode(PageId id, const Node<kDims>& node);
   PageId AllocNode(const Node<kDims>& node);
   void FreeNode(PageId id);
   void FreeSubtree(PageId id, int level);
@@ -214,14 +266,19 @@ class Tree {
   Time CheckSubtree(PageId id, int level, const Tpbr<kDims>* bound, Time now,
                     CheckState* state);
 
+  Status VerifySubtree(PageId id, int level);
+
   // Bulk-load helper: packs `items` into nodes at `level` (sort-tile-
   // recursive order), returning the parent entries for the next level.
   std::vector<NodeEntry<kDims>> PackLevel(std::vector<NodeEntry<kDims>> items,
                                           int level, Time now, double fill);
 
-  void SaveMeta();
-  bool LoadMeta();
-  void PinRoot(PageId new_root);
+  // Serializes the metadata payload for `epoch` into `page`.
+  void SerializeMeta(uint64_t epoch, Page* page) const;
+  // Recovers state from the newest valid meta slot (device reads bypass
+  // the buffer). kCorruption if no slot is valid.
+  Status LoadMeta();
+  Status PinRoot(PageId new_root);
 
   TreeConfig config_;
   PageFile* file_;
@@ -230,11 +287,18 @@ class Tree {
   Rng rng_;
   HorizonEstimator horizon_;
 
-  PageId meta_page_ = kInvalidPageId;
   PageId root_ = kInvalidPageId;
   PageId pinned_root_ = kInvalidPageId;
   int height_ = 0;  // Number of levels; root level = height_ - 1.
   std::vector<uint64_t> level_counts_;
+
+  // Epoch of the last durable commit; the next commit writes epoch + 1 to
+  // slot (epoch + 1) & 1 (the slot holding the *older* meta).
+  uint64_t meta_epoch_ = 0;
+  int meta_slot_errors_ = 0;
+  // Set once Init() succeeds; the destructor only commits (i.e. writes to
+  // the device) for a successfully opened tree.
+  bool open_ok_ = false;
 
   // Per-operation state.
   std::vector<Pending> pending_;

@@ -81,6 +81,14 @@ struct TreeConfig {
   // queries remain correct and later updates re-balance them.
   uint32_t max_orphans = 4096;
 
+  // Crash-consistent operation: every index operation ends with a durable
+  // commit (copy-on-write node relocation, deferred page frees, an
+  // alternating-slot metadata write, and a device sync), so a crash at any
+  // write boundary recovers the state as of the last completed operation.
+  // Off by default: the paper's experiments measure in-place update I/O,
+  // and commits add a meta write + sync per operation.
+  bool crash_consistent = false;
+
   // Seed for the engine's internal randomness (near-optimal TPBR dimension
   // order).
   uint64_t seed = 1;

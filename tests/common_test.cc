@@ -5,12 +5,16 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "common/float_round.h"
 #include "common/query.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "common/vec.h"
 
@@ -125,6 +129,83 @@ TEST(Types, TimeSentinels) {
   EXPECT_FALSE(IsFiniteTime(kNeverExpires));
   EXPECT_TRUE(IsFiniteTime(0.0));
   EXPECT_TRUE(IsFiniteTime(1e30));
+}
+
+TEST(Status, OkAndErrorBasics) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status io = Status::IOError("disk on fire");
+  EXPECT_FALSE(io.ok());
+  EXPECT_TRUE(io.IsIOError());
+  EXPECT_FALSE(io.IsCorruption());
+  EXPECT_EQ(io.message(), "disk on fire");
+  EXPECT_EQ(io.ToString(), "IOError: disk on fire");
+
+  Status corrupt = Status::Corruption("bad checksum");
+  EXPECT_TRUE(corrupt.IsCorruption());
+  EXPECT_EQ(corrupt.ToString(), "Corruption: bad checksum");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(Status, StatusOrCarriesValueOrError) {
+  StatusOr<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(*good, 7);
+
+  StatusOr<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Status, StatusOrMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(5);
+  ASSERT_TRUE(p.ok());
+  std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  auto chain = [](bool fail) -> Status {
+    auto step = [&]() -> Status {
+      return fail ? Status::IOError("inner") : Status::OK();
+    };
+    REXP_RETURN_IF_ERROR(step());
+    return Status::Corruption("reached past the error");
+  };
+  EXPECT_TRUE(chain(true).IsIOError());
+  EXPECT_TRUE(chain(false).IsCorruption());
+
+  auto assign = [](StatusOr<int> in) -> StatusOr<int> {
+    REXP_ASSIGN_OR_RETURN(int v, std::move(in));
+    return v * 2;
+  };
+  EXPECT_EQ(assign(21).value(), 42);
+  EXPECT_TRUE(assign(Status::IOError("nope")).status().IsIOError());
+}
+
+TEST(Crc32c, KnownVectorsAndSensitivity) {
+  // RFC 3720 test vector: CRC-32C of 32 zero bytes.
+  uint8_t zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+  // "123456789" — the classic check value.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32c(digits, sizeof(digits)), 0xe3069283u);
+  // Incremental (seeded) computation matches one-shot.
+  uint32_t split = Crc32c(digits + 4, 5, Crc32c(digits, 4));
+  EXPECT_EQ(split, 0xe3069283u);
+  // Any single flipped bit changes the sum.
+  uint8_t copy[32] = {0};
+  copy[17] ^= 0x20;
+  EXPECT_NE(Crc32c(copy, sizeof(copy)), 0x8a9136aau);
 }
 
 }  // namespace

@@ -1,11 +1,12 @@
 // Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
 //
-// Tests for the storage substrate: pages, page files, and the LRU buffer
-// manager with its I/O accounting (the foundation of every measurement in
-// the reproduced experiments).
+// Tests for the storage substrate: pages, page files (with their frame
+// checksums), and the LRU buffer manager with its I/O accounting (the
+// foundation of every measurement in the reproduced experiments).
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -40,56 +41,180 @@ TEST(PageTest, ClearZeroes) {
 
 TEST(MemoryPageFileTest, AllocateGrowsAndRoundTrips) {
   MemoryPageFile file(kPageSize);
-  PageId a = file.Allocate();
-  PageId b = file.Allocate();
+  PageId a = file.Allocate().value();
+  PageId b = file.Allocate().value();
   EXPECT_NE(a, b);
   EXPECT_EQ(file.allocated_pages(), 2u);
 
   Page page(kPageSize);
   page.Write<uint32_t>(0, 42);
-  file.WritePage(a, page);
+  ASSERT_TRUE(file.WritePage(a, page).ok());
   page.Write<uint32_t>(0, 43);
-  file.WritePage(b, page);
+  ASSERT_TRUE(file.WritePage(b, page).ok());
 
   Page readback(kPageSize);
-  file.ReadPage(a, &readback);
+  ASSERT_TRUE(file.ReadPage(a, &readback).ok());
   EXPECT_EQ(readback.Read<uint32_t>(0), 42u);
-  file.ReadPage(b, &readback);
+  ASSERT_TRUE(file.ReadPage(b, &readback).ok());
   EXPECT_EQ(readback.Read<uint32_t>(0), 43u);
 }
 
 TEST(MemoryPageFileTest, FreeListRecyclesPages) {
   MemoryPageFile file(kPageSize);
-  PageId a = file.Allocate();
-  file.Allocate();
+  PageId a = file.Allocate().value();
+  (void)file.Allocate().value();
   file.Free(a);
   EXPECT_EQ(file.allocated_pages(), 1u);
-  PageId c = file.Allocate();
+  PageId c = file.Allocate().value();
   EXPECT_EQ(c, a);  // Freed page reused before growth.
   EXPECT_EQ(file.capacity_pages(), 2u);
 }
 
+TEST(MemoryPageFileTest, DeferredFreesAreQuarantinedUntilPublished) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value();
+  (void)file.Allocate().value();
+  file.set_deferred_free(true);
+  file.Free(a);
+  EXPECT_EQ(file.allocated_pages(), 1u);
+  EXPECT_EQ(file.deferred_free_pages(), 1u);
+  // Quarantined: allocation must grow instead of reusing `a`.
+  PageId c = file.Allocate().value();
+  EXPECT_NE(c, a);
+  file.PublishDeferredFrees();
+  EXPECT_EQ(file.deferred_free_pages(), 0u);
+  EXPECT_EQ(file.Allocate().value(), a);
+}
+
+TEST(PageFileTest, NeverWrittenPageReadsAsZeros) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value();
+  Page readback(kPageSize);
+  readback.Write<uint32_t>(0, 123);
+  ASSERT_TRUE(file.ReadPage(a, &readback).ok());
+  EXPECT_EQ(readback.Read<uint32_t>(0), 0u);
+}
+
+TEST(PageFileTest, FlippedBitIsReportedAsCorruption) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value();
+  Page page(kPageSize);
+  page.Write<uint32_t>(0, 42);
+  ASSERT_TRUE(file.WritePage(a, page).ok());
+
+  // Flip one payload bit below the checksum layer.
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(a, frame.data()).ok());
+  frame[kPageHeaderSize + 100] ^= 0x04;
+  ASSERT_TRUE(file.WriteFrame(a, frame.data()).ok());
+
+  Page readback(kPageSize);
+  Status s = file.ReadPage(a, &readback);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(PageFileTest, MisdirectedWriteIsReportedAsCorruption) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value();
+  PageId b = file.Allocate().value();
+  Page page(kPageSize);
+  page.Write<uint32_t>(0, 42);
+  ASSERT_TRUE(file.WritePage(a, page).ok());
+
+  // Deposit a's (checksum-valid) frame on b's slot: the page-id stamp
+  // catches the misdirection even though the checksum matches.
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(a, frame.data()).ok());
+  ASSERT_TRUE(file.WriteFrame(b, frame.data()).ok());
+
+  Page readback(kPageSize);
+  Status s = file.ReadPage(b, &readback);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(PageFileTest, TornWriteIsReportedAsCorruption) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value();
+  Page page(kPageSize);
+  page.Write<uint32_t>(64, 7);
+  page.Write<uint32_t>(2000, 1);  // Differs from page2 beyond the prefix.
+  ASSERT_TRUE(file.WritePage(a, page).ok());
+
+  // Keep only a prefix of a fresh overwrite (the rest retains the old
+  // frame) — the signature of a torn sector write.
+  Page page2(kPageSize);
+  page2.Write<uint32_t>(64, 8);
+  page2.Write<uint32_t>(2000, 2);
+  MemoryPageFile scratch(kPageSize);
+  (void)scratch.Allocate().value();
+  ASSERT_TRUE(scratch.WritePage(a, page2).ok());
+  std::vector<uint8_t> old_frame(file.frame_size());
+  std::vector<uint8_t> new_frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(a, old_frame.data()).ok());
+  ASSERT_TRUE(scratch.ReadFrame(a, new_frame.data()).ok());
+  std::copy(new_frame.begin(), new_frame.begin() + 700, old_frame.begin());
+  ASSERT_TRUE(file.WriteFrame(a, old_frame.data()).ok());
+
+  Page readback(kPageSize);
+  Status s = file.ReadPage(a, &readback);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
 TEST(DiskPageFileTest, PersistsPagesOnDisk) {
   std::string path = ::testing::TempDir() + "/rexp_disk_page_file_test.bin";
-  DiskPageFile file(path, kPageSize);
-  PageId a = file.Allocate();
+  auto file = DiskPageFile::Open(path, kPageSize).value();
+  PageId a = file->Allocate().value();
   Page page(kPageSize);
   for (uint32_t i = 0; i < kPageSize / 4; ++i) page.Write<uint32_t>(i * 4, i);
-  file.WritePage(a, page);
+  ASSERT_TRUE(file->WritePage(a, page).ok());
   Page readback(kPageSize);
-  file.ReadPage(a, &readback);
+  ASSERT_TRUE(file->ReadPage(a, &readback).ok());
   for (uint32_t i = 0; i < kPageSize / 4; ++i) {
     ASSERT_EQ(readback.Read<uint32_t>(i * 4), i);
   }
 }
 
+TEST(DiskPageFileTest, OpenFailsWithUsefulErrorForBadPath) {
+  auto file = DiskPageFile::Open("/nonexistent-dir/rexp.bin", kPageSize);
+  ASSERT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsIOError());
+  EXPECT_NE(file.status().message().find("/nonexistent-dir/rexp.bin"),
+            std::string::npos);
+}
+
+TEST(DiskPageFileTest, TrailingPartialFrameIsIgnoredOnOpen) {
+  std::string path = ::testing::TempDir() + "/rexp_disk_partial_frame.bin";
+  std::remove(path.c_str());
+  {
+    auto file = DiskPageFile::Open(path, 512, /*keep=*/true).value();
+    Page page(512);
+    page.Write<uint32_t>(0, 5);
+    PageId a = file->Allocate().value();
+    ASSERT_TRUE(file->WritePage(a, page).ok());
+  }
+  // Append half a frame — as a crash during file growth would leave.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> garbage(200, 0xAB);
+    ASSERT_EQ(std::fwrite(garbage.data(), 1, garbage.size(), f),
+              garbage.size());
+    std::fclose(f);
+  }
+  auto file = DiskPageFile::Open(path, 512, /*keep=*/false).value();
+  EXPECT_EQ(file->capacity_pages(), 1u);
+  Page readback(512);
+  ASSERT_TRUE(file->ReadPage(0, &readback).ok());
+  EXPECT_EQ(readback.Read<uint32_t>(0), 5u);
+}
+
 TEST(BufferManagerTest, FetchMissCountsOneRead) {
   MemoryPageFile file(kPageSize);
-  PageId id = file.Allocate();
+  PageId id = file.Allocate().value();
   BufferManager buffer(&file, 4);
-  buffer.Fetch(id);
+  buffer.FetchOrDie(id);
   EXPECT_EQ(buffer.stats().reads, 1u);
-  buffer.Fetch(id);  // Hit: no additional I/O.
+  buffer.FetchOrDie(id);  // Hit: no additional I/O.
   EXPECT_EQ(buffer.stats().reads, 1u);
   EXPECT_EQ(buffer.stats().writes, 0u);
 }
@@ -98,15 +223,15 @@ TEST(BufferManagerTest, DirtyPageWrittenOnceOnFlush) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  Page* page = buffer.NewPage(&id);
+  Page* page = buffer.NewPageOrDie(&id);
   page->Write<uint32_t>(0, 99);
-  buffer.FlushDirty();
+  ASSERT_TRUE(buffer.FlushDirty().ok());
   EXPECT_EQ(buffer.stats().writes, 1u);
-  buffer.FlushDirty();  // Clean now: no further writes.
+  ASSERT_TRUE(buffer.FlushDirty().ok());  // Clean now: no further writes.
   EXPECT_EQ(buffer.stats().writes, 1u);
 
   Page readback(kPageSize);
-  file.ReadPage(id, &readback);
+  ASSERT_TRUE(file.ReadPage(id, &readback).ok());
   EXPECT_EQ(readback.Read<uint32_t>(0), 99u);
 }
 
@@ -114,29 +239,30 @@ TEST(BufferManagerTest, LruEvictionWritesDirtyVictim) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 2);
   PageId a, b, c;
-  buffer.NewPage(&a)->Write<uint32_t>(0, 1);
-  buffer.NewPage(&b)->Write<uint32_t>(0, 2);
+  buffer.NewPageOrDie(&a)->Write<uint32_t>(0, 1);
+  buffer.NewPageOrDie(&b)->Write<uint32_t>(0, 2);
   // Frames full; allocating a third page must evict the LRU page (a),
   // writing it because it is dirty.
-  buffer.NewPage(&c)->Write<uint32_t>(0, 3);
+  buffer.NewPageOrDie(&c)->Write<uint32_t>(0, 3);
   EXPECT_EQ(buffer.stats().writes, 1u);
   EXPECT_FALSE(buffer.IsBuffered(a));
   EXPECT_TRUE(buffer.IsBuffered(b));
   EXPECT_TRUE(buffer.IsBuffered(c));
 
   // Re-fetching a reads it back with its flushed contents.
-  Page* pa = buffer.Fetch(a);
+  Page* pa = buffer.FetchOrDie(a);
   EXPECT_EQ(pa->Read<uint32_t>(0), 1u);
 }
 
 TEST(BufferManagerTest, LruOrderFollowsAccessRecency) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 2);
-  PageId a = file.Allocate(), b = file.Allocate(), c = file.Allocate();
-  buffer.Fetch(a);
-  buffer.Fetch(b);
-  buffer.Fetch(a);  // a is now most recent.
-  buffer.Fetch(c);  // Evicts b, not a.
+  PageId a = file.Allocate().value(), b = file.Allocate().value(),
+         c = file.Allocate().value();
+  buffer.FetchOrDie(a);
+  buffer.FetchOrDie(b);
+  buffer.FetchOrDie(a);  // a is now most recent.
+  buffer.FetchOrDie(c);  // Evicts b, not a.
   EXPECT_TRUE(buffer.IsBuffered(a));
   EXPECT_FALSE(buffer.IsBuffered(b));
 }
@@ -144,12 +270,12 @@ TEST(BufferManagerTest, LruOrderFollowsAccessRecency) {
 TEST(BufferManagerTest, PinnedPageSurvivesEvictionPressure) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 2);
-  PageId root = file.Allocate();
-  buffer.Fetch(root);
+  PageId root = file.Allocate().value();
+  buffer.FetchOrDie(root);
   buffer.Pin(root);
   for (int i = 0; i < 10; ++i) {
-    PageId id = file.Allocate();
-    buffer.Fetch(id);
+    PageId id = file.Allocate().value();
+    buffer.FetchOrDie(id);
   }
   EXPECT_TRUE(buffer.IsBuffered(root));
   buffer.Unpin(root);
@@ -159,9 +285,9 @@ TEST(BufferManagerTest, FreeDiscardsDirtyContentsWithoutWrite) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPage(&id)->Write<uint32_t>(0, 7);
+  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 7);
   buffer.FreePage(id);
-  buffer.FlushDirty();
+  ASSERT_TRUE(buffer.FlushDirty().ok());
   EXPECT_EQ(buffer.stats().writes, 0u);
   EXPECT_EQ(file.allocated_pages(), 0u);
 }
@@ -170,13 +296,42 @@ TEST(BufferManagerTest, RecycledPageIsZeroedByNewPage) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPage(&id)->Write<uint32_t>(0, 7);
-  buffer.FlushDirty();
+  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 7);
+  ASSERT_TRUE(buffer.FlushDirty().ok());
   buffer.FreePage(id);
   PageId id2;
-  Page* page = buffer.NewPage(&id2);
+  Page* page = buffer.NewPageOrDie(&id2);
   EXPECT_EQ(id2, id);  // Free list reuse.
   EXPECT_EQ(page->Read<uint32_t>(0), 0u);
+}
+
+TEST(BufferManagerTest, FetchOfCorruptPagePropagatesAndStaysConsistent) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 4);
+  PageId id;
+  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 9);
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+
+  // Rot a bit on the device, then push the page out of the buffer.
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(id, frame.data()).ok());
+  frame[kPageHeaderSize + 3] ^= 0x80;
+  ASSERT_TRUE(file.WriteFrame(id, frame.data()).ok());
+  for (int i = 0; i < 8; ++i) {
+    PageId other;
+    buffer.NewPageOrDie(&other);
+  }
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+  ASSERT_FALSE(buffer.IsBuffered(id));
+
+  auto fetched = buffer.Fetch(id);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsCorruption());
+  EXPECT_FALSE(buffer.IsBuffered(id));
+  // The buffer remains usable.
+  PageId fresh;
+  buffer.NewPageOrDie(&fresh)->Write<uint32_t>(0, 1);
+  ASSERT_TRUE(buffer.FlushDirty().ok());
 }
 
 TEST(BufferManagerTest, StressMatchesShadowStore) {
@@ -189,7 +344,7 @@ TEST(BufferManagerTest, StressMatchesShadowStore) {
   std::vector<uint32_t> shadow;
   for (int i = 0; i < 64; ++i) {
     PageId id;
-    Page* p = buffer.NewPage(&id);
+    Page* p = buffer.NewPageOrDie(&id);
     p->Write<uint32_t>(0, static_cast<uint32_t>(i));
     ids.push_back(id);
     shadow.push_back(static_cast<uint32_t>(i));
@@ -197,16 +352,18 @@ TEST(BufferManagerTest, StressMatchesShadowStore) {
   for (int step = 0; step < 5000; ++step) {
     size_t k = rng.UniformInt(ids.size());
     if (rng.Bernoulli(0.3)) {
-      Page* p = buffer.Fetch(ids[k]);
+      Page* p = buffer.FetchOrDie(ids[k]);
       uint32_t v = static_cast<uint32_t>(rng.NextU64());
       p->Write<uint32_t>(0, v);
       buffer.MarkDirty(ids[k]);
       shadow[k] = v;
     } else {
-      Page* p = buffer.Fetch(ids[k]);
+      Page* p = buffer.FetchOrDie(ids[k]);
       ASSERT_EQ(p->Read<uint32_t>(0), shadow[k]) << "page index " << k;
     }
-    if (rng.Bernoulli(0.01)) buffer.FlushDirty();
+    if (rng.Bernoulli(0.01)) {
+      ASSERT_TRUE(buffer.FlushDirty().ok());
+    }
   }
 }
 

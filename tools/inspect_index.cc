@@ -51,18 +51,46 @@ int main(int argc, char** argv) {
   }
   std::fclose(probe);
 
-  DiskPageFile file(path, page_size, /*keep=*/true);
+  auto file_or = DiskPageFile::Open(path, page_size, /*keep=*/true);
+  if (!file_or.ok()) {
+    std::fprintf(stderr, "%s\n", file_or.status().ToString().c_str());
+    return 1;
+  }
+  auto file = std::move(file_or).value();
   TreeConfig config = TreeConfig::Rexp();
   config.page_size = page_size;
-  Tree<2> tree(config, &file);
+  auto tree_or = Tree<2>::Open(config, file.get());
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "cannot open index: %s\n",
+                 tree_or.status().ToString().c_str());
+    return 1;
+  }
+  auto tree = std::move(tree_or).value();
 
   std::printf("index %s (page size %u)\n", path.c_str(), page_size);
-  TreeStats<2> stats = CollectStats(&tree, now);
+  std::printf("metadata: epoch %llu",
+              static_cast<unsigned long long>(tree->meta_epoch()));
+  if (tree->meta_slot_errors() > 0) {
+    std::printf(" (%d damaged meta slot%s ignored)", tree->meta_slot_errors(),
+                tree->meta_slot_errors() == 1 ? "" : "s");
+  }
+  std::printf("\n");
+  Status verify = tree->VerifyPages();
+  std::printf("page verification: %s\n",
+              verify.ok() ? "OK (all checksums valid)"
+                          : verify.ToString().c_str());
+  if (!verify.ok()) {
+    // Walking a damaged tree would abort on the corrupt page; stop at
+    // the report.
+    std::fflush(stdout);
+    return 1;
+  }
+  TreeStats<2> stats = CollectStats(tree.get(), now);
   std::printf("%s", FormatStats(stats).c_str());
   std::printf("estimated update interval UI = %.2f (W = %.2f, H = %.2f)\n",
-              tree.horizon().ui(), tree.horizon().w(),
-              tree.horizon().DecisionHorizon());
+              tree->horizon().ui(), tree->horizon().w(),
+              tree->horizon().DecisionHorizon());
   std::printf("expired leaf fraction at t=%.2f: %.2f%%\n", now,
-              100 * tree.ExpiredLeafFraction(now));
-  return 0;
+              100 * tree->ExpiredLeafFraction(now));
+  return verify.ok() ? 0 : 1;
 }
