@@ -67,6 +67,7 @@ int main() {
   }
   cases.push_back({"2x buffer", TreeConfig::Rexp(), 2});
 
+  BenchExport bench("ablation", ctx.scale);
   std::printf("\n%-24s  %12s  %12s  %10s  %12s\n", "configuration",
               "search I/O", "update I/O", "pages", "expired frac");
   for (const Case& c : cases) {
@@ -74,11 +75,12 @@ int main() {
     variant = ScaleVariant(variant, ctx.scale);
     variant.config.buffer_frames *= c.buffer_multiplier;
     RunResult r = RunExperiment(spec, variant);
+    bench.AddRun(c.name, 0.0, r);
     std::printf("%-24s  %12.2f  %12.2f  %10llu  %12.4f\n", c.name.c_str(),
                 r.search_io, r.update_io,
                 static_cast<unsigned long long>(r.index_pages),
                 r.expired_fraction);
     std::fflush(stdout);
   }
-  return 0;
+  return WriteBenchFile(bench);
 }

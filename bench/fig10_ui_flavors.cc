@@ -22,6 +22,7 @@ int main() {
   std::vector<std::string> names;
   for (const auto& v : variants) names.push_back(v.name);
   TablePrinter table("Figure 10: search I/O per query", "UI", names);
+  BenchExport bench("fig10", ctx.scale);
 
   for (double ui : {30.0, 60.0, 90.0, 120.0}) {
     WorkloadSpec spec = ctx.base;
@@ -31,9 +32,11 @@ int main() {
     for (const auto& variant : variants) {
       RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
       row.push_back(r.search_io);
+      bench.AddRun(variant.name, ui, r);
     }
     table.AddRow(ui, row);
   }
   table.Print();
-  return 0;
+  bench.AddTable(table);
+  return WriteBenchFile(bench);
 }

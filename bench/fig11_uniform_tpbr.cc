@@ -23,6 +23,7 @@ int main() {
   std::vector<std::string> names;
   for (const auto& v : variants) names.push_back(v.name);
   TablePrinter table("Figure 11: search I/O per query", "ExpT", names);
+  BenchExport bench("fig11", ctx.scale);
 
   for (double exp_t : {30.0, 60.0, 120.0, 180.0, 240.0}) {
     WorkloadSpec spec = ctx.base;
@@ -33,9 +34,11 @@ int main() {
     for (const auto& variant : variants) {
       RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
       row.push_back(r.search_io);
+      bench.AddRun(variant.name, exp_t, r);
     }
     table.AddRow(exp_t, row);
   }
   table.Print();
-  return 0;
+  bench.AddTable(table);
+  return WriteBenchFile(bench);
 }

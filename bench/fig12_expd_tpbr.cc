@@ -23,6 +23,7 @@ int main() {
   std::vector<std::string> names;
   for (const auto& v : variants) names.push_back(v.name);
   TablePrinter table("Figure 12: search I/O per query", "ExpD", names);
+  BenchExport bench("fig12", ctx.scale);
 
   for (double exp_d : {45.0, 90.0, 180.0, 270.0, 360.0}) {
     WorkloadSpec spec = ctx.base;
@@ -32,9 +33,11 @@ int main() {
     for (const auto& variant : variants) {
       RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
       row.push_back(r.search_io);
+      bench.AddRun(variant.name, exp_d, r);
     }
     table.AddRow(exp_d, row);
   }
   table.Print();
-  return 0;
+  bench.AddTable(table);
+  return WriteBenchFile(bench);
 }

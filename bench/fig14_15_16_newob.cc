@@ -39,6 +39,7 @@ int main() {
   TablePrinter update("Figure 16: update I/O per insert/delete op "
                       "(B-tree cost shown separately)",
                       "NewOb", update_names);
+  BenchExport bench("fig14_15_16", ctx.scale);
 
   for (double new_ob : {0.0, 0.5, 1.0, 1.5, 2.0}) {
     WorkloadSpec spec = ctx.base;
@@ -47,6 +48,7 @@ int main() {
     std::vector<double> btree_cost(2, 0);
     for (const auto& variant : variants) {
       RunResult r = RunExperiment(spec, ScaleVariant(variant, ctx.scale));
+      bench.AddRun(variant.name, new_ob, r);
       search_row.push_back(r.search_io);
       size_row.push_back(static_cast<double>(r.index_pages));
       update_row.push_back(r.update_io);
@@ -64,5 +66,8 @@ int main() {
   search.Print();
   size.Print();
   update.Print();
-  return 0;
+  bench.AddTable(search);
+  bench.AddTable(size);
+  bench.AddTable(update);
+  return WriteBenchFile(bench);
 }

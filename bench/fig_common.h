@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_export.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
 #include "workload/workload_spec.h"
@@ -108,6 +109,18 @@ inline std::vector<VariantSpec> TpbrKindVariants() {
 inline std::vector<VariantSpec> ComparisonVariants() {
   return {VariantSpec::Rexp(), VariantSpec::Tpr(),
           VariantSpec::RexpScheduled(), VariantSpec::TprScheduled()};
+}
+
+// Writes the machine-readable BENCH_<name>.json artifact; returns the
+// process exit code (the figure tables were already printed, but a
+// benchmark whose artifact cannot be written should fail visibly).
+inline int WriteBenchFile(const BenchExport& bench) {
+  Status s = bench.WriteFile();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 inline void PrintHeader(const char* figure, const char* description,

@@ -8,6 +8,7 @@
 
 #include "btree/btree.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 #include "tests/test_util.h"
 #include "tree/tree.h"
@@ -32,6 +33,28 @@ void BM_TreeInsert(benchmark::State& state, TreeConfig config) {
 }
 BENCHMARK_CAPTURE(BM_TreeInsert, rexp, TreeConfig::Rexp());
 BENCHMARK_CAPTURE(BM_TreeInsert, tpr, TreeConfig::Tpr());
+
+// Telemetry overhead on the insert path: identical workload with the
+// runtime telemetry flag on (histograms + latency timing recorded) vs off
+// (counters only). The acceptance bar is <= 2% for the enabled case; a
+// REXP_NO_TELEMETRY build compiles the recording out entirely, making the
+// "on" variant equal to "off".
+void BM_TreeInsertTelemetry(benchmark::State& state, bool enabled) {
+  obs::telemetry::SetEnabled(enabled);
+  Rng rng(1);
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  ObjectId oid = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += 0.01;
+    tree.Insert(oid++, RandomPoint<2>(&rng, now, 120.0), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::telemetry::SetEnabled(true);
+}
+BENCHMARK_CAPTURE(BM_TreeInsertTelemetry, on, true);
+BENCHMARK_CAPTURE(BM_TreeInsertTelemetry, off, false);
 
 void BM_TreeSearch(benchmark::State& state) {
   Rng rng(2);

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Extract the figure-reproduction tables from bench_output.txt into CSV.
+"""Extract figure-reproduction results into CSV.
 
 Usage:
-    python3 scripts/extract_results.py [bench_output.txt] [out_dir]
+    python3 scripts/extract_results.py [inputs...] [out_dir]
 
-Writes one CSV per table (figure) found in the benchmark output, named
-after the table title (e.g. ``figure_13_search_io_per_query.csv``), ready
-for plotting with any tool. No third-party dependencies.
+Each input may be:
+  * a ``BENCH_*.json`` file written by a figure binary (the preferred,
+    machine-readable path — tables come from the ``tables`` array, and a
+    ``<bench>_runs.csv`` with the per-run metrics is written as well), or
+  * a text file of captured benchmark stdout, from which the fixed-width
+    TablePrinter blocks are parsed (the legacy path).
+
+The last argument is the output directory if it is not an existing file
+(default ``results``). One CSV is written per table, named after the
+table title (e.g. ``figure_13_search_io_per_query.csv``). No third-party
+dependencies.
 """
 
 import csv
+import json
 import os
 import re
 import sys
@@ -47,21 +56,68 @@ def parse_tables(lines):
             i += 1
 
 
-def main():
-    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    out_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
-    with open(src) as f:
+def write_csv(out_dir, title, header, rows):
+    path = os.path.join(out_dir, slugify(title) + ".csv")
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+RUN_FIELDS = [
+    "search_io", "update_io", "btree_io_per_op", "index_pages",
+    "expired_fraction", "avg_result_size", "avg_false_drops",
+    "queries", "update_ops",
+]
+
+
+def extract_json(path, out_dir):
+    """Extracts tables and per-run metrics from one BENCH_*.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    count = 0
+    for table in doc.get("tables", []):
+        header = [table["x_label"]] + list(table["series"])
+        rows = [[row["x"]] + list(row["values"]) for row in table["rows"]]
+        if rows:
+            write_csv(out_dir, table["title"], header, rows)
+            count += 1
+    runs = doc.get("runs", [])
+    if runs:
+        header = ["series", "x"] + RUN_FIELDS
+        rows = [[r.get("series", ""), r.get("x", "")] +
+                [r.get(k, "") for k in RUN_FIELDS] for r in runs]
+        write_csv(out_dir, f"{doc.get('bench', 'bench')}_runs", header, rows)
+        count += 1
+    return count
+
+
+def extract_text(path, out_dir):
+    """Extracts TablePrinter blocks from captured benchmark stdout."""
+    with open(path) as f:
         lines = f.readlines()
-    os.makedirs(out_dir, exist_ok=True)
     count = 0
     for title, header, rows in parse_tables(lines):
-        path = os.path.join(out_dir, slugify(title) + ".csv")
-        with open(path, "w", newline="") as f:
-            writer = csv.writer(f)
-            writer.writerow(header)
-            writer.writerows(rows)
-        print(f"wrote {path} ({len(rows)} rows)")
+        write_csv(out_dir, title, header, rows)
         count += 1
+    return count
+
+
+def main():
+    args = sys.argv[1:]
+    out_dir = "results"
+    if len(args) >= 2 and not os.path.isfile(args[-1]):
+        out_dir = args.pop()
+    if not args:
+        args = ["bench_output.txt"]
+    os.makedirs(out_dir, exist_ok=True)
+    count = 0
+    for src in args:
+        if src.endswith(".json"):
+            count += extract_json(src, out_dir)
+        else:
+            count += extract_text(src, out_dir)
     if count == 0:
         print("no tables found — did the benchmark sweep run?",
               file=sys.stderr)

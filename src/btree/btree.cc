@@ -37,6 +37,36 @@ BTree::BTree(PageFile* file, uint32_t buffer_frames, uint32_t value_size)
 
 BTree::~BTree() { REXP_CHECK_OK(buffer_.FlushDirty()); }
 
+void BTree::RegisterMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) const {
+  const IoStats& io = buffer_.stats();
+  registry->AddCounter(prefix + "buffer.reads", &io.reads);
+  registry->AddCounter(prefix + "buffer.writes", &io.writes);
+  registry->AddCounter(prefix + "buffer.hits", &io.hits);
+  registry->AddCounter(prefix + "buffer.misses", &io.misses);
+  registry->AddCounter(prefix + "buffer.evictions_clean",
+                       &io.evictions_clean);
+  registry->AddCounter(prefix + "buffer.evictions_dirty",
+                       &io.evictions_dirty);
+  registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs);
+  registry->AddGauge(prefix + "buffer.hit_rate",
+                     [&io] { return io.HitRate(); });
+  const DeviceStats& dev = file_->device_stats();
+  registry->AddCounter(prefix + "device.frame_reads", &dev.frame_reads);
+  registry->AddCounter(prefix + "device.frame_writes", &dev.frame_writes);
+  registry->AddCounter(prefix + "device.checksum_failures",
+                       &dev.checksum_failures);
+  registry->AddGauge(prefix + "btree.size", [this] {
+    return static_cast<double>(size_);
+  });
+  registry->AddGauge(prefix + "btree.height", [this] {
+    return static_cast<double>(height_);
+  });
+  registry->AddGauge(prefix + "btree.pages", [this] {
+    return static_cast<double>(file_->allocated_pages());
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Node serialization.
 

@@ -19,9 +19,11 @@
 
 #include <compare>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/registry.h"
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
 
@@ -63,6 +65,12 @@ class BTree {
 
   const IoStats& io_stats() const { return buffer_.stats(); }
   void ResetIoStats() { buffer_.ResetStats(); }
+
+  // Registers the queue's telemetry — buffer-pool and device counters
+  // plus size/height gauges — under `prefix` (e.g. "queue."). The tree
+  // and its page file must outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
   // Verifies ordering, balance, fill factors, and size bookkeeping.
   // Aborts on violation. Test hook (unmeasured I/O patterns).

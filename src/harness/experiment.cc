@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sched/scheduled_index.h"
 #include "tpbr/intersect.h"
 #include "storage/page_file.h"
@@ -81,6 +83,16 @@ class Driver {
     return sched_ ? sched_->queue().io_stats().Total() : 0;
   }
 
+  void SetTracer(obs::Tracer* tracer) { tree().set_tracer(tracer); }
+
+  void RegisterMetrics(obs::MetricsRegistry* registry) const {
+    if (sched_) {
+      sched_->RegisterMetrics(registry, "");
+    } else {
+      tree_->RegisterMetrics(registry, "tree.");
+    }
+  }
+
  private:
   std::unique_ptr<Tree<2>> tree_;
   std::unique_ptr<ScheduledIndex<2>> sched_;
@@ -93,6 +105,21 @@ RunResult RunExperiment(const WorkloadSpec& spec,
   MemoryPageFile tree_file(variant.config.page_size);
   MemoryPageFile queue_file(variant.config.page_size);
   Driver driver(variant, &tree_file, &queue_file);
+
+  // REXP_TRACE=<path>: append this run's per-operation JSONL trace to the
+  // named file (one stream across all runs of a benchmark process).
+  std::unique_ptr<obs::Tracer> tracer;
+  if (const char* trace_path = std::getenv("REXP_TRACE");
+      trace_path != nullptr && trace_path[0] != '\0') {
+    auto opened = obs::Tracer::OpenFile(trace_path, /*append=*/true);
+    if (opened.ok()) {
+      tracer = std::move(opened).value();
+      driver.SetTracer(tracer.get());
+    } else {
+      std::fprintf(stderr, "REXP_TRACE: %s\n",
+                   opened.status().ToString().c_str());
+    }
+  }
 
   // Seed the index's internal randomness from the workload seed so runs
   // are fully reproducible yet differ across repetitions.
@@ -183,6 +210,10 @@ RunResult RunExperiment(const WorkloadSpec& spec,
       result.queries ? static_cast<double>(false_drop_total) /
                            static_cast<double>(result.queries)
                      : 0;
+  obs::MetricsRegistry registry;
+  driver.RegisterMetrics(&registry);
+  result.metrics_json = registry.ToJson();
+  driver.SetTracer(nullptr);
   return result;
 }
 

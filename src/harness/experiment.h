@@ -45,6 +45,10 @@ struct RunResult {
   // the "false drops" the paper's Section 3 says must be filtered out of
   // TPR-tree answers. Zero for the expiration-aware variants.
   double avg_false_drops = 0;
+  // Full end-of-run telemetry snapshot (MetricsRegistry::ToJson): every
+  // buffer/device/ops counter, histogram, and gauge of the variant under
+  // test ("tree."-prefixed; scheduled variants add "queue." and "sched.").
+  std::string metrics_json;
 };
 
 // Runs the workload described by `spec` against `variant` and returns the

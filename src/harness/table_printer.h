@@ -25,6 +25,17 @@ class TablePrinter {
     rows_.push_back(Row{x, values});
   }
 
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+
+  // Structured access for machine-readable export (see harness/bench_export.h).
+  const std::string& title() const { return title_; }
+  const std::string& x_label() const { return x_label_; }
+  const std::vector<std::string>& series() const { return series_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
   void Print() const {
     std::printf("\n%s\n", title_.c_str());
     for (size_t i = 0; i < title_.size(); ++i) std::printf("-");
@@ -40,11 +51,6 @@ class TablePrinter {
   }
 
  private:
-  struct Row {
-    double x;
-    std::vector<double> values;
-  };
-
   std::string title_;
   std::string x_label_;
   std::vector<std::string> series_;

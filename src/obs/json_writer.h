@@ -1,0 +1,194 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Minimal JSON emitter used by the telemetry snapshot, the per-operation
+// trace stream, and the benchmark export — everything machine-readable
+// the repo writes. Append-only builder: the caller opens/closes objects
+// and arrays in order; commas and key quoting are handled here. Doubles
+// are written with shortest round-trip formatting (std::to_chars), so
+// re-ingested numbers compare exactly. Non-finite doubles (never produced
+// by healthy metrics, but possible in degenerate gauges) are emitted as
+// null, keeping the output standard JSON.
+
+#ifndef REXP_OBS_JSON_WRITER_H_
+#define REXP_OBS_JSON_WRITER_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rexp::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(Frame{kTop, true}); }
+
+  JsonWriter& BeginObject() {
+    Separate();
+    out_ += '{';
+    stack_.push_back(Frame{kObject, true});
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    REXP_CHECK(stack_.back().kind == kObject);
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separate();
+    out_ += '[';
+    stack_.push_back(Frame{kArray, true});
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    REXP_CHECK(stack_.back().kind == kArray);
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  // Emits the key of the next object member.
+  JsonWriter& Key(const char* key) {
+    REXP_CHECK(stack_.back().kind == kObject);
+    Separate();
+    AppendQuoted(key);
+    out_ += ':';
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const char* s) {
+    Separate();
+    AppendQuoted(s);
+    return *this;
+  }
+  JsonWriter& Value(const std::string& s) { return Value(s.c_str()); }
+  JsonWriter& Value(bool b) {
+    Separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(uint64_t v) {
+    Separate();
+    AppendNumber(v);
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Separate();
+    char buf[24];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    REXP_CHECK(ec == std::errc());
+    out_.append(buf, ptr);
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(double v) {
+    Separate();
+    AppendNumber(v);
+    return *this;
+  }
+
+  // Splices a pre-rendered JSON value verbatim (e.g. a nested snapshot).
+  JsonWriter& RawValue(const std::string& json) {
+    Separate();
+    out_ += json;
+    return *this;
+  }
+
+  // Shorthand for Key(k).Value(v).
+  template <typename T>
+  JsonWriter& KV(const char* key, T v) {
+    Key(key);
+    return Value(v);
+  }
+
+  // The finished document. Valid once every BeginX has been closed.
+  const std::string& str() const {
+    REXP_CHECK(stack_.size() == 1);
+    return out_;
+  }
+
+ private:
+  enum Kind { kTop, kObject, kArray };
+  struct Frame {
+    Kind kind;
+    bool first;
+  };
+
+  // Writes the separator a new element needs in the current context.
+  void Separate() {
+    Frame& top = stack_.back();
+    if (have_key_) {
+      // The value completing a key:value pair; the comma (if any) was
+      // written before the key.
+      have_key_ = false;
+      return;
+    }
+    if (!top.first) out_ += ',';
+    top.first = false;
+  }
+
+  void AppendQuoted(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  void AppendNumber(uint64_t v) {
+    char buf[24];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    REXP_CHECK(ec == std::errc());
+    out_.append(buf, ptr);
+  }
+
+  void AppendNumber(double v) {
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    REXP_CHECK(ec == std::errc());
+    out_.append(buf, ptr);
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;
+};
+
+}  // namespace rexp::obs
+
+#endif  // REXP_OBS_JSON_WRITER_H_

@@ -1,0 +1,190 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Telemetry value types: counters, gauges, and fixed-bucket histograms
+// with percentile readout. The index structures embed these directly in
+// their stats structs, so the hot path is a plain member increment — no
+// name lookup, no atomics (the index is single-writer by design; see
+// PageFile). Naming happens only at snapshot time, via MetricsRegistry.
+//
+// Overhead model, by layer:
+//   * Counters are one 64-bit add each and are always compiled in: the
+//     paper's I/O counts are a functional metric (the experiment harness
+//     depends on them), not optional telemetry.
+//   * Histogram::Record and trace emission are telemetry proper. They are
+//     gated by the cheap runtime flag (telemetry::Enabled(), one branch on
+//     a global bool) and removed entirely — bodies compile to nothing —
+//     when REXP_NO_TELEMETRY is defined (cmake -DREXP_NO_TELEMETRY=ON).
+//   * Latency timing additionally pays a steady_clock read per measured
+//     section; LatencyTimer skips the clock when telemetry is disabled.
+
+#ifndef REXP_OBS_METRICS_H_
+#define REXP_OBS_METRICS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rexp::obs {
+
+namespace telemetry {
+
+#ifdef REXP_NO_TELEMETRY
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
+inline bool g_enabled = true;
+
+inline bool Enabled() { return g_enabled; }
+inline void SetEnabled(bool on) { g_enabled = on; }
+#endif
+
+}  // namespace telemetry
+
+// Monotone event counter. Plain uint64_t semantics; exists so stats
+// structs read as self-describing and so the registry can take a stable
+// pointer to the value.
+struct Counter {
+  uint64_t value = 0;
+
+  void Inc(uint64_t n = 1) { value += n; }
+  void Reset() { value = 0; }
+};
+
+// Fixed-bucket histogram. `bounds` are inclusive upper bounds of the
+// first N buckets; one implicit overflow bucket catches everything above
+// the last bound. Tracks count/sum/min/max exactly; percentiles are read
+// out by linear interpolation within the containing bucket (the overflow
+// bucket reports its lower edge, i.e. percentiles saturate at the last
+// finite bound).
+class Histogram {
+ public:
+  // A bound-less histogram still tracks count/sum/min/max (one overflow
+  // bucket holds everything).
+  Histogram() : counts_(1, 0) {}
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Record(double v) {
+#ifndef REXP_NO_TELEMETRY
+    if (!telemetry::Enabled()) return;
+    size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+               bounds_.begin();
+    // upper_bound treats bounds as exclusive; make them inclusive.
+    if (b > 0 && bounds_[b - 1] == v) --b;
+    ++counts_[b];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  // Value at quantile q in [0, 1], interpolated within the bucket that
+  // holds the q-th recorded sample. 0 when empty.
+  double Percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (bounds_.empty()) return std::clamp(mean(), min(), max());
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(count_);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0) continue;
+      double lo = b == 0 ? std::min(min(), bounds_[0]) : bounds_[b - 1];
+      double hi = b < bounds_.size() ? bounds_[b] : bounds_.back();
+      seen += counts_[b];
+      if (static_cast<double>(seen) >= rank) {
+        double frac = 1.0 - (static_cast<double>(seen) - rank) /
+                                static_cast<double>(counts_[b]);
+        double v = lo + (hi - lo) * frac;
+        return std::clamp(v, min(), max());
+      }
+    }
+    return max();
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// `n` bucket bounds start, start*factor, start*factor^2, ...
+inline std::vector<double> ExponentialBounds(double start, double factor,
+                                             int n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+// Microsecond latency buckets: 1 µs .. ~8.4 s in powers of two.
+inline std::vector<double> LatencyBoundsUs() {
+  return ExponentialBounds(1.0, 2.0, 24);
+}
+
+// Per-operation I/O-count buckets: 1 .. 4096 pages in powers of two
+// (bucket 0 additionally catches buffer-resident operations with 0 I/Os).
+inline std::vector<double> IoCountBounds() {
+  std::vector<double> bounds = ExponentialBounds(1.0, 2.0, 13);
+  bounds.insert(bounds.begin(), 0.0);
+  return bounds;
+}
+
+// Measures the wall time of a scope into a histogram, in microseconds.
+// Reads the clock only when telemetry is enabled at construction.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* h)
+      : h_(telemetry::Enabled() ? h : nullptr) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  ~LatencyTimer() {
+    if (h_ == nullptr) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    h_->Record(static_cast<double>(ns) * 1e-3);
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rexp::obs
+
+#endif  // REXP_OBS_METRICS_H_

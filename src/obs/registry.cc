@@ -1,0 +1,105 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "obs/registry.h"
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace rexp::obs {
+
+void MetricsRegistry::AddCounter(std::string name, const uint64_t* v) {
+  REXP_CHECK(v != nullptr);
+  counters_.emplace_back(std::move(name), [v] { return *v; });
+}
+
+void MetricsRegistry::AddCounter(std::string name,
+                                 std::function<uint64_t()> fn) {
+  counters_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MetricsRegistry::AddGauge(std::string name,
+                               std::function<double()> fn) {
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MetricsRegistry::AddHistogram(std::string name, const Histogram* h) {
+  REXP_CHECK(h != nullptr);
+  histograms_.emplace_back(std::move(name), h);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, fn] : counters_) {
+    samples.push_back(
+        MetricSample{name, static_cast<double>(fn()), /*is_counter=*/true});
+  }
+  for (const auto& [name, fn] : gauges_) {
+    samples.push_back(MetricSample{name, fn(), /*is_counter=*/false});
+  }
+  return samples;
+}
+
+bool MetricsRegistry::Lookup(const std::string& name, double* value) const {
+  for (const auto& [n, fn] : counters_) {
+    if (n == name) {
+      *value = static_cast<double>(fn());
+      return true;
+    }
+  }
+  for (const auto& [n, fn] : gauges_) {
+    if (n == name) {
+      *value = fn();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, fn] : counters_) {
+    w.Key(name.c_str()).Value(fn());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, fn] : gauges_) {
+    w.Key(name.c_str()).Value(fn());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name.c_str()).BeginObject();
+    w.KV("count", h->count());
+    w.KV("sum", h->sum());
+    w.KV("min", h->min());
+    w.KV("max", h->max());
+    w.KV("mean", h->mean());
+    w.KV("p50", h->Percentile(0.50));
+    w.KV("p90", h->Percentile(0.90));
+    w.KV("p99", h->Percentile(0.99));
+    w.Key("buckets").BeginArray();
+    const auto& bounds = h->bounds();
+    const auto& counts = h->bucket_counts();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      w.BeginObject();
+      if (b < bounds.size()) {
+        w.KV("le", bounds[b]);
+      } else {
+        // Overflow bucket: no finite upper bound.
+        w.Key("le").RawValue("null");
+      }
+      w.KV("count", counts[b]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace rexp::obs

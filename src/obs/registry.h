@@ -1,0 +1,81 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// MetricsRegistry: the named view over the telemetry embedded in the
+// index components. Components keep their hot-path counters as plain
+// struct members (see metrics.h for the overhead model); registration
+// binds a *name* to a read callback (or histogram pointer) once, at setup
+// time, and Snapshot()/ToJson() walk the bindings on demand. Reading is a
+// cold path — snapshots are taken between measurement phases, never
+// inside index operations.
+//
+// Lifetime: the registry stores callbacks that dereference the
+// registered component; every registered component must outlive the
+// registry (or at least every Snapshot/ToJson call).
+
+#ifndef REXP_OBS_REGISTRY_H_
+#define REXP_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rexp::obs {
+
+// One named scalar sample (counters and gauges) at snapshot time.
+struct MetricSample {
+  std::string name;
+  double value = 0;
+  bool is_counter = false;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Binds `name` to a live counter value. The `v` overload is the common
+  // case of a uint64_t member; the callback overload covers derived
+  // counts.
+  void AddCounter(std::string name, const uint64_t* v);
+  void AddCounter(std::string name, std::function<uint64_t()> fn);
+
+  // Binds `name` to a point-in-time measurement (heights, fractions,
+  // horizon estimates, ...).
+  void AddGauge(std::string name, std::function<double()> fn);
+
+  // Binds `name` to a histogram owned by the component.
+  void AddHistogram(std::string name, const Histogram* h);
+
+  // Current values of all registered counters and gauges, in
+  // registration order.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Value of a registered scalar by exact name; false if absent. Test
+  // and tooling convenience.
+  bool Lookup(const std::string& name, double* value) const;
+
+  // The full snapshot as one JSON object:
+  //   {"counters": {name: n, ...},
+  //    "gauges": {name: x, ...},
+  //    "histograms": {name: {"count": n, "sum": x, "min": x, "max": x,
+  //                          "mean": x, "p50": x, "p90": x, "p99": x,
+  //                          "buckets": [{"le": bound, "count": n}, ...]},
+  //                   ...}}
+  // The final bucket's "le" is null (the overflow bucket).
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> counters_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+  std::vector<std::pair<std::string, const Histogram*>> histograms_;
+};
+
+}  // namespace rexp::obs
+
+#endif  // REXP_OBS_REGISTRY_H_

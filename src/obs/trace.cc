@@ -1,0 +1,74 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "obs/trace.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rexp::obs {
+
+StatusOr<std::unique_ptr<Tracer>> Tracer::OpenFile(const std::string& path,
+                                                   bool append) {
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    return Status::IOError("open trace file '" + path + "'");
+  }
+  return std::make_unique<Tracer>(f, /*owns=*/true);
+}
+
+Tracer::Tracer(std::FILE* f, bool owns) : file_(f), owns_(owns) {
+  REXP_CHECK(f != nullptr);
+}
+
+Tracer::~Tracer() {
+  Flush();
+  if (owns_) std::fclose(file_);
+}
+
+void Tracer::Flush() { std::fflush(file_); }
+
+void Tracer::Emit(const char* type,
+                  std::initializer_list<TraceField> fields) {
+#ifdef REXP_NO_TELEMETRY
+  (void)type;
+  (void)fields;
+#else
+  line_.clear();
+  line_ += "{\"seq\":";
+  char buf[32];
+  auto append_u64 = [&](uint64_t v) {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    REXP_CHECK(ec == std::errc());
+    line_.append(buf, ptr);
+  };
+  append_u64(seq_++);
+  line_ += ",\"type\":\"";
+  line_ += type;  // Event types are code literals; no escaping needed.
+  line_ += '"';
+  for (const TraceField& f : fields) {
+    line_ += ",\"";
+    line_ += f.key;
+    line_ += "\":";
+    if (!std::isfinite(f.value)) {
+      line_ += "null";
+    } else if (f.value == std::floor(f.value) &&
+               std::fabs(f.value) < 9.007199254740992e15) {  // 2^53: exact.
+      // Counts and ids render as integers.
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                     static_cast<int64_t>(f.value));
+      REXP_CHECK(ec == std::errc());
+      line_.append(buf, ptr);
+    } else {
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), f.value);
+      REXP_CHECK(ec == std::errc());
+      line_.append(buf, ptr);
+    }
+  }
+  line_ += "}\n";
+  std::fwrite(line_.data(), 1, line_.size(), file_);
+#endif
+}
+
+}  // namespace rexp::obs

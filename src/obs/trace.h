@@ -1,0 +1,74 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Structured per-operation tracing: a JSONL event stream (one JSON object
+// per line) describing what the index did — ChooseSubtree descents,
+// splits, forced reinserts, lazy-purge removals, TPBR recomputations,
+// horizon retunes, and per-operation summaries with I/O deltas. Schema:
+//
+//   {"seq": N, "type": "<event>", "<field>": <number>, ...}
+//
+// `seq` is a monotone per-tracer event number (events of one logical
+// operation are consecutive; the operation-summary event — "insert",
+// "delete", "search", "nn" — closes the group). All field values are
+// numbers; field names per event type are documented in DESIGN.md
+// ("Observability").
+//
+// Cost model: a tree without a tracer attached pays one null-pointer test
+// per potential event. With a tracer attached, each event is formatted
+// and buffered through stdio — tracing is a debugging/analysis tool, not
+// a production default. With REXP_NO_TELEMETRY, Emit compiles to nothing.
+
+#ifndef REXP_OBS_TRACE_H_
+#define REXP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace rexp::obs {
+
+// One numeric field of a trace event.
+struct TraceField {
+  const char* key;
+  double value;
+};
+
+class Tracer {
+ public:
+  // Opens (creating or truncating) a JSONL file at `path`. With
+  // `append`, an existing stream is extended instead — the mode the
+  // REXP_TRACE environment hook uses so one file collects a whole
+  // benchmark run.
+  static StatusOr<std::unique_ptr<Tracer>> OpenFile(const std::string& path,
+                                                    bool append = false);
+
+  // Adopts an open stream. With `owns`, the stream is closed on
+  // destruction (pass false for stdout/stderr).
+  explicit Tracer(std::FILE* f, bool owns);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  ~Tracer();
+
+  void Emit(const char* type, std::initializer_list<TraceField> fields);
+
+  uint64_t events() const { return seq_; }
+
+  // Pushes buffered events to the stream.
+  void Flush();
+
+ private:
+  std::FILE* file_;
+  bool owns_;
+  uint64_t seq_ = 0;
+  std::string line_;  // Reused formatting buffer.
+};
+
+}  // namespace rexp::obs
+
+#endif  // REXP_OBS_TRACE_H_

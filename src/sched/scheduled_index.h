@@ -18,11 +18,14 @@
 #define REXP_SCHED_SCHEDULED_INDEX_H_
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "btree/btree.h"
 #include "common/query.h"
 #include "common/types.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "storage/page_file.h"
 #include "tree/tree.h"
 
@@ -52,6 +55,12 @@ class ScheduledIndex {
       // The entry may already be gone (e.g. lazily purged); that is fine.
       tree_.Delete(key.id, point, now, /*see_expired=*/true);
       ++fired;
+    }
+    scheduled_deletions_fired_ += fired;
+    if (fired > 0 && tree_.tracer() != nullptr) {
+      tree_.tracer()->Emit("scheduled_deletions",
+                           {{"now", now},
+                            {"fired", static_cast<double>(fired)}});
     }
     return fired;
   }
@@ -83,6 +92,26 @@ class ScheduledIndex {
   Tree<kDims>& tree() { return tree_; }
   BTree& queue() { return queue_; }
 
+  // Total scheduled deletions executed by PumpDue.
+  uint64_t scheduled_deletions_fired() const {
+    return scheduled_deletions_fired_;
+  }
+
+  // Attaches a trace sink to the primary tree (scheduled-deletion events
+  // are emitted through the same sink).
+  void set_tracer(obs::Tracer* tracer) { tree_.set_tracer(tracer); }
+
+  // Registers both cost streams: the primary tree under
+  // `prefix` + "tree." and the event queue under `prefix` + "queue.",
+  // plus the scheduler's own counter.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    tree_.RegisterMetrics(registry, prefix + "tree.");
+    queue_.RegisterMetrics(registry, prefix + "queue.");
+    registry->AddCounter(prefix + "sched.deletions_fired",
+                         &scheduled_deletions_fired_);
+  }
+
  private:
   static constexpr uint32_t kValueSize = 2 * kDims * 4;  // ref pos + vel.
 
@@ -111,6 +140,7 @@ class ScheduledIndex {
 
   Tree<kDims> tree_;
   BTree queue_;
+  uint64_t scheduled_deletions_fired_ = 0;
 };
 
 }  // namespace rexp

@@ -28,9 +28,11 @@ StatusOr<Page*> BufferManager::Fetch(PageId id) {
   REXP_CHECK(id != kInvalidPageId);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
+    ++stats_.hits;
     Touch(it->second);
     return &frames_[it->second].page;
   }
+  ++stats_.misses;
   REXP_ASSIGN_OR_RETURN(uint32_t fi, AcquireFrame());
   Frame& f = frames_[fi];
   Status read = file_->ReadPage(id, &f.page);
@@ -107,6 +109,7 @@ void BufferManager::Pin(PageId id) {
   auto it = frame_of_.find(id);
   REXP_CHECK(it != frame_of_.end());
   Frame& f = frames_[it->second];
+  ++stats_.pins;
   if (f.pin_count++ == 0) RemoveFromLru(it->second);
 }
 
@@ -115,6 +118,7 @@ void BufferManager::Unpin(PageId id) {
   REXP_CHECK(it != frame_of_.end());
   Frame& f = frames_[it->second];
   REXP_CHECK(f.pin_count > 0);
+  ++stats_.unpins;
   if (--f.pin_count == 0) Touch(it->second);
 }
 
@@ -167,7 +171,11 @@ StatusOr<uint32_t> BufferManager::AcquireFrame() {
     // as it was.
     REXP_RETURN_IF_ERROR(file_->WritePage(f.id, f.page));
     ++stats_.writes;
+    ++stats_.write_backs;
+    ++stats_.evictions_dirty;
     f.dirty = false;
+  } else {
+    ++stats_.evictions_clean;
   }
   RemoveFromLru(fi);
   frame_of_.erase(f.id);

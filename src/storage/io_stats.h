@@ -1,9 +1,14 @@
 // Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
 //
-// I/O counters. The paper's metrics are I/O counts measured at the buffer
-// manager boundary: a read is counted when a page is fetched and misses the
-// buffer; a write is counted when a dirty page is flushed (at the end of an
-// index operation or on eviction).
+// Buffer-pool accounting. The paper's headline metrics are the I/O counts
+// measured at the buffer-manager boundary: a read is counted when a page
+// is fetched and misses the buffer; a write is counted when a dirty page
+// is flushed (at the end of an index operation or on eviction). Those two
+// counters (`reads`, `writes`) are unchanged; the rest break the pool's
+// behavior down for the telemetry layer — cache effectiveness (hits vs
+// misses), replacement pressure (clean vs dirty evictions), and pinning
+// discipline. All counters are plain 64-bit adds on the hot path and are
+// always compiled in (see obs/metrics.h for the overhead model).
 
 #ifndef REXP_STORAGE_IO_STATS_H_
 #define REXP_STORAGE_IO_STATS_H_
@@ -13,16 +18,50 @@
 namespace rexp {
 
 struct IoStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
+  // The paper's metrics.
+  uint64_t reads = 0;   // Device reads on fetch misses.
+  uint64_t writes = 0;  // Device writes: flushes + dirty-victim write-backs.
+
+  // Cache effectiveness. `hits + misses` counts every Fetch; a miss is
+  // counted when the lookup fails, even if the subsequent device read
+  // errors (so `misses >= reads` under I/O errors).
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  // Replacement. An eviction is a frame reclaimed from the LRU list;
+  // dirty victims additionally cost one write-back (counted both in
+  // `write_backs` and in `writes`). Flush-path writes are
+  // `writes - write_backs`.
+  uint64_t evictions_clean = 0;
+  uint64_t evictions_dirty = 0;
+  uint64_t write_backs = 0;
+
+  // Pinning (nested pin/unpin calls, not distinct pages).
+  uint64_t pins = 0;
+  uint64_t unpins = 0;
 
   uint64_t Total() const { return reads + writes; }
 
-  IoStats operator-(const IoStats& other) const {
-    return IoStats{reads - other.reads, writes - other.writes};
+  double HitRate() const {
+    uint64_t fetches = hits + misses;
+    return fetches == 0 ? 0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(fetches);
   }
 
-  void Reset() { reads = writes = 0; }
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{reads - other.reads,
+                   writes - other.writes,
+                   hits - other.hits,
+                   misses - other.misses,
+                   evictions_clean - other.evictions_clean,
+                   evictions_dirty - other.evictions_dirty,
+                   write_backs - other.write_backs,
+                   pins - other.pins,
+                   unpins - other.unpins};
+  }
+
+  void Reset() { *this = IoStats{}; }
 };
 
 }  // namespace rexp

@@ -107,7 +107,19 @@ Status PageFile::ReadPage(PageId id, Page* page) {
   REXP_CHECK(id < capacity_);
   REXP_CHECK(page->size() == page_size_);
   frame_scratch_.resize(frame_size());
-  REXP_RETURN_IF_ERROR(ReadFrame(id, frame_scratch_.data()));
+  ++device_stats_.frame_reads;
+  {
+    obs::LatencyTimer timer(&device_stats_.read_latency_us);
+    Status s = ReadFrame(id, frame_scratch_.data());
+    if (!s.ok()) {
+      if (s.IsIOError()) {
+        ++device_stats_.read_errors;
+      } else {
+        ++device_stats_.checksum_failures;
+      }
+      return s;
+    }
+  }
   const uint8_t* frame = frame_scratch_.data();
   const uint32_t magic = GetU32(frame + kFrameMagicOffset);
   if (magic != kPageFrameMagic) {
@@ -119,17 +131,20 @@ Status PageFile::ReadPage(PageId id, Page* page) {
       std::memset(page->data(), 0, page_size_);
       return Status::OK();
     }
+    ++device_stats_.checksum_failures;
     return Status::Corruption("page " + std::to_string(id) +
                               ": bad frame magic");
   }
   const uint32_t stamp = GetU32(frame + kFramePageIdOffset);
   if (stamp != id) {
+    ++device_stats_.checksum_failures;
     return Status::Corruption("page " + std::to_string(id) +
                               ": frame stamped for page " +
                               std::to_string(stamp) + " (misdirected write)");
   }
   const uint32_t stored_crc = GetU32(frame + kFrameCrcOffset);
   if (stored_crc != FrameCrc(frame, frame_size())) {
+    ++device_stats_.checksum_failures;
     return Status::Corruption("page " + std::to_string(id) +
                               ": checksum mismatch");
   }
@@ -148,7 +163,11 @@ Status PageFile::WritePage(PageId id, const Page& page) {
   PutU32(frame + kFrameReservedOffset, 0);
   std::memcpy(frame + kPageHeaderSize, page.data(), page_size_);
   PutU32(frame + kFrameCrcOffset, FrameCrc(frame, frame_size()));
-  return WriteFrame(id, frame);
+  ++device_stats_.frame_writes;
+  obs::LatencyTimer timer(&device_stats_.write_latency_us);
+  Status s = WriteFrame(id, frame);
+  if (!s.ok()) ++device_stats_.write_errors;
+  return s;
 }
 
 // --- MemoryPageFile ----------------------------------------------------

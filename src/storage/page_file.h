@@ -44,9 +44,36 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace rexp {
+
+// Device-level telemetry, kept by the PageFile base class across every
+// checksummed transfer (ReadPage/WritePage), decorators included. The
+// error counters split failures by kind: `read_errors`/`write_errors`
+// count device failures (kIOError), `checksum_failures` counts frames
+// that transferred but failed validation (kCorruption: bad magic,
+// misdirected-write stamp, CRC mismatch, short read). Latency histograms
+// are recorded in microseconds around the raw frame transfer — beneath
+// the checksum work, so they measure the device — and only when runtime
+// telemetry is enabled.
+struct DeviceStats {
+  uint64_t frame_reads = 0;
+  uint64_t frame_writes = 0;
+  uint64_t read_errors = 0;
+  uint64_t write_errors = 0;
+  uint64_t checksum_failures = 0;
+  obs::Histogram read_latency_us{obs::LatencyBoundsUs()};
+  obs::Histogram write_latency_us{obs::LatencyBoundsUs()};
+
+  void Reset() {
+    frame_reads = frame_writes = 0;
+    read_errors = write_errors = checksum_failures = 0;
+    read_latency_us.Reset();
+    write_latency_us.Reset();
+  }
+};
 
 // Bytes of frame header preceding each page payload on the device.
 inline constexpr uint32_t kPageHeaderSize = 16;
@@ -112,6 +139,10 @@ class PageFile {
   // Pages permanently lost to free-list truncation across re-opens.
   uint64_t leaked_pages() const { return leaked_; }
 
+  // Device telemetry (see DeviceStats).
+  const DeviceStats& device_stats() const { return device_stats_; }
+  void ResetDeviceStats() { device_stats_.Reset(); }
+
   // Checksummed page transfer. `page->size()` must equal page_size() and
   // `id` must be allocated-or-free within capacity (anything else is a
   // programming error). Returns kCorruption if the stored frame fails
@@ -149,6 +180,7 @@ class PageFile {
   bool deferred_free_ = false;
   uint64_t allocated_ = 0;
   uint64_t leaked_ = 0;
+  DeviceStats device_stats_;
   // Scratch frame for ReadPage/WritePage (the device is single-threaded
   // by contract; reusing the buffer avoids a heap allocation per I/O).
   std::vector<uint8_t> frame_scratch_;

@@ -27,26 +27,36 @@ class HorizonEstimator {
   }
 
   // Called once per leaf insertion with the operation time and the current
-  // number of leaf entries.
-  void RecordInsertion(Time now, uint64_t live_leaf_entries) {
+  // number of leaf entries. Returns true when this insertion completed a
+  // batch and the UI estimate was retuned (the telemetry layer traces the
+  // new estimate).
+  bool RecordInsertion(Time now, uint64_t live_leaf_entries) {
     if (!timer_started_) {
       timer_start_ = now;
       timer_started_ = true;
       inserts_in_batch_ = 0;
     }
     if (++inserts_in_batch_ >= batch_) {
+      bool retuned = false;
       double dt = now - timer_start_;
       if (dt > 0 && live_leaf_entries > 0) {
         ui_ = dt / static_cast<double>(batch_) *
               static_cast<double>(live_leaf_entries);
+        ++retunes_;
+        retuned = true;
       }
       timer_start_ = now;
       inserts_in_batch_ = 0;
+      return retuned;
     }
+    return false;
   }
 
   double ui() const { return ui_; }
   double w() const { return alpha_ * ui_; }
+
+  // Number of times the UI estimate was recomputed from a full batch.
+  uint64_t retunes() const { return retunes_; }
 
   // Restores a previously persisted estimate (index re-open).
   void RestoreUi(double ui) {
@@ -79,6 +89,7 @@ class HorizonEstimator {
   Time timer_start_ = 0;
   bool timer_started_ = false;
   uint32_t inserts_in_batch_ = 0;
+  uint64_t retunes_ = 0;
 };
 
 }  // namespace rexp

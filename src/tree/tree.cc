@@ -374,6 +374,7 @@ void Tree<kDims>::PurgeExpired(Node<kDims>* node, Time now,
                                uint32_t skip_id) {
   if (!config_.expire_entries) return;
   size_t kept = 0;
+  uint64_t subtrees = 0;
   for (size_t i = 0; i < node->entries.size(); ++i) {
     NodeEntry<kDims>& e = node->entries[i];
     bool keep = EntryLive(e, now) || (!node->IsLeaf() && e.id == skip_id);
@@ -383,12 +384,21 @@ void Tree<kDims>::PurgeExpired(Node<kDims>* node, Time now,
       // Dropping an expired internal entry deallocates its whole subtree
       // (paper Section 4.3).
       FreeSubtree(e.id, node->level - 1);
+      ++subtrees;
     }
   }
   size_t removed = node->entries.size() - kept;
   if (removed > 0) {
     level_counts_[node->level] -= removed;
     node->entries.resize(kept);
+    op_stats_.purged_entries += removed;
+    op_stats_.purged_subtrees += subtrees;
+    if (tracer_ != nullptr) {
+      tracer_->Emit("purge", {{"level", static_cast<double>(node->level)},
+                              {"removed", static_cast<double>(removed)},
+                              {"subtrees", static_cast<double>(subtrees)},
+                              {"now", now}});
+    }
   }
 }
 
@@ -420,6 +430,12 @@ Tpbr<kDims> Tree<kDims>::ComputeBound(const Node<kDims>& node, Time now) {
     }
   }
   REXP_CHECK(!regions.empty());
+  ++op_stats_.tpbr_recomputes;
+  if (tracer_ != nullptr) {
+    tracer_->Emit("tpbr_recompute",
+                  {{"level", static_cast<double>(node.level)},
+                   {"entries", static_cast<double>(node.entries.size())}});
+  }
   TpbrKind kind = config_.expire_entries ? config_.tpbr_kind
                                          : TpbrKind::kConservative;
   return ComputeTpbr<kDims>(kind, regions, now,
@@ -563,6 +579,13 @@ std::vector<typename Tree<kDims>::PathStep> Tree<kDims>::ChoosePath(
   Node<kDims> node = ReadNode(root_);
   while (node.level > target_level) {
     int idx = ChooseSubtree(node, region, now);
+    ++op_stats_.choose_subtree_calls;
+    if (tracer_ != nullptr) {
+      tracer_->Emit("choose_subtree",
+                    {{"level", static_cast<double>(node.level)},
+                     {"entries", static_cast<double>(node.entries.size())},
+                     {"chosen", static_cast<double>(idx)}});
+    }
     PageId child = node.entries[idx].id;
     path.push_back(PathStep{child});
     node = ReadNode(child);
@@ -693,6 +716,14 @@ Node<kDims> Tree<kDims>::SplitNode(Node<kDims>* node, Time now) {
   right.level = node->level;
   right.entries.assign(best_split.begin() + best_k, best_split.end());
   node->entries.assign(best_split.begin(), best_split.begin() + best_k);
+  ++op_stats_.splits;
+  if (tracer_ != nullptr) {
+    tracer_->Emit("split",
+                  {{"level", static_cast<double>(node->level)},
+                   {"axis", static_cast<double>(best_axis)},
+                   {"left", static_cast<double>(node->entries.size())},
+                   {"right", static_cast<double>(right.entries.size())}});
+  }
   return right;
 }
 
@@ -725,6 +756,13 @@ void Tree<kDims>::RemoveForReinsert(Node<kDims>* node, Time now) {
   }
   level_counts_[node->level] -= remove;
   node->entries = std::move(kept);
+  ++op_stats_.forced_reinserts;
+  op_stats_.reinserted_entries += remove;
+  if (tracer_ != nullptr) {
+    tracer_->Emit("forced_reinsert",
+                  {{"level", static_cast<double>(node->level)},
+                   {"removed", static_cast<double>(remove)}});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -792,6 +830,13 @@ void Tree<kDims>::FixPath(const std::vector<PathStep>& path,
           pending_.push_back(Pending{node.level, e});
         }
         level_counts_[node.level] -= node.entries.size();
+        op_stats_.orphaned_entries += node.entries.size();
+        if (tracer_ != nullptr) {
+          tracer_->Emit("dissolve",
+                        {{"level", static_cast<double>(node.level)},
+                         {"orphaned",
+                          static_cast<double>(node.entries.size())}});
+        }
         FreeNode(id);
         child_removed = true;
       }
@@ -849,6 +894,10 @@ void Tree<kDims>::GrowRoot(PageId left, PageId right, Time now) {
   height_ = new_root.level + 1;
   level_counts_.resize(height_, 0);
   level_counts_[new_root.level] += 2;
+  ++op_stats_.root_grows;
+  if (tracer_ != nullptr) {
+    tracer_->Emit("root_grow", {{"height", static_cast<double>(height_)}});
+  }
   REXP_CHECK_OK(PinRoot(root_));
 }
 
@@ -866,6 +915,11 @@ void Tree<kDims>::MaybeShrinkRoot(Time now) {
       height_ = root.level;
       level_counts_.resize(height_);
       root_ = new_root;
+      ++op_stats_.root_shrinks;
+      if (tracer_ != nullptr) {
+        tracer_->Emit("root_shrink",
+                      {{"height", static_cast<double>(height_)}});
+      }
       REXP_CHECK_OK(PinRoot(root_));
       FreeNode(old_root);
       continue;
@@ -876,6 +930,10 @@ void Tree<kDims>::MaybeShrinkRoot(Time now) {
       root_ = kInvalidPageId;
       height_ = 0;
       level_counts_.clear();
+      ++op_stats_.root_shrinks;
+      if (tracer_ != nullptr) {
+        tracer_->Emit("root_shrink", {{"height", 0.0}});
+      }
       REXP_CHECK_OK(PinRoot(kInvalidPageId));
       FreeNode(old_root);
       return;
@@ -955,14 +1013,30 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
   }
 #endif
   reinserted_levels_ = 0;
-  horizon_.RecordInsertion(
-      now, level_counts_.empty() ? 0 : level_counts_[0]);
+  ++op_stats_.inserts;
+  const uint64_t io_before = buffer_.stats().Total();
+  obs::LatencyTimer timer(&op_stats_.insert_latency_us);
+  if (horizon_.RecordInsertion(
+          now, level_counts_.empty() ? 0 : level_counts_[0])) {
+    ++op_stats_.horizon_retunes;
+    if (tracer_ != nullptr) {
+      tracer_->Emit("horizon_retune", {{"now", now},
+                                       {"ui", horizon_.ui()},
+                                       {"w", horizon_.w()},
+                                       {"h", horizon_.DecisionHorizon()}});
+    }
+  }
   InsertPending(Pending{0, NodeEntry<kDims>{point, oid}}, now);
   DrainPending(now);
   if (config_.crash_consistent) {
     REXP_CHECK_OK(Commit());
   } else {
     REXP_CHECK_OK(buffer_.FlushDirty());
+  }
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  op_stats_.insert_io.Record(static_cast<double>(io));
+  if (tracer_ != nullptr) {
+    tracer_->Emit("insert", {{"now", now}, {"io", static_cast<double>(io)}});
   }
 }
 
@@ -1020,16 +1094,34 @@ bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
 template <int kDims>
 bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
                          bool see_expired) {
-  if (root_ == kInvalidPageId) return false;
+  if (root_ == kInvalidPageId) {
+    ++op_stats_.deletes;
+    ++op_stats_.delete_misses;
+    return false;
+  }
   reinserted_levels_ = 0;
+  ++op_stats_.deletes;
+  const uint64_t io_before = buffer_.stats().Total();
+  obs::LatencyTimer timer(&op_stats_.delete_latency_us);
   std::vector<PathStep> path;
   bool found = DeleteRecurse(root_, height_ - 1, oid, point, now,
                              see_expired, &path);
-  if (found) DrainPending(now);
+  if (found) {
+    DrainPending(now);
+  } else {
+    ++op_stats_.delete_misses;
+  }
   if (config_.crash_consistent) {
     REXP_CHECK_OK(Commit());
   } else {
     REXP_CHECK_OK(buffer_.FlushDirty());
+  }
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  op_stats_.delete_io.Record(static_cast<double>(io));
+  if (tracer_ != nullptr) {
+    tracer_->Emit("delete", {{"now", now},
+                             {"found", found ? 1.0 : 0.0},
+                             {"io", static_cast<double>(io)}});
   }
   return found;
 }
@@ -1037,13 +1129,19 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
 template <int kDims>
 void Tree<kDims>::Search(const Query<kDims>& query,
                          std::vector<ObjectId>* out) {
+  ++op_stats_.searches;
   if (root_ == kInvalidPageId) return;
+  const uint64_t io_before = buffer_.stats().Total();
+  const size_t results_before = out->size();
+  obs::LatencyTimer timer(&op_stats_.search_latency_us);
+  uint64_t visited = 0;
   std::vector<PageId> stack;
   stack.push_back(root_);
   while (!stack.empty()) {
     PageId id = stack.back();
     stack.pop_back();
     Node<kDims> node = ReadNode(id);
+    ++visited;
     for (const NodeEntry<kDims>& e : node.entries) {
       Time expiry = kNeverExpires;
       if (config_.expire_entries) {
@@ -1057,6 +1155,16 @@ void Tree<kDims>::Search(const Query<kDims>& query,
         stack.push_back(e.id);
       }
     }
+  }
+  op_stats_.nodes_visited_search += visited;
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  op_stats_.search_io.Record(static_cast<double>(io));
+  if (tracer_ != nullptr) {
+    tracer_->Emit(
+        "search",
+        {{"visited", static_cast<double>(visited)},
+         {"results", static_cast<double>(out->size() - results_before)},
+         {"io", static_cast<double>(io)}});
   }
 }
 
@@ -1197,8 +1305,10 @@ double MinDistSqAt(const Vec<kDims>& point, const Tpbr<kDims>& region,
 template <int kDims>
 void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                                    std::vector<ObjectId>* out) {
+  ++op_stats_.nn_searches;
   out->clear();
   if (root_ == kInvalidPageId || k <= 0) return;
+  uint64_t visited = 0;
 
   // Best-first search (Hjaltason & Samet): a min-heap of pending nodes
   // and leaf objects keyed by their minimum distance at time t; ties
@@ -1226,6 +1336,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
       continue;
     }
     Node<kDims> node = ReadNode(item.id);
+    ++visited;
     for (const NodeEntry<kDims>& e : node.entries) {
       // Only entries valid at time t participate.
       if (config_.expire_entries) {
@@ -1237,10 +1348,110 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
       heap.push(Item{dist, node.IsLeaf(), e.id, node.level - 1});
     }
   }
+  op_stats_.nodes_visited_search += visited;
+  if (tracer_ != nullptr) {
+    tracer_->Emit("nn_search", {{"k", static_cast<double>(k)},
+                                {"visited", static_cast<double>(visited)},
+                                {"results",
+                                 static_cast<double>(out->size())}});
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Introspection.
+
+template <int kDims>
+void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  // Buffer-pool accounting (the paper's I/O metric plus pool behavior).
+  const IoStats& io = buffer_.stats();
+  registry->AddCounter(prefix + "buffer.reads", &io.reads);
+  registry->AddCounter(prefix + "buffer.writes", &io.writes);
+  registry->AddCounter(prefix + "buffer.hits", &io.hits);
+  registry->AddCounter(prefix + "buffer.misses", &io.misses);
+  registry->AddCounter(prefix + "buffer.evictions_clean",
+                       &io.evictions_clean);
+  registry->AddCounter(prefix + "buffer.evictions_dirty",
+                       &io.evictions_dirty);
+  registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs);
+  registry->AddCounter(prefix + "buffer.pins", &io.pins);
+  registry->AddCounter(prefix + "buffer.unpins", &io.unpins);
+  registry->AddGauge(prefix + "buffer.hit_rate",
+                     [&io] { return io.HitRate(); });
+
+  // Device-level transfer and integrity counters.
+  const DeviceStats& dev = file_->device_stats();
+  registry->AddCounter(prefix + "device.frame_reads", &dev.frame_reads);
+  registry->AddCounter(prefix + "device.frame_writes", &dev.frame_writes);
+  registry->AddCounter(prefix + "device.read_errors", &dev.read_errors);
+  registry->AddCounter(prefix + "device.write_errors", &dev.write_errors);
+  registry->AddCounter(prefix + "device.checksum_failures",
+                       &dev.checksum_failures);
+  registry->AddHistogram(prefix + "device.read_latency_us",
+                         &dev.read_latency_us);
+  registry->AddHistogram(prefix + "device.write_latency_us",
+                         &dev.write_latency_us);
+
+  // Tree operation counters.
+  const TreeOpStats& ops = op_stats_;
+  registry->AddCounter(prefix + "ops.inserts", &ops.inserts);
+  registry->AddCounter(prefix + "ops.deletes", &ops.deletes);
+  registry->AddCounter(prefix + "ops.delete_misses", &ops.delete_misses);
+  registry->AddCounter(prefix + "ops.searches", &ops.searches);
+  registry->AddCounter(prefix + "ops.nn_searches", &ops.nn_searches);
+  registry->AddCounter(prefix + "ops.choose_subtree_calls",
+                       &ops.choose_subtree_calls);
+  registry->AddCounter(prefix + "ops.splits", &ops.splits);
+  registry->AddCounter(prefix + "ops.forced_reinserts",
+                       &ops.forced_reinserts);
+  registry->AddCounter(prefix + "ops.reinserted_entries",
+                       &ops.reinserted_entries);
+  registry->AddCounter(prefix + "ops.orphaned_entries",
+                       &ops.orphaned_entries);
+  registry->AddCounter(prefix + "ops.purged_entries", &ops.purged_entries);
+  registry->AddCounter(prefix + "ops.purged_subtrees",
+                       &ops.purged_subtrees);
+  registry->AddCounter(prefix + "ops.nodes_visited_search",
+                       &ops.nodes_visited_search);
+  registry->AddCounter(prefix + "ops.tpbr_recomputes",
+                       &ops.tpbr_recomputes);
+  registry->AddCounter(prefix + "ops.horizon_retunes",
+                       &ops.horizon_retunes);
+  registry->AddCounter(prefix + "ops.root_grows", &ops.root_grows);
+  registry->AddCounter(prefix + "ops.root_shrinks", &ops.root_shrinks);
+  registry->AddHistogram(prefix + "ops.insert_io", &ops.insert_io);
+  registry->AddHistogram(prefix + "ops.delete_io", &ops.delete_io);
+  registry->AddHistogram(prefix + "ops.search_io", &ops.search_io);
+  registry->AddHistogram(prefix + "ops.insert_latency_us",
+                         &ops.insert_latency_us);
+  registry->AddHistogram(prefix + "ops.delete_latency_us",
+                         &ops.delete_latency_us);
+  registry->AddHistogram(prefix + "ops.search_latency_us",
+                         &ops.search_latency_us);
+
+  // Structure and horizon-estimator gauges.
+  registry->AddGauge(prefix + "tree.height",
+                     [this] { return static_cast<double>(height_); });
+  registry->AddGauge(prefix + "tree.pages", [this] {
+    return static_cast<double>(file_->allocated_pages());
+  });
+  registry->AddGauge(prefix + "tree.leaf_entries", [this] {
+    return static_cast<double>(leaf_entries());
+  });
+  registry->AddGauge(prefix + "tree.underfull_remnants", [this] {
+    return static_cast<double>(underfull_remnants_);
+  });
+  registry->AddGauge(prefix + "tree.meta_epoch", [this] {
+    return static_cast<double>(meta_epoch_);
+  });
+  registry->AddCounter(prefix + "horizon.retunes",
+                       [this] { return horizon_.retunes(); });
+  registry->AddGauge(prefix + "horizon.ui",
+                     [this] { return horizon_.ui(); });
+  registry->AddGauge(prefix + "horizon.w", [this] { return horizon_.w(); });
+  registry->AddGauge(prefix + "horizon.h",
+                     [this] { return horizon_.DecisionHorizon(); });
+}
 
 template <int kDims>
 struct Tree<kDims>::CheckState {

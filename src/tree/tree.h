@@ -34,10 +34,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/query.h"
 #include "common/status.h"
 #include "common/random.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
 #include "tree/horizon.h"
@@ -45,6 +50,64 @@
 #include "tree/tree_config.h"
 
 namespace rexp {
+
+// Tree-level operation telemetry: what the structural algorithms did, as
+// opposed to what it cost in I/O (IoStats) or at the device (DeviceStats).
+// Counters are always maintained (one add each); the per-operation I/O
+// and latency histograms follow the obs/metrics.h gating rules.
+struct TreeOpStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;        // Delete() calls...
+  uint64_t delete_misses = 0;  // ...of which found no matching live entry.
+  uint64_t searches = 0;
+  uint64_t nn_searches = 0;
+
+  uint64_t choose_subtree_calls = 0;  // One per descent step of ChoosePath.
+  uint64_t splits = 0;
+  uint64_t forced_reinserts = 0;    // R* forced-reinsertion rounds.
+  uint64_t reinserted_entries = 0;  // Entries those rounds re-routed.
+  uint64_t orphaned_entries = 0;    // Entries orphaned by node dissolution.
+  uint64_t purged_entries = 0;      // Expired entries lazily dropped.
+  uint64_t purged_subtrees = 0;     // Whole subtrees dropped by the purge.
+  uint64_t nodes_visited_search = 0;  // Pages touched answering queries.
+  uint64_t tpbr_recomputes = 0;       // Stored-bound recomputations.
+  uint64_t horizon_retunes = 0;       // UI estimate recomputations.
+  uint64_t root_grows = 0;
+  uint64_t root_shrinks = 0;
+
+  // Distribution of buffer-boundary I/Os and wall time per operation.
+  obs::Histogram insert_io{obs::IoCountBounds()};
+  obs::Histogram delete_io{obs::IoCountBounds()};
+  obs::Histogram search_io{obs::IoCountBounds()};
+  obs::Histogram insert_latency_us{obs::LatencyBoundsUs()};
+  obs::Histogram delete_latency_us{obs::LatencyBoundsUs()};
+  obs::Histogram search_latency_us{obs::LatencyBoundsUs()};
+
+  void Reset() {
+    obs::Histogram* hists[] = {&insert_io,         &delete_io,
+                               &search_io,         &insert_latency_us,
+                               &delete_latency_us, &search_latency_us};
+    for (obs::Histogram* h : hists) h->Reset();
+    uint64_t* counters[] = {&inserts,
+                            &deletes,
+                            &delete_misses,
+                            &searches,
+                            &nn_searches,
+                            &choose_subtree_calls,
+                            &splits,
+                            &forced_reinserts,
+                            &reinserted_entries,
+                            &orphaned_entries,
+                            &purged_entries,
+                            &purged_subtrees,
+                            &nodes_visited_search,
+                            &tpbr_recomputes,
+                            &horizon_retunes,
+                            &root_grows,
+                            &root_shrinks};
+    for (uint64_t* c : counters) *c = 0;
+  }
+};
 
 // Builds the canonical (float-exact) record for a moving point whose
 // position `pos` and velocity `vel` were observed at time `t_obs` and whose
@@ -170,6 +233,22 @@ class Tree {
   const IoStats& io_stats() const { return buffer_.stats(); }
   void ResetIoStats() { buffer_.ResetStats(); }
 
+  // Tree-level operation telemetry.
+  const TreeOpStats& op_stats() const { return op_stats_; }
+  void ResetOpStats() { op_stats_.Reset(); }
+
+  // Attaches a per-operation trace sink (nullptr detaches). The tracer
+  // must outlive the tree or be detached first; the tree does not own it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  // Registers this tree's telemetry — operation counters and histograms,
+  // buffer-pool counters, device counters and latency histograms, and
+  // structure/horizon gauges — under `prefix` (e.g. "tree."). The tree
+  // and its page file must outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
   // Reads a node (counted as I/O like any other access). Test/checker hook.
   Node<kDims> ReadNodeForTest(PageId id) { return ReadNode(id); }
 
@@ -286,6 +365,8 @@ class Tree {
   NodeCodec<kDims> codec_;
   Rng rng_;
   HorizonEstimator horizon_;
+  TreeOpStats op_stats_;
+  obs::Tracer* tracer_ = nullptr;
 
   PageId root_ = kInvalidPageId;
   PageId pinned_root_ = kInvalidPageId;

@@ -84,5 +84,33 @@ TEST(Harness, MetricsAreInternallyConsistent) {
   EXPECT_GT(r.index_pages, 5u);
 }
 
+TEST(Harness, RunResultCarriesTelemetrySnapshot) {
+  WorkloadSpec spec;
+  spec.target_objects = 500;
+  spec.total_insertions = 4000;
+  spec.seed = 23;
+  RunResult r = RunExperiment(spec, VariantSpec::Rexp());
+  ASSERT_FALSE(r.metrics_json.empty());
+  EXPECT_EQ(r.metrics_json.front(), '{');
+  EXPECT_EQ(r.metrics_json.back(), '}');
+  // The snapshot names the buffer and operation counters of the tree
+  // under test and reflects the run that produced it.
+  EXPECT_NE(r.metrics_json.find("\"tree.buffer.reads\":"),
+            std::string::npos);
+  EXPECT_NE(r.metrics_json.find("\"tree.ops.inserts\":"),
+            std::string::npos);
+  EXPECT_NE(r.metrics_json.find("\"tree.ops.searches\":"),
+            std::string::npos);
+  EXPECT_EQ(r.metrics_json.find("\"queue."), std::string::npos)
+      << "non-scheduled variant must not report queue metrics";
+
+  // Scheduled variants add the event queue and scheduler counters.
+  RunResult sched = RunExperiment(spec, VariantSpec::RexpScheduled());
+  EXPECT_NE(sched.metrics_json.find("\"queue.buffer.reads\":"),
+            std::string::npos);
+  EXPECT_NE(sched.metrics_json.find("\"sched.deletions_fired\":"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace rexp

@@ -1,0 +1,408 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the telemetry subsystem: histogram bucketing and percentile
+// readout, the JSON writer, the metrics registry (snapshot / lookup /
+// JSON round-trip), the JSONL tracer, and the benchmark export format.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/bench_export.h"
+#include "harness/table_printer.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace rexp {
+namespace {
+
+using obs::Histogram;
+using obs::JsonWriter;
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+// Histogram::Record is compiled out under REXP_NO_TELEMETRY; skip the
+// tests that depend on recorded samples in that configuration.
+#ifdef REXP_NO_TELEMETRY
+#define REXP_SKIP_IF_NO_TELEMETRY() \
+  GTEST_SKIP() << "histogram recording compiled out (REXP_NO_TELEMETRY)"
+#else
+#define REXP_SKIP_IF_NO_TELEMETRY() \
+  do {                              \
+  } while (false)
+#endif
+
+// ---------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, EmptyHistogramReadsAsZero) {
+  Histogram h(std::vector<double>{1, 2, 4});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, BoundsAreInclusiveUpperEdges) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(std::vector<double>{1, 2, 4});
+  h.Record(0.5);  // bucket 0 (<= 1)
+  h.Record(1.0);  // bucket 0 (inclusive edge)
+  h.Record(1.5);  // bucket 1 (<= 2)
+  h.Record(4.0);  // bucket 2 (inclusive edge)
+  h.Record(100);  // overflow bucket
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, PercentilesInterpolateAndStayWithinRange) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(std::vector<double>{10, 20, 40, 80});
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i % 75) + 1);
+  double p50 = h.Percentile(0.5);
+  double p90 = h.Percentile(0.9);
+  double p99 = h.Percentile(0.99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // The q=0 and q=1 extremes clamp to the observed range.
+  EXPECT_GE(h.Percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, SingleValuePercentileIsExact) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(std::vector<double>{1, 2, 4, 8});
+  for (int i = 0; i < 10; ++i) h.Record(3.0);
+  // All mass in one bucket with min == max == 3: every percentile is 3.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 3.0);
+}
+
+TEST(HistogramTest, BoundlessHistogramTracksMoments) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h;  // Only the overflow bucket.
+  h.Record(2);
+  h.Record(6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+  double p = h.Percentile(0.5);
+  EXPECT_GE(p, 2.0);
+  EXPECT_LE(p, 6.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(obs::IoCountBounds());
+  h.Record(0);
+  h.Record(17);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
+  for (uint64_t c : h.bucket_counts()) EXPECT_EQ(c, 0u);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+}
+
+TEST(HistogramTest, RuntimeDisableSkipsRecording) {
+#ifndef REXP_NO_TELEMETRY
+  Histogram h(std::vector<double>{1, 2});
+  obs::telemetry::SetEnabled(false);
+  h.Record(1.0);
+  obs::telemetry::SetEnabled(true);
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 1u);
+#endif
+}
+
+TEST(HistogramTest, ExponentialBoundsShape) {
+  std::vector<double> b = obs::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1);
+  EXPECT_DOUBLE_EQ(b[3], 8);
+  // The I/O bounds start with an explicit 0 bucket for buffer-resident ops.
+  std::vector<double> io = obs::IoCountBounds();
+  EXPECT_DOUBLE_EQ(io[0], 0.0);
+  EXPECT_DOUBLE_EQ(io[1], 1.0);
+}
+
+TEST(LatencyTimerTest, RecordsOneSampleWhenEnabled) {
+  Histogram h(obs::LatencyBoundsUs());
+  { obs::LatencyTimer t(&h); }
+#ifdef REXP_NO_TELEMETRY
+  EXPECT_EQ(h.count(), 0u);
+#else
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  obs::telemetry::SetEnabled(false);
+  { obs::LatencyTimer t(&h); }
+  obs::telemetry::SetEnabled(true);
+  EXPECT_EQ(h.count(), 1u);  // Disabled timer records nothing.
+#endif
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "rexp");
+  w.KV("n", static_cast<uint64_t>(42));
+  w.KV("neg", static_cast<int64_t>(-7));
+  w.KV("x", 1.5);
+  w.KV("flag", true);
+  w.Key("list").BeginArray().Value(1).Value(2).EndArray();
+  w.Key("nested").BeginObject().KV("a", 0.25).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"rexp\",\"n\":42,\"neg\":-7,\"x\":1.5,"
+            "\"flag\":true,\"list\":[1,2],\"nested\":{\"a\":0.25}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("s", "a\"b\\c\nd\te\x01");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, RawValueSplicesVerbatim) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics").RawValue("{\"counters\":{}}");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"metrics\":{\"counters\":{}}}");
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, SnapshotAndLookup) {
+  uint64_t direct = 3;
+  MetricsRegistry registry;
+  registry.AddCounter("tree.ops.inserts", &direct);
+  registry.AddCounter("tree.derived", [] { return uint64_t{7}; });
+  registry.AddGauge("tree.height", [] { return 2.5; });
+
+  auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "tree.ops.inserts");
+  EXPECT_TRUE(samples[0].is_counter);
+  EXPECT_DOUBLE_EQ(samples[0].value, 3);
+  EXPECT_DOUBLE_EQ(samples[1].value, 7);
+  EXPECT_FALSE(samples[2].is_counter);
+  EXPECT_DOUBLE_EQ(samples[2].value, 2.5);
+
+  direct = 11;  // Bindings are live, not copies.
+  double v = 0;
+  ASSERT_TRUE(registry.Lookup("tree.ops.inserts", &v));
+  EXPECT_DOUBLE_EQ(v, 11);
+  ASSERT_TRUE(registry.Lookup("tree.height", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_FALSE(registry.Lookup("no.such.metric", &v));
+}
+
+TEST(MetricsRegistryTest, ToJsonShape) {
+  uint64_t c = 5;
+  Histogram h(std::vector<double>{1, 2});
+  h.Record(1);
+  h.Record(10);
+  MetricsRegistry registry;
+  registry.AddCounter("buffer.reads", &c);
+  registry.AddGauge("buffer.hit_rate", [] { return 0.5; });
+  registry.AddHistogram("insert_io", &h);
+  std::string json = registry.ToJson();
+
+  EXPECT_NE(json.find("\"counters\":{\"buffer.reads\":5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"buffer.hit_rate\":0.5}"),
+            std::string::npos)
+      << json;
+#ifndef REXP_NO_TELEMETRY
+  EXPECT_NE(json.find("\"insert_io\":{\"count\":2"), std::string::npos)
+      << json;
+  // The overflow bucket's bound is null.
+  EXPECT_NE(json.find("{\"le\":null,\"count\":1}"), std::string::npos) << json;
+#else
+  EXPECT_NE(json.find("\"insert_io\":{\"count\":0"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"le\":null"), std::string::npos) << json;
+#endif
+  // Percentile fields present.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+  // Well-formed: balanced braces, starts and ends as one object.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+    } else if (ch == '"') {
+      in_string = true;
+    } else if (ch == '{' || ch == '[') {
+      ++depth;
+    } else if (ch == '}' || ch == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return lines;
+  std::string cur;
+  int ch;
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += static_cast<char>(ch);
+    }
+  }
+  std::fclose(f);
+  return lines;
+}
+
+TEST(TracerTest, EmitsJsonlWithMonotoneSeq) {
+  std::string path =
+      ::testing::TempDir() + "/rexp_obs_trace_test.jsonl";
+  {
+    auto tracer_or = Tracer::OpenFile(path);
+    ASSERT_TRUE(tracer_or.ok());
+    auto tracer = std::move(tracer_or).value();
+    tracer->Emit("split", {{"level", 1.0}, {"axis", 0.0}});
+    tracer->Emit("insert", {{"now", 2.5}, {"io", 3.0}});
+#ifndef REXP_NO_TELEMETRY
+    EXPECT_EQ(tracer->events(), 2u);
+#endif
+  }
+  std::vector<std::string> lines = ReadLines(path);
+#ifdef REXP_NO_TELEMETRY
+  EXPECT_TRUE(lines.empty());
+#else
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"split\",\"level\":1,\"axis\":0}");
+  EXPECT_EQ(lines[1], "{\"seq\":1,\"type\":\"insert\",\"now\":2.5,\"io\":3}");
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, AppendModeExtendsExistingStream) {
+#ifndef REXP_NO_TELEMETRY
+  std::string path =
+      ::testing::TempDir() + "/rexp_obs_trace_append_test.jsonl";
+  {
+    auto t = std::move(Tracer::OpenFile(path).value());
+    t->Emit("a", {});
+  }
+  {
+    auto t = std::move(Tracer::OpenFile(path, /*append=*/true).value());
+    t->Emit("b", {});
+  }
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"a\"}");
+  EXPECT_EQ(lines[1], "{\"seq\":0,\"type\":\"b\"}");
+  std::remove(path.c_str());
+#endif
+}
+
+// ---------------------------------------------------------------------
+// BenchExport
+
+TEST(BenchExportTest, ToJsonContainsTablesAndRuns) {
+  BenchExport bench("unittest", 0.05);
+  RunResult r;
+  r.variant = "Rexp";
+  r.queries = 10;
+  r.update_ops = 100;
+  r.search_io = 3.5;
+  r.update_io = 2.25;
+  r.index_pages = 42;
+  r.metrics_json = "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  bench.AddRun("Rexp", 120.0, r);
+
+  TablePrinter table("Figure X: demo", "ExpT", {"Rexp", "TPR"});
+  table.AddRow(120.0, {3.5, 4.5});
+  bench.AddTable(table);
+
+  std::string json = bench.ToJson();
+  EXPECT_NE(json.find("\"bench\":\"unittest\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scale\":0.05"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"title\":\"Figure X: demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":[\"Rexp\",\"TPR\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":[{\"x\":120,\"values\":[3.5,4.5]}]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"search_io\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"update_io\":2.25"), std::string::npos);
+  EXPECT_NE(json.find("\"index_pages\":42"), std::string::npos);
+  // The telemetry snapshot is spliced as nested JSON, not a string.
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{}"), std::string::npos)
+      << json;
+}
+
+TEST(BenchExportTest, WriteFileHonorsBenchDir) {
+  std::string dir = ::testing::TempDir();
+  setenv("REXP_BENCH_DIR", dir.c_str(), 1);
+  BenchExport bench("unittest_file", 1.0);
+  RunResult r;
+  bench.AddRun("Rexp", 0.0, r);
+  ASSERT_TRUE(bench.WriteFile().ok());
+  unsetenv("REXP_BENCH_DIR");
+
+  std::string path = dir + "/BENCH_unittest_file.json";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fclose(f);
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].front(), '{');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rexp

@@ -334,6 +334,171 @@ TEST(BufferManagerTest, FetchOfCorruptPagePropagatesAndStaysConsistent) {
   ASSERT_TRUE(buffer.FlushDirty().ok());
 }
 
+TEST(BufferManagerTest, HitMissAccounting) {
+  MemoryPageFile file(kPageSize);
+  PageId a = file.Allocate().value(), b = file.Allocate().value();
+  BufferManager buffer(&file, 4);
+  buffer.FetchOrDie(a);  // miss
+  buffer.FetchOrDie(a);  // hit
+  buffer.FetchOrDie(b);  // miss
+  buffer.FetchOrDie(a);  // hit
+  buffer.FetchOrDie(b);  // hit
+  EXPECT_EQ(buffer.stats().misses, 2u);
+  EXPECT_EQ(buffer.stats().hits, 3u);
+  EXPECT_EQ(buffer.stats().reads, 2u);  // One device read per miss.
+  EXPECT_DOUBLE_EQ(buffer.stats().HitRate(), 0.6);
+}
+
+TEST(BufferManagerTest, EvictionSplitsCleanAndDirty) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 2);
+  // Fill both frames: one clean (fetched, untouched), one dirty.
+  PageId clean = file.Allocate().value();
+  buffer.FetchOrDie(clean);
+  PageId dirty;
+  buffer.NewPageOrDie(&dirty)->Write<uint32_t>(0, 1);
+  // Two more fetches evict both: the clean page costs no write, the
+  // dirty one is written back.
+  PageId x = file.Allocate().value(), y = file.Allocate().value();
+  buffer.FetchOrDie(x);
+  buffer.FetchOrDie(y);
+  EXPECT_EQ(buffer.stats().evictions_clean, 1u);
+  EXPECT_EQ(buffer.stats().evictions_dirty, 1u);
+  EXPECT_EQ(buffer.stats().write_backs, 1u);
+  // The write-back is also counted in the paper's `writes` metric, and
+  // it is the only write so far (no flush has happened).
+  EXPECT_EQ(buffer.stats().writes, 1u);
+  EXPECT_EQ(buffer.stats().writes - buffer.stats().write_backs, 0u);
+}
+
+TEST(BufferManagerTest, FlushWritesAreNotWriteBacks) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 4);
+  PageId id;
+  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 5);
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+  EXPECT_EQ(buffer.stats().writes, 1u);
+  EXPECT_EQ(buffer.stats().write_backs, 0u);
+  EXPECT_EQ(buffer.stats().evictions_clean, 0u);
+  EXPECT_EQ(buffer.stats().evictions_dirty, 0u);
+}
+
+TEST(BufferManagerTest, PinAccountingCountsCalls) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 4);
+  PageId id = file.Allocate().value();
+  buffer.FetchOrDie(id);
+  buffer.Pin(id);
+  buffer.Pin(id);  // Nested pin counts again.
+  buffer.Unpin(id);
+  buffer.Unpin(id);
+  EXPECT_EQ(buffer.stats().pins, 2u);
+  EXPECT_EQ(buffer.stats().unpins, 2u);
+}
+
+TEST(BufferManagerTest, ResetStatsClearsAllCounters) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 2);
+  PageId a;
+  buffer.NewPageOrDie(&a)->Write<uint32_t>(0, 1);
+  for (int i = 0; i < 4; ++i) {
+    PageId id = file.Allocate().value();
+    buffer.FetchOrDie(id);
+  }
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+  ASSERT_GT(buffer.stats().Total(), 0u);
+  buffer.ResetStats();
+  const IoStats& s = buffer.stats();
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.evictions_clean, 0u);
+  EXPECT_EQ(s.evictions_dirty, 0u);
+  EXPECT_EQ(s.write_backs, 0u);
+  EXPECT_EQ(s.pins, 0u);
+  EXPECT_EQ(s.unpins, 0u);
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.0);
+  // Accounting resumes from zero.
+  buffer.FetchOrDie(a);
+  EXPECT_EQ(buffer.stats().misses + buffer.stats().hits, 1u);
+}
+
+TEST(BufferManagerTest, MissOnCorruptPageStillCountsAsMiss) {
+  MemoryPageFile file(kPageSize);
+  BufferManager buffer(&file, 4);
+  PageId id;
+  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 9);
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(id, frame.data()).ok());
+  frame[kPageHeaderSize] ^= 0xFF;
+  ASSERT_TRUE(file.WriteFrame(id, frame.data()).ok());
+  for (int i = 0; i < 8; ++i) {
+    PageId other;
+    buffer.NewPageOrDie(&other);
+  }
+  ASSERT_TRUE(buffer.FlushDirty().ok());
+  buffer.ResetStats();
+  ASSERT_FALSE(buffer.Fetch(id).ok());
+  // The lookup failed before the device read errored: misses >= reads.
+  EXPECT_EQ(buffer.stats().misses, 1u);
+  EXPECT_GE(buffer.stats().misses, buffer.stats().reads);
+}
+
+TEST(DeviceStatsTest, FrameCountsAndChecksumFailures) {
+  MemoryPageFile file(kPageSize);
+  PageId id = file.Allocate().value();
+  Page page(kPageSize);
+  page.Write<uint32_t>(0, 77);
+  ASSERT_TRUE(file.WritePage(id, page).ok());
+  Page readback(kPageSize);
+  ASSERT_TRUE(file.ReadPage(id, &readback).ok());
+  EXPECT_GE(file.device_stats().frame_writes, 1u);
+  EXPECT_GE(file.device_stats().frame_reads, 1u);
+  EXPECT_EQ(file.device_stats().checksum_failures, 0u);
+
+  // Corrupt the stored frame below the checksum layer: the next ReadPage
+  // fails validation and counts a checksum failure.
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(id, frame.data()).ok());
+  frame[kPageHeaderSize + 1] ^= 0x10;
+  ASSERT_TRUE(file.WriteFrame(id, frame.data()).ok());
+  Status s = file.ReadPage(id, &readback);
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_EQ(file.device_stats().checksum_failures, 1u);
+
+  file.ResetDeviceStats();
+  EXPECT_EQ(file.device_stats().frame_reads, 0u);
+  EXPECT_EQ(file.device_stats().frame_writes, 0u);
+  EXPECT_EQ(file.device_stats().checksum_failures, 0u);
+}
+
+TEST(DeviceStatsTest, DiskFileRecordsLatencies) {
+  std::string path =
+      ::testing::TempDir() + "/rexp_device_stats_test.bin";
+  std::remove(path.c_str());
+  {
+    auto file = DiskPageFile::Open(path, 512, /*keep=*/false).value();
+    PageId id = file->Allocate().value();
+    Page page(512);
+    page.Write<uint32_t>(0, 3);
+    ASSERT_TRUE(file->WritePage(id, page).ok());
+    Page readback(512);
+    ASSERT_TRUE(file->ReadPage(id, &readback).ok());
+    EXPECT_GE(file->device_stats().frame_writes, 1u);
+    EXPECT_GE(file->device_stats().frame_reads, 1u);
+#ifndef REXP_NO_TELEMETRY
+    // Latency histograms observe one sample per transfer when telemetry
+    // is enabled.
+    EXPECT_EQ(file->device_stats().write_latency_us.count(),
+              file->device_stats().frame_writes);
+    EXPECT_EQ(file->device_stats().read_latency_us.count(),
+              file->device_stats().frame_reads);
+#endif
+  }
+}
+
 TEST(BufferManagerTest, StressMatchesShadowStore) {
   // Randomized workload against an in-memory shadow: every page read must
   // observe the last flushed-or-buffered write.

@@ -5,6 +5,11 @@
 // statistics, and the live/expired entry split at a given time.
 //
 //   $ ./inspect_index <index-file> [--now T] [--page-size N]
+//                     [--json] [--metrics]
+//
+// --json emits the whole report as one JSON object (structure, per-level
+// stats, horizon estimate, and the telemetry registry snapshot) instead
+// of the human-readable text; --metrics emits only the registry snapshot.
 //
 // The configuration flags must match the ones the index was created with
 // (defaults: the standard R^exp-tree configuration). Build an index to
@@ -17,30 +22,57 @@
 #include <cstring>
 #include <string>
 
+#include "obs/json_writer.h"
+#include "obs/registry.h"
 #include "storage/page_file.h"
 #include "tree/stats.h"
 #include "tree/tree.h"
 
 using namespace rexp;
 
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <index-file> [--now T] [--page-size N] [--json] "
+               "[--metrics]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <index-file> [--now T] [--page-size N]\n",
-                 argv[0]);
-    return 2;
-  }
+  if (argc < 2) return Usage(argv[0]);
   std::string path = argv[1];
   Time now = 0;
   uint32_t page_size = 4096;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--now") == 0) {
-      now = std::atof(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--page-size") == 0) {
-      page_size = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+  bool json = false;
+  bool metrics_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_only = true;
+    } else if (std::strcmp(argv[i], "--now") == 0 ||
+               std::strcmp(argv[i], "--page-size") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s requires a value\n", argv[i]);
+        return Usage(argv[0]);
+      }
+      if (std::strcmp(argv[i], "--now") == 0) {
+        now = std::atof(argv[i + 1]);
+      } else {
+        page_size = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+        if (page_size == 0) {
+          std::fprintf(stderr, "--page-size must be a positive integer\n");
+          return Usage(argv[0]);
+        }
+      }
+      ++i;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return 2;
+      return Usage(argv[0]);
     }
   }
 
@@ -67,6 +99,61 @@ int main(int argc, char** argv) {
   }
   auto tree = std::move(tree_or).value();
 
+  Status verify = tree->VerifyPages();
+
+  if (metrics_only) {
+    // Just the registry snapshot (the open + verification walk already
+    // populated the device and buffer counters).
+    obs::MetricsRegistry registry;
+    tree->RegisterMetrics(&registry, "tree.");
+    std::printf("%s\n", registry.ToJson().c_str());
+    return verify.ok() ? 0 : 1;
+  }
+
+  if (json) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.KV("path", path);
+    w.KV("page_size", static_cast<uint64_t>(page_size));
+    w.KV("now", now);
+    w.KV("meta_epoch", tree->meta_epoch());
+    w.KV("meta_slot_errors", tree->meta_slot_errors());
+    w.KV("verify_ok", verify.ok());
+    if (!verify.ok()) w.KV("verify_error", verify.ToString());
+    if (verify.ok()) {
+      TreeStats<2> stats = CollectStats(tree.get(), now);
+      w.KV("height", stats.height);
+      w.KV("pages", stats.pages);
+      w.KV("total_entries", stats.TotalEntries());
+      w.Key("levels").BeginArray();
+      for (const LevelStats& l : stats.levels) {
+        w.BeginObject();
+        w.KV("level", l.level);
+        w.KV("nodes", l.nodes);
+        w.KV("entries", l.entries);
+        w.KV("live_entries", l.live_entries);
+        w.KV("avg_fill", l.avg_fill);
+        w.KV("avg_extent", l.avg_extent);
+        w.KV("avg_growth_rate", l.avg_growth_rate);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("horizon")
+          .BeginObject()
+          .KV("ui", tree->horizon().ui())
+          .KV("w", tree->horizon().w())
+          .KV("h", tree->horizon().DecisionHorizon())
+          .EndObject();
+      w.KV("expired_leaf_fraction", tree->ExpiredLeafFraction(now));
+    }
+    obs::MetricsRegistry registry;
+    tree->RegisterMetrics(&registry, "tree.");
+    w.Key("metrics").RawValue(registry.ToJson());
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return verify.ok() ? 0 : 1;
+  }
+
   std::printf("index %s (page size %u)\n", path.c_str(), page_size);
   std::printf("metadata: epoch %llu",
               static_cast<unsigned long long>(tree->meta_epoch()));
@@ -75,7 +162,6 @@ int main(int argc, char** argv) {
                 tree->meta_slot_errors() == 1 ? "" : "s");
   }
   std::printf("\n");
-  Status verify = tree->VerifyPages();
   std::printf("page verification: %s\n",
               verify.ok() ? "OK (all checksums valid)"
                           : verify.ToString().c_str());
@@ -92,5 +178,5 @@ int main(int argc, char** argv) {
               tree->horizon().DecisionHorizon());
   std::printf("expired leaf fraction at t=%.2f: %.2f%%\n", now,
               100 * tree->ExpiredLeafFraction(now));
-  return verify.ok() ? 0 : 1;
+  return 0;
 }
