@@ -49,6 +49,7 @@ void BTree::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->AddCounter(prefix + "buffer.evictions_dirty",
                        &io.evictions_dirty);
   registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs);
+  registry->AddCounter(prefix + "buffer.flush_errors", &io.flush_errors);
   registry->AddGauge(prefix + "buffer.hit_rate",
                      [&io] { return io.HitRate(); });
   const DeviceStats& dev = file_->device_stats();
@@ -71,7 +72,8 @@ void BTree::RegisterMetrics(obs::MetricsRegistry* registry,
 // Node serialization.
 
 BTree::BtNode BTree::ReadNode(PageId id) {
-  Page* page = buffer_.FetchOrDie(id);
+  PageGuard guard = buffer_.FetchOrDie(id);
+  const Page* page = &guard.page();
   BtNode node;
   node.level = page->Read<uint16_t>(0);
   int count = page->Read<uint16_t>(2);
@@ -107,7 +109,8 @@ BTree::BtNode BTree::ReadNode(PageId id) {
 }
 
 void BTree::WriteNode(PageId id, const BtNode& node) {
-  Page* page = buffer_.FetchOrDie(id);
+  PageGuard guard = buffer_.FetchOrDie(id, PageIntent::kWrite);
+  Page* page = guard.mutable_page();
   page->Write<uint16_t>(0, static_cast<uint16_t>(node.level));
   uint32_t off = kHeaderSize;
   if (node.level == 0) {
@@ -140,12 +143,15 @@ void BTree::WriteNode(PageId id, const BtNode& node) {
       }
     }
   }
-  buffer_.MarkDirty(id);
+  guard.MarkDirty();
 }
 
 PageId BTree::AllocNode(const BtNode& node) {
   PageId id;
-  buffer_.NewPageOrDie(&id);
+  // Release the allocation guard before WriteNode re-fetches the page:
+  // the frame latch is not reentrant, so holding it across the second
+  // fetch would self-deadlock.
+  buffer_.NewPageOrDie(&id).Release();
   WriteNode(id, node);
   return id;
 }

@@ -31,6 +31,22 @@ inline float FloatRoundUp(double x) {
   return f;
 }
 
+// Nearest float value of x, returned as a double: the canonical form of a
+// record coordinate, chosen so records round-trip bit-exactly through the
+// 32-bit on-page format.
+//
+// The narrowing goes through a volatile on purpose. When the rounded
+// value is only stored (not used in arithmetic), GCC 12's vectorizer can
+// merge the store with a neighboring double store and drop the
+// double->float conversion entirely (observed with -fsanitize=thread at
+// -O2: a record's t_exp reached the tree unrounded, making it unfindable
+// by Delete's exact-match scan). The volatile forces a real conversion
+// the optimizer cannot elide or merge away.
+inline double ToFloatExactly(double x) {
+  volatile float f = static_cast<float>(x);
+  return static_cast<double>(f);
+}
+
 }  // namespace rexp
 
 #endif  // REXP_COMMON_FLOAT_ROUND_H_

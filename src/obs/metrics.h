@@ -3,17 +3,19 @@
 // Telemetry value types: counters, gauges, and fixed-bucket histograms
 // with percentile readout. The index structures embed these directly in
 // their stats structs, so the hot path is a plain member increment — no
-// name lookup, no atomics (the index is single-writer by design; see
-// PageFile). Naming happens only at snapshot time, via MetricsRegistry.
+// name lookup. Naming happens only at snapshot time, via MetricsRegistry.
 //
 // Overhead model, by layer:
-//   * Counters are one 64-bit add each and are always compiled in: the
-//     paper's I/O counts are a functional metric (the experiment harness
-//     depends on them), not optional telemetry.
+//   * Counters are one 64-bit add each (a relaxed atomic add where the
+//     owning stats struct is shared across reader threads) and are always
+//     compiled in: the paper's I/O counts are a functional metric (the
+//     experiment harness depends on them), not optional telemetry.
 //   * Histogram::Record and trace emission are telemetry proper. They are
 //     gated by the cheap runtime flag (telemetry::Enabled(), one branch on
-//     a global bool) and removed entirely — bodies compile to nothing —
+//     a global flag) and removed entirely — bodies compile to nothing —
 //     when REXP_NO_TELEMETRY is defined (cmake -DREXP_NO_TELEMETRY=ON).
+//     When enabled, Record additionally takes the histogram's internal
+//     mutex so concurrent reader epochs stay race-free.
 //   * Latency timing additionally pays a steady_clock read per measured
 //     section; LatencyTimer skips the clock when telemetry is disabled.
 
@@ -21,9 +23,11 @@
 #define REXP_OBS_METRICS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 namespace rexp::obs {
@@ -34,10 +38,12 @@ namespace telemetry {
 constexpr bool Enabled() { return false; }
 inline void SetEnabled(bool) {}
 #else
-inline bool g_enabled = true;
+inline std::atomic<bool> g_enabled{true};
 
-inline bool Enabled() { return g_enabled; }
-inline void SetEnabled(bool on) { g_enabled = on; }
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+inline void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
 #endif
 
 }  // namespace telemetry
@@ -58,6 +64,12 @@ struct Counter {
 // out by linear interpolation within the containing bucket (the overflow
 // bucket reports its lower edge, i.e. percentiles saturate at the last
 // finite bound).
+//
+// Thread safety: Record and every reader serialize on an internal mutex,
+// so histograms embedded in stats structs stay consistent when shared
+// tree epochs record from several reader threads (DESIGN.md §8). The
+// lock is taken after the telemetry-enabled branch, so a disabled
+// histogram still costs only the branch.
 class Histogram {
  public:
   // A bound-less histogram still tracks count/sum/min/max (one overflow
@@ -66,9 +78,23 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds)
       : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
 
+  Histogram(const Histogram& other) { *this = other; }
+  Histogram& operator=(const Histogram& other) {
+    if (this == &other) return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    bounds_ = other.bounds_;
+    counts_ = other.counts_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return *this;
+  }
+
   void Record(double v) {
 #ifndef REXP_NO_TELEMETRY
     if (!telemetry::Enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
     size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
                bounds_.begin();
     // upper_bound treats bounds as exclusive; make them inclusive.
@@ -83,38 +109,54 @@ class Histogram {
 #endif
   }
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ ? min_ : 0; }
-  double max() const { return count_ ? max_ : 0; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return MinLocked();
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return MaxLocked();
+  }
   double mean() const {
-    return count_ ? sum_ / static_cast<double>(count_) : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    return MeanLocked();
   }
 
   // Value at quantile q in [0, 1], interpolated within the bucket that
   // holds the q-th recorded sample. 0 when empty.
   double Percentile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (count_ == 0) return 0;
-    if (bounds_.empty()) return std::clamp(mean(), min(), max());
+    if (bounds_.empty())
+      return std::clamp(MeanLocked(), MinLocked(), MaxLocked());
     q = std::clamp(q, 0.0, 1.0);
     double rank = q * static_cast<double>(count_);
     uint64_t seen = 0;
     for (size_t b = 0; b < counts_.size(); ++b) {
       if (counts_[b] == 0) continue;
-      double lo = b == 0 ? std::min(min(), bounds_[0]) : bounds_[b - 1];
+      double lo = b == 0 ? std::min(MinLocked(), bounds_[0]) : bounds_[b - 1];
       double hi = b < bounds_.size() ? bounds_[b] : bounds_.back();
       seen += counts_[b];
       if (static_cast<double>(seen) >= rank) {
         double frac = 1.0 - (static_cast<double>(seen) - rank) /
                                 static_cast<double>(counts_[b]);
         double v = lo + (hi - lo) * frac;
-        return std::clamp(v, min(), max());
+        return std::clamp(v, MinLocked(), MaxLocked());
       }
     }
-    return max();
+    return MaxLocked();
   }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     std::fill(counts_.begin(), counts_.end(), 0);
     count_ = 0;
     sum_ = 0;
@@ -122,10 +164,24 @@ class Histogram {
     max_ = -std::numeric_limits<double>::infinity();
   }
 
-  const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  // Snapshots (copies): consistent even while other threads record.
+  std::vector<double> bounds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bounds_;
+  }
+  std::vector<uint64_t> bucket_counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
 
  private:
+  double MinLocked() const { return count_ ? min_ : 0; }
+  double MaxLocked() const { return count_ ? max_ : 0; }
+  double MeanLocked() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  mutable std::mutex mu_;
   std::vector<double> bounds_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;

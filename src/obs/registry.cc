@@ -13,6 +13,13 @@ void MetricsRegistry::AddCounter(std::string name, const uint64_t* v) {
 }
 
 void MetricsRegistry::AddCounter(std::string name,
+                                 const std::atomic<uint64_t>* v) {
+  REXP_CHECK(v != nullptr);
+  counters_.emplace_back(
+      std::move(name), [v] { return v->load(std::memory_order_relaxed); });
+}
+
+void MetricsRegistry::AddCounter(std::string name,
                                  std::function<uint64_t()> fn) {
   counters_.emplace_back(std::move(name), std::move(fn));
 }

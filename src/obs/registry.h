@@ -15,6 +15,7 @@
 #ifndef REXP_OBS_REGISTRY_H_
 #define REXP_OBS_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -39,10 +40,11 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  // Binds `name` to a live counter value. The `v` overload is the common
-  // case of a uint64_t member; the callback overload covers derived
-  // counts.
+  // Binds `name` to a live counter value. The pointer overloads are the
+  // common case of a (plain or atomic) uint64_t member; the callback
+  // overload covers derived counts.
   void AddCounter(std::string name, const uint64_t* v);
+  void AddCounter(std::string name, const std::atomic<uint64_t>* v);
   void AddCounter(std::string name, std::function<uint64_t()> fn);
 
   // Binds `name` to a point-in-time measurement (heights, fractions,

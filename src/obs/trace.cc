@@ -35,6 +35,7 @@ void Tracer::Emit(const char* type,
   (void)type;
   (void)fields;
 #else
+  std::lock_guard<std::mutex> lock(mu_);
   line_.clear();
   line_ += "{\"seq\":";
   char buf[32];

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -55,18 +56,26 @@ class Tracer {
 
   ~Tracer();
 
+  // Thread-safe: concurrent reader epochs emitting events serialize on
+  // an internal mutex, so lines never interleave and `seq` stays
+  // monotone (events of one logical operation are still consecutive
+  // because only the exclusive writer emits multi-event groups).
   void Emit(const char* type, std::initializer_list<TraceField> fields);
 
-  uint64_t events() const { return seq_; }
+  uint64_t events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seq_;
+  }
 
   // Pushes buffered events to the stream.
   void Flush();
 
  private:
+  mutable std::mutex mu_;
   std::FILE* file_;
   bool owns_;
   uint64_t seq_ = 0;
-  std::string line_;  // Reused formatting buffer.
+  std::string line_;  // Reused formatting buffer (guarded by mu_).
 };
 
 }  // namespace rexp::obs

@@ -1,0 +1,90 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// A writer-preferring reader/writer lock. std::shared_mutex on glibc maps
+// to a pthread rwlock whose default policy admits new readers while a
+// writer waits, so a stream of back-to-back readers starves the writer
+// indefinitely — exactly the shape of the tree's epoch workload (query
+// threads looping against occasional updates, DESIGN.md §8). This lock
+// closes that gate: once a writer is waiting, new readers queue behind
+// it, so updates always make progress; readers run concurrently between
+// writers as usual.
+//
+// Meets the SharedLockable requirements, so std::unique_lock and
+// std::shared_lock work unchanged. Not reentrant, like std::shared_mutex.
+
+#ifndef REXP_SCHED_SHARED_MUTEX_H_
+#define REXP_SCHED_SHARED_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rexp::sched {
+
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiting_writers_;
+    writer_cv_.wait(lk, [this] {
+      return !writer_active_ && active_readers_ == 0;
+    });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writer_active_ || active_readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> lk(mu_);
+    writer_active_ = false;
+    if (waiting_writers_ != 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    reader_cv_.wait(lk, [this] {
+      return !writer_active_ && waiting_writers_ == 0;
+    });
+    ++active_readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writer_active_ || waiting_writers_ != 0) return false;
+    ++active_readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ != 0) {
+      writer_cv_.notify_one();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable writer_cv_;
+  std::condition_variable reader_cv_;
+  uint64_t active_readers_ = 0;
+  uint64_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace rexp::sched
+
+#endif  // REXP_SCHED_SHARED_MUTEX_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// A small fixed-size worker pool for fanning batches of index queries
+// across threads (Tree::ParallelSearch, the concurrency benchmark, and
+// tests). Deliberately minimal: submit closures, wait for the batch to
+// drain. Submitted work must do its own synchronization against the
+// index (the tree's epoch protocol, DESIGN.md §8); the pool only
+// provides the threads.
+
+#ifndef REXP_SCHED_THREAD_POOL_H_
+#define REXP_SCHED_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rexp::sched {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    REXP_CHECK(num_threads >= 1);
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` for execution on some worker. Never blocks.
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+      ++outstanding_;
+    }
+    wake_.notify_one();
+  }
+
+  // Blocks until every task submitted so far has finished executing.
+  // Must not be called from inside a task.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_, nothing left to run.
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) drained_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rexp::sched
+
+#endif  // REXP_SCHED_THREAD_POOL_H_

@@ -6,12 +6,25 @@
 
 namespace rexp {
 
+void PageGuard::MarkDirty() {
+  CheckLive();
+  REXP_DCHECK(intent_ == PageIntent::kWrite);
+  bm_->MarkDirtyFrame(frame_index_);
+}
+
+void PageGuard::Release() {
+  if (bm_ == nullptr) return;
+  bm_->ReleaseGuard(frame_index_, intent_);
+  bm_ = nullptr;
+  page_ = nullptr;
+}
+
 BufferManager::BufferManager(PageFile* file, uint32_t num_frames)
     : file_(file), num_frames_(num_frames) {
   REXP_CHECK(num_frames >= 1);
   frames_.reserve(num_frames);
   for (uint32_t i = 0; i < num_frames; ++i) {
-    frames_.emplace_back(file->page_size());
+    frames_.push_back(std::make_unique<Frame>(file->page_size()));
     free_frames_.push_back(num_frames - 1 - i);  // Use frame 0 first.
   }
 }
@@ -24,113 +37,129 @@ BufferManager::~BufferManager() {
   }
 }
 
-StatusOr<Page*> BufferManager::Fetch(PageId id) {
+StatusOr<PageGuard> BufferManager::Fetch(PageId id, PageIntent intent) {
   REXP_CHECK(id != kInvalidPageId);
-  auto it = frame_of_.find(id);
-  if (it != frame_of_.end()) {
-    ++stats_.hits;
-    Touch(it->second);
-    return &frames_[it->second].page;
-  }
-  ++stats_.misses;
-  REXP_ASSIGN_OR_RETURN(uint32_t fi, AcquireFrame());
-  Frame& f = frames_[fi];
-  Status read = file_->ReadPage(id, &f.page);
-  if (!read.ok()) {
-    // The frame was never published; hand it back so the buffer stays
-    // consistent and the caller can retry or fail upward.
-    free_frames_.push_back(fi);
-    return read;
-  }
-  ++stats_.reads;
-  f.id = id;
-  f.dirty = false;
-  f.pin_count = 0;
-  frame_of_[id] = fi;
-  Touch(fi);
-  return &f.page;
-}
-
-StatusOr<Page*> BufferManager::NewPage(PageId* id) {
-  REXP_ASSIGN_OR_RETURN(*id, file_->Allocate());
-  // The page may be a recycled one that is still buffered with stale
-  // contents; reuse its frame in that case.
   uint32_t fi;
-  auto it = frame_of_.find(*id);
-  if (it != frame_of_.end()) {
-    fi = it->second;
-  } else {
-    auto acquired = AcquireFrame();
-    if (!acquired.ok()) {
-      // Undo the allocation; the caller never saw the page.
-      file_->Free(*id);
-      *id = kInvalidPageId;
-      return acquired.status();
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    auto it = frame_of_.find(id);
+    if (it != frame_of_.end()) {
+      ++stats_.hits;
+      fi = it->second;
+    } else {
+      ++stats_.misses;
+      REXP_ASSIGN_OR_RETURN(fi, AcquireFrameLocked());
+      Frame& f = *frames_[fi];
+      // Device transfer under pool_mu_: misses serialize, keeping the
+      // global LRU order and I/O counts exactly as in the single-
+      // threaded pool. Concurrent hits do not wait here for the latch.
+      Status read = file_->ReadPage(id, &f.page);
+      if (!read.ok()) {
+        // The frame was never published; hand it back so the buffer
+        // stays consistent and the caller can retry or fail upward.
+        free_frames_.push_back(fi);
+        return read;
+      }
+      ++stats_.reads;
+      f.id = id;
+      f.dirty = false;
+      f.pin_count = 0;
+      ++f.generation;
+      frame_of_[id] = fi;
     }
-    fi = *acquired;
-    frames_[fi].id = *id;
-    frames_[fi].pin_count = 0;
-    frame_of_[*id] = fi;
+    // Pin before dropping pool_mu_ so the frame cannot be evicted or
+    // reassigned in the gap before the latch is taken.
+    PinFrameLocked(fi);
   }
-  Frame& f = frames_[fi];
-  f.page.Clear();
-  f.dirty = true;
-  Touch(fi);
-  return &f.page;
+  return MakeGuard(fi, intent);
 }
 
-Page* BufferManager::FetchOrDie(PageId id) {
-  auto page = Fetch(id);
-  if (!page.ok()) {
+StatusOr<PageGuard> BufferManager::NewPage(PageId* id) {
+  uint32_t fi;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    REXP_ASSIGN_OR_RETURN(*id, file_->Allocate());
+    // The page may be a recycled one that is still buffered with stale
+    // contents; reuse its frame in that case.
+    auto it = frame_of_.find(*id);
+    if (it != frame_of_.end()) {
+      fi = it->second;
+      REXP_CHECK(frames_[fi]->pin_count == 0);  // Freed pages have no guards.
+      ++frames_[fi]->generation;
+    } else {
+      auto acquired = AcquireFrameLocked();
+      if (!acquired.ok()) {
+        // Undo the allocation; the caller never saw the page.
+        file_->Free(*id);
+        *id = kInvalidPageId;
+        return acquired.status();
+      }
+      fi = *acquired;
+      frames_[fi]->id = *id;
+      frames_[fi]->pin_count = 0;
+      ++frames_[fi]->generation;
+      frame_of_[*id] = fi;
+    }
+    Frame& f = *frames_[fi];
+    f.page.Clear();
+    f.dirty = true;
+    PinFrameLocked(fi);
+  }
+  return MakeGuard(fi, PageIntent::kWrite);
+}
+
+PageGuard BufferManager::FetchOrDie(PageId id, PageIntent intent) {
+  auto guard = Fetch(id, intent);
+  if (!guard.ok()) {
     std::fprintf(stderr, "BufferManager::Fetch(%u) failed: %s\n", id,
-                 page.status().ToString().c_str());
+                 guard.status().ToString().c_str());
     std::abort();
   }
-  return *page;
+  return *std::move(guard);
 }
 
-Page* BufferManager::NewPageOrDie(PageId* id) {
-  auto page = NewPage(id);
-  if (!page.ok()) {
+PageGuard BufferManager::NewPageOrDie(PageId* id) {
+  auto guard = NewPage(id);
+  if (!guard.ok()) {
     std::fprintf(stderr, "BufferManager::NewPage failed: %s\n",
-                 page.status().ToString().c_str());
+                 guard.status().ToString().c_str());
     std::abort();
   }
-  return *page;
+  return *std::move(guard);
 }
 
 void BufferManager::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   auto it = frame_of_.find(id);
   REXP_CHECK(it != frame_of_.end());
-  frames_[it->second].dirty = true;
+  frames_[it->second]->dirty = true;
 }
 
 void BufferManager::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   auto it = frame_of_.find(id);
   REXP_CHECK(it != frame_of_.end());
-  Frame& f = frames_[it->second];
-  ++stats_.pins;
-  if (f.pin_count++ == 0) RemoveFromLru(it->second);
+  PinFrameLocked(it->second);
 }
 
 void BufferManager::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   auto it = frame_of_.find(id);
   REXP_CHECK(it != frame_of_.end());
-  Frame& f = frames_[it->second];
-  REXP_CHECK(f.pin_count > 0);
-  ++stats_.unpins;
-  if (--f.pin_count == 0) Touch(it->second);
+  UnpinFrameLocked(it->second);
 }
 
 void BufferManager::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     uint32_t fi = it->second;
-    Frame& f = frames_[fi];
+    Frame& f = *frames_[fi];
     REXP_CHECK(f.pin_count == 0);
-    RemoveFromLru(fi);
+    RemoveFromLruLocked(fi);
     f.id = kInvalidPageId;
     f.dirty = false;
+    ++f.generation;
     frame_of_.erase(it);
     free_frames_.push_back(fi);
   }
@@ -138,13 +167,18 @@ void BufferManager::FreePage(PageId id) {
 }
 
 Status BufferManager::FlushDirty() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   Status first_error;
-  for (Frame& f : frames_) {
+  for (auto& frame : frames_) {
+    Frame& f = *frame;
     if (f.id != kInvalidPageId && f.dirty) {
       Status s = file_->WritePage(f.id, f.page);
       if (!s.ok()) {
         // Keep the page dirty so a later flush can retry; remember the
-        // first failure but try every remaining page.
+        // first failure but try every remaining page, and count each
+        // failed page so the error is visible in telemetry even when a
+        // caller drops the status.
+        ++stats_.flush_errors;
         if (first_error.ok()) first_error = s;
         continue;
       }
@@ -155,16 +189,32 @@ Status BufferManager::FlushDirty() {
   return first_error;
 }
 
-StatusOr<uint32_t> BufferManager::AcquireFrame() {
+bool BufferManager::IsBuffered(PageId id) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return frame_of_.count(id) > 0;
+}
+
+uint32_t BufferManager::PinnedFrames() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  uint32_t pinned = 0;
+  for (const auto& f : frames_) {
+    if (f->id != kInvalidPageId && f->pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+StatusOr<uint32_t> BufferManager::AcquireFrameLocked() {
   if (!free_frames_.empty()) {
     uint32_t fi = free_frames_.back();
     free_frames_.pop_back();
     return fi;
   }
-  // Evict the least-recently-used unpinned page.
+  // Evict the least-recently-used unpinned page. Pinned (and therefore
+  // guarded) frames are never on the LRU list, so evicting the victim
+  // cannot race with a reader of its content.
   REXP_CHECK(!lru_.empty());  // All frames pinned => misconfigured buffer.
   uint32_t fi = lru_.back();
-  Frame& f = frames_[fi];
+  Frame& f = *frames_[fi];
   if (f.dirty) {
     // Write the victim out *before* dismantling its mapping: if the write
     // fails, the page stays buffered and dirty and the buffer is exactly
@@ -177,14 +227,15 @@ StatusOr<uint32_t> BufferManager::AcquireFrame() {
   } else {
     ++stats_.evictions_clean;
   }
-  RemoveFromLru(fi);
+  RemoveFromLruLocked(fi);
   frame_of_.erase(f.id);
   f.id = kInvalidPageId;
+  ++f.generation;
   return fi;
 }
 
-void BufferManager::Touch(uint32_t frame_index) {
-  Frame& f = frames_[frame_index];
+void BufferManager::TouchLocked(uint32_t frame_index) {
+  Frame& f = *frames_[frame_index];
   if (f.pin_count > 0) return;  // Pinned pages are not on the LRU list.
   if (f.in_lru) lru_.erase(f.lru_pos);
   lru_.push_front(frame_index);
@@ -192,12 +243,59 @@ void BufferManager::Touch(uint32_t frame_index) {
   f.in_lru = true;
 }
 
-void BufferManager::RemoveFromLru(uint32_t frame_index) {
-  Frame& f = frames_[frame_index];
+void BufferManager::RemoveFromLruLocked(uint32_t frame_index) {
+  Frame& f = *frames_[frame_index];
   if (f.in_lru) {
     lru_.erase(f.lru_pos);
     f.in_lru = false;
   }
+}
+
+void BufferManager::PinFrameLocked(uint32_t frame_index) {
+  Frame& f = *frames_[frame_index];
+  ++stats_.pins;
+  if (f.pin_count++ == 0) RemoveFromLruLocked(frame_index);
+}
+
+void BufferManager::UnpinFrameLocked(uint32_t frame_index) {
+  Frame& f = *frames_[frame_index];
+  REXP_CHECK(f.pin_count > 0);
+  ++stats_.unpins;
+  if (--f.pin_count == 0) TouchLocked(frame_index);
+}
+
+PageGuard BufferManager::MakeGuard(uint32_t fi, PageIntent intent) {
+  Frame& f = *frames_[fi];
+  // The frame is pinned, so its binding and generation are stable here
+  // even though pool_mu_ is no longer held.
+  if (intent == PageIntent::kWrite) {
+    f.latch.lock();
+  } else {
+    f.latch.lock_shared();
+  }
+  return PageGuard(this, fi, &f.page, f.id, intent, f.generation);
+}
+
+void BufferManager::ReleaseGuard(uint32_t fi, PageIntent intent) {
+  Frame& f = *frames_[fi];
+  // Latch first, pool second — never the reverse (see header).
+  if (intent == PageIntent::kWrite) {
+    f.latch.unlock();
+  } else {
+    f.latch.unlock_shared();
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  UnpinFrameLocked(fi);
+}
+
+void BufferManager::MarkDirtyFrame(uint32_t fi) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  frames_[fi]->dirty = true;
+}
+
+uint64_t BufferManager::FrameGeneration(uint32_t fi) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return frames_[fi]->generation;
 }
 
 }  // namespace rexp

@@ -7,61 +7,108 @@
 // counters (`reads`, `writes`) are unchanged; the rest break the pool's
 // behavior down for the telemetry layer — cache effectiveness (hits vs
 // misses), replacement pressure (clean vs dirty evictions), and pinning
-// discipline. All counters are plain 64-bit adds on the hot path and are
-// always compiled in (see obs/metrics.h for the overhead model).
+// discipline.
+//
+// The counters are relaxed atomics so that concurrent readers (shared
+// tree epochs, see DESIGN.md §8) can bump them without tearing and the
+// metrics registry can sample them from another thread. Relaxed ordering
+// is enough: each counter is an independent monotone event count, never
+// used to synchronize other memory. Copying an IoStats (the before/after
+// snapshot idiom the harness uses) takes a relaxed load of each field;
+// cross-field consistency of a snapshot taken mid-operation is not
+// guaranteed and not needed.
 
 #ifndef REXP_STORAGE_IO_STATS_H_
 #define REXP_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace rexp {
 
 struct IoStats {
   // The paper's metrics.
-  uint64_t reads = 0;   // Device reads on fetch misses.
-  uint64_t writes = 0;  // Device writes: flushes + dirty-victim write-backs.
+  std::atomic<uint64_t> reads{0};   // Device reads on fetch misses.
+  std::atomic<uint64_t> writes{0};  // Device writes: flushes + write-backs.
 
   // Cache effectiveness. `hits + misses` counts every Fetch; a miss is
   // counted when the lookup fails, even if the subsequent device read
   // errors (so `misses >= reads` under I/O errors).
-  uint64_t hits = 0;
-  uint64_t misses = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
 
   // Replacement. An eviction is a frame reclaimed from the LRU list;
   // dirty victims additionally cost one write-back (counted both in
   // `write_backs` and in `writes`). Flush-path writes are
   // `writes - write_backs`.
-  uint64_t evictions_clean = 0;
-  uint64_t evictions_dirty = 0;
-  uint64_t write_backs = 0;
+  std::atomic<uint64_t> evictions_clean{0};
+  std::atomic<uint64_t> evictions_dirty{0};
+  std::atomic<uint64_t> write_backs{0};
 
-  // Pinning (nested pin/unpin calls, not distinct pages).
-  uint64_t pins = 0;
-  uint64_t unpins = 0;
+  // Pinning. Counts pin/unpin events, not distinct pages: both the
+  // legacy Pin/Unpin calls and the implicit pin every PageGuard holds
+  // for its lifetime.
+  std::atomic<uint64_t> pins{0};
+  std::atomic<uint64_t> unpins{0};
+
+  // Pages whose write-back failed in FlushDirty. The flush returns the
+  // first error, but this counter makes a swallowed flush failure
+  // visible in telemetry (`buffer.flush_errors`).
+  std::atomic<uint64_t> flush_errors{0};
+
+  IoStats() = default;
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
 
   uint64_t Total() const { return reads + writes; }
 
   double HitRate() const {
-    uint64_t fetches = hits + misses;
-    return fetches == 0 ? 0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(fetches);
+    uint64_t h = hits, m = misses;
+    uint64_t fetches = h + m;
+    return fetches == 0
+               ? 0
+               : static_cast<double>(h) / static_cast<double>(fetches);
   }
 
   IoStats operator-(const IoStats& other) const {
-    return IoStats{reads - other.reads,
-                   writes - other.writes,
-                   hits - other.hits,
-                   misses - other.misses,
-                   evictions_clean - other.evictions_clean,
-                   evictions_dirty - other.evictions_dirty,
-                   write_backs - other.write_backs,
-                   pins - other.pins,
-                   unpins - other.unpins};
+    IoStats d;
+    d.reads = reads - other.reads;
+    d.writes = writes - other.writes;
+    d.hits = hits - other.hits;
+    d.misses = misses - other.misses;
+    d.evictions_clean = evictions_clean - other.evictions_clean;
+    d.evictions_dirty = evictions_dirty - other.evictions_dirty;
+    d.write_backs = write_backs - other.write_backs;
+    d.pins = pins - other.pins;
+    d.unpins = unpins - other.unpins;
+    d.flush_errors = flush_errors - other.flush_errors;
+    return d;
   }
 
-  void Reset() { *this = IoStats{}; }
+  void Reset() {
+    for (std::atomic<uint64_t>* c :
+         {&reads, &writes, &hits, &misses, &evictions_clean,
+          &evictions_dirty, &write_backs, &pins, &unpins, &flush_errors}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  void CopyFrom(const IoStats& other) {
+    reads = other.reads.load(std::memory_order_relaxed);
+    writes = other.writes.load(std::memory_order_relaxed);
+    hits = other.hits.load(std::memory_order_relaxed);
+    misses = other.misses.load(std::memory_order_relaxed);
+    evictions_clean = other.evictions_clean.load(std::memory_order_relaxed);
+    evictions_dirty = other.evictions_dirty.load(std::memory_order_relaxed);
+    write_backs = other.write_backs.load(std::memory_order_relaxed);
+    pins = other.pins.load(std::memory_order_relaxed);
+    unpins = other.unpins.load(std::memory_order_relaxed);
+    flush_errors = other.flush_errors.load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace rexp

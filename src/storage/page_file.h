@@ -36,6 +36,7 @@
 #ifndef REXP_STORAGE_PAGE_FILE_H_
 #define REXP_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -58,18 +59,24 @@ namespace rexp {
 // are recorded in microseconds around the raw frame transfer — beneath
 // the checksum work, so they measure the device — and only when runtime
 // telemetry is enabled.
+// Counters are relaxed atomics so concurrent fetch misses (serialized at
+// the buffer pool, but sampled by the metrics registry from other
+// threads) never tear; see io_stats.h for the ordering rationale.
 struct DeviceStats {
-  uint64_t frame_reads = 0;
-  uint64_t frame_writes = 0;
-  uint64_t read_errors = 0;
-  uint64_t write_errors = 0;
-  uint64_t checksum_failures = 0;
+  std::atomic<uint64_t> frame_reads{0};
+  std::atomic<uint64_t> frame_writes{0};
+  std::atomic<uint64_t> read_errors{0};
+  std::atomic<uint64_t> write_errors{0};
+  std::atomic<uint64_t> checksum_failures{0};
   obs::Histogram read_latency_us{obs::LatencyBoundsUs()};
   obs::Histogram write_latency_us{obs::LatencyBoundsUs()};
 
   void Reset() {
-    frame_reads = frame_writes = 0;
-    read_errors = write_errors = checksum_failures = 0;
+    for (std::atomic<uint64_t>* c : {&frame_reads, &frame_writes,
+                                     &read_errors, &write_errors,
+                                     &checksum_failures}) {
+      c->store(0, std::memory_order_relaxed);
+    }
     read_latency_us.Reset();
     write_latency_us.Reset();
   }

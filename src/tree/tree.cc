@@ -8,6 +8,8 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/float_round.h"
+#include "sched/thread_pool.h"
 #include "tpbr/integrals.h"
 #include "tpbr/intersect.h"
 #include "tpbr/tpbr_compute.h"
@@ -41,16 +43,38 @@ Tpbr<kDims> MakeMovingPoint(const Vec<kDims>& pos, const Vec<kDims>& vel,
                             Time t_obs, Time t_exp) {
   Tpbr<kDims> p;
   for (int d = 0; d < kDims; ++d) {
-    float v = static_cast<float>(vel[d]);
+    double v = ToFloatExactly(vel[d]);
     // Normalize to reference time 0 using the float velocity so the record
     // round-trips through 32-bit page storage exactly.
-    float ref = static_cast<float>(pos[d] - static_cast<double>(v) * t_obs);
-    p.lo[d] = p.hi[d] = ref;
+    p.lo[d] = p.hi[d] = ToFloatExactly(pos[d] - v * t_obs);
     p.vlo[d] = p.vhi[d] = v;
   }
-  p.t_exp = static_cast<float>(t_exp);
+  p.t_exp = ToFloatExactly(t_exp);
   return p;
 }
+
+namespace {
+
+// Records live on pages in 32-bit precision, so the index only ever deals
+// in float-valued coordinates. Canonicalizing at the API boundary keeps
+// every in-memory copy equal to its on-page round-trip; without this, a
+// record that arrived with excess precision would silently change value
+// on the first evict/reload and Delete's exact-match scan could never
+// find it again.
+template <int kDims>
+Tpbr<kDims> CanonicalRecord(const Tpbr<kDims>& point) {
+  Tpbr<kDims> p = point;
+  for (int d = 0; d < kDims; ++d) {
+    p.lo[d] = ToFloatExactly(point.lo[d]);
+    p.hi[d] = ToFloatExactly(point.hi[d]);
+    p.vlo[d] = ToFloatExactly(point.vlo[d]);
+    p.vhi[d] = ToFloatExactly(point.vhi[d]);
+  }
+  p.t_exp = ToFloatExactly(point.t_exp);
+  return p;
+}
+
+}  // namespace
 
 template <int kDims>
 Tree<kDims>::Tree(const TreeConfig& config, PageFile* file, PrivateTag)
@@ -172,6 +196,12 @@ void Tree<kDims>::SerializeMeta(uint64_t epoch, Page* page) const {
 
 template <int kDims>
 Status Tree<kDims>::Commit() {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  return CommitLocked();
+}
+
+template <int kDims>
+Status Tree<kDims>::CommitLocked() {
   REXP_RETURN_IF_ERROR(buffer_.FlushDirty());
   REXP_RETURN_IF_ERROR(file_->Sync());
   // Only now that every node of the new state is durable do the pages the
@@ -294,8 +324,8 @@ Status Tree<kDims>::PinRoot(PageId new_root) {
   if (pinned_root_ != kInvalidPageId) buffer_.Unpin(pinned_root_);
   pinned_root_ = kInvalidPageId;
   if (new_root != kInvalidPageId) {
-    REXP_ASSIGN_OR_RETURN(Page* page, buffer_.Fetch(new_root));
-    (void)page;
+    REXP_ASSIGN_OR_RETURN(PageGuard guard, buffer_.Fetch(new_root));
+    guard.Release();
     buffer_.Pin(new_root);
     pinned_root_ = new_root;
   }
@@ -308,14 +338,16 @@ Status Tree<kDims>::PinRoot(PageId new_root) {
 template <int kDims>
 Node<kDims> Tree<kDims>::ReadNode(PageId id) {
   Node<kDims> node;
-  codec_.Decode(*buffer_.FetchOrDie(id), &node);
+  PageGuard guard = buffer_.FetchOrDie(id);
+  codec_.Decode(*guard, &node);
   return node;
 }
 
 template <int kDims>
 void Tree<kDims>::WriteNode(PageId id, const Node<kDims>& node) {
-  codec_.Encode(node, buffer_.FetchOrDie(id));
-  buffer_.MarkDirty(id);
+  PageGuard guard = buffer_.FetchOrDie(id, PageIntent::kWrite);
+  codec_.Encode(node, guard.mutable_page());
+  guard.MarkDirty();
 }
 
 template <int kDims>
@@ -334,8 +366,8 @@ PageId Tree<kDims>::StoreNode(PageId id, const Node<kDims>& node) {
 template <int kDims>
 PageId Tree<kDims>::AllocNode(const Node<kDims>& node) {
   PageId id;
-  Page* page = buffer_.NewPageOrDie(&id);
-  codec_.Encode(node, page);
+  PageGuard guard = buffer_.NewPageOrDie(&id);
+  codec_.Encode(node, guard.mutable_page());
   return id;
 }
 
@@ -1005,13 +1037,13 @@ void Tree<kDims>::DrainPending(Time now) {
 
 template <int kDims>
 void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
+  const Tpbr<kDims> p = CanonicalRecord(point);
 #ifndef NDEBUG
   for (int d = 0; d < kDims; ++d) {
-    REXP_DCHECK(point.lo[d] == point.hi[d] && point.vlo[d] == point.vhi[d]);
-    REXP_DCHECK(static_cast<double>(static_cast<float>(point.lo[d])) ==
-                point.lo[d]);
+    REXP_DCHECK(p.lo[d] == p.hi[d] && p.vlo[d] == p.vhi[d]);
   }
 #endif
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   reinserted_levels_ = 0;
   ++op_stats_.inserts;
   const uint64_t io_before = buffer_.stats().Total();
@@ -1026,10 +1058,10 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
                                        {"h", horizon_.DecisionHorizon()}});
     }
   }
-  InsertPending(Pending{0, NodeEntry<kDims>{point, oid}}, now);
+  InsertPending(Pending{0, NodeEntry<kDims>{p, oid}}, now);
   DrainPending(now);
   if (config_.crash_consistent) {
-    REXP_CHECK_OK(Commit());
+    REXP_CHECK_OK(CommitLocked());
   } else {
     REXP_CHECK_OK(buffer_.FlushDirty());
   }
@@ -1094,6 +1126,7 @@ bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
 template <int kDims>
 bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
                          bool see_expired) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   if (root_ == kInvalidPageId) {
     ++op_stats_.deletes;
     ++op_stats_.delete_misses;
@@ -1103,8 +1136,11 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
   ++op_stats_.deletes;
   const uint64_t io_before = buffer_.stats().Total();
   obs::LatencyTimer timer(&op_stats_.delete_latency_us);
+  // Canonicalize the probe so it compares equal to what Insert stored even
+  // when the caller kept the record in full double precision.
+  const Tpbr<kDims> p = CanonicalRecord(point);
   std::vector<PathStep> path;
-  bool found = DeleteRecurse(root_, height_ - 1, oid, point, now,
+  bool found = DeleteRecurse(root_, height_ - 1, oid, p, now,
                              see_expired, &path);
   if (found) {
     DrainPending(now);
@@ -1112,7 +1148,7 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
     ++op_stats_.delete_misses;
   }
   if (config_.crash_consistent) {
-    REXP_CHECK_OK(Commit());
+    REXP_CHECK_OK(CommitLocked());
   } else {
     REXP_CHECK_OK(buffer_.FlushDirty());
   }
@@ -1129,6 +1165,7 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
 template <int kDims>
 void Tree<kDims>::Search(const Query<kDims>& query,
                          std::vector<ObjectId>* out) {
+  std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
   ++op_stats_.searches;
   if (root_ == kInvalidPageId) return;
   const uint64_t io_before = buffer_.stats().Total();
@@ -1166,6 +1203,37 @@ void Tree<kDims>::Search(const Query<kDims>& query,
          {"results", static_cast<double>(out->size() - results_before)},
          {"io", static_cast<double>(io)}});
   }
+}
+
+template <int kDims>
+std::vector<std::vector<ObjectId>> Tree<kDims>::ParallelSearch(
+    const std::vector<Query<kDims>>& queries, int num_threads) {
+  std::vector<std::vector<ObjectId>> results(queries.size());
+  if (queries.empty()) return results;
+  num_threads = std::clamp<int>(num_threads, 1,
+                                static_cast<int>(queries.size()));
+  if (num_threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Search(queries[i], &results[i]);
+    }
+    return results;
+  }
+  // Workers pull query indices from a shared cursor (dynamic scheduling:
+  // query costs vary, so static striping would idle the fast workers) and
+  // write disjoint result slots; each Search takes its own shared epoch.
+  std::atomic<size_t> next{0};
+  sched::ThreadPool pool(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    pool.Submit([this, &queries, &results, &next] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= queries.size()) return;
+        Search(queries[i], &results[i]);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -1254,6 +1322,7 @@ std::vector<NodeEntry<kDims>> Tree<kDims>::PackLevel(
 template <int kDims>
 void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
                            double fill) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   REXP_CHECK(root_ == kInvalidPageId && height_ == 0);
   REXP_CHECK(fill > config_.min_fill_fraction && fill <= 1.0);
   if (records.empty()) return;
@@ -1261,7 +1330,7 @@ void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
   std::vector<NodeEntry<kDims>> items;
   items.reserve(records.size());
   for (const BulkRecord& r : records) {
-    items.push_back(NodeEntry<kDims>{r.point, r.oid});
+    items.push_back(NodeEntry<kDims>{CanonicalRecord(r.point), r.oid});
   }
   level_counts_.assign(1, 0);
   int level = 0;
@@ -1275,7 +1344,7 @@ void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
   root_ = items[0].id;
   height_ = level + 1;
   REXP_CHECK_OK(PinRoot(root_));
-  REXP_CHECK_OK(Commit());
+  REXP_CHECK_OK(CommitLocked());
 }
 
 namespace {
@@ -1305,6 +1374,7 @@ double MinDistSqAt(const Vec<kDims>& point, const Tpbr<kDims>& region,
 template <int kDims>
 void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                                    std::vector<ObjectId>* out) {
+  std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
   ++op_stats_.nn_searches;
   out->clear();
   if (root_ == kInvalidPageId || k <= 0) return;
@@ -1376,6 +1446,7 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs);
   registry->AddCounter(prefix + "buffer.pins", &io.pins);
   registry->AddCounter(prefix + "buffer.unpins", &io.unpins);
+  registry->AddCounter(prefix + "buffer.flush_errors", &io.flush_errors);
   registry->AddGauge(prefix + "buffer.hit_rate",
                      [&io] { return io.HitRate(); });
 
@@ -1546,6 +1617,7 @@ Time Tree<kDims>::CheckSubtree(PageId id, int level,
 
 template <int kDims>
 void Tree<kDims>::CheckInvariants(Time now) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   if (root_ == kInvalidPageId) {
     REXP_CHECK(height_ == 0);
     // Meta slots only.
@@ -1566,6 +1638,7 @@ void Tree<kDims>::CheckInvariants(Time now) {
 
 template <int kDims>
 double Tree<kDims>::ExpiredLeafFraction(Time now) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   if (root_ == kInvalidPageId) return 0;
   uint64_t total = 0, expired = 0;
   std::vector<std::pair<PageId, int>> stack;
@@ -1607,6 +1680,7 @@ Status Tree<kDims>::VerifySubtree(PageId id, int level) {
 
 template <int kDims>
 Status Tree<kDims>::VerifyPages() {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
   // Un-flushed changes would make device frames legitimately stale;
   // verification is only meaningful over the flushed state.
   REXP_RETURN_IF_ERROR(buffer_.FlushDirty());

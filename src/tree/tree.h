@@ -30,8 +30,10 @@
 #ifndef REXP_TREE_TREE_H_
 #define REXP_TREE_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include <string>
@@ -43,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "sched/shared_mutex.h"
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
 #include "tree/horizon.h"
@@ -53,27 +56,34 @@ namespace rexp {
 
 // Tree-level operation telemetry: what the structural algorithms did, as
 // opposed to what it cost in I/O (IoStats) or at the device (DeviceStats).
-// Counters are always maintained (one add each); the per-operation I/O
-// and latency histograms follow the obs/metrics.h gating rules.
+// Counters are always maintained — as relaxed atomic adds, since Search
+// and NearestNeighbors bump them from concurrent shared epochs (see
+// io_stats.h for the ordering rationale); the per-operation I/O and
+// latency histograms follow the obs/metrics.h gating rules and serialize
+// internally.
 struct TreeOpStats {
-  uint64_t inserts = 0;
-  uint64_t deletes = 0;        // Delete() calls...
-  uint64_t delete_misses = 0;  // ...of which found no matching live entry.
-  uint64_t searches = 0;
-  uint64_t nn_searches = 0;
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> deletes{0};        // Delete() calls...
+  std::atomic<uint64_t> delete_misses{0};  // ...found no matching live entry.
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> nn_searches{0};
 
-  uint64_t choose_subtree_calls = 0;  // One per descent step of ChoosePath.
-  uint64_t splits = 0;
-  uint64_t forced_reinserts = 0;    // R* forced-reinsertion rounds.
-  uint64_t reinserted_entries = 0;  // Entries those rounds re-routed.
-  uint64_t orphaned_entries = 0;    // Entries orphaned by node dissolution.
-  uint64_t purged_entries = 0;      // Expired entries lazily dropped.
-  uint64_t purged_subtrees = 0;     // Whole subtrees dropped by the purge.
-  uint64_t nodes_visited_search = 0;  // Pages touched answering queries.
-  uint64_t tpbr_recomputes = 0;       // Stored-bound recomputations.
-  uint64_t horizon_retunes = 0;       // UI estimate recomputations.
-  uint64_t root_grows = 0;
-  uint64_t root_shrinks = 0;
+  // One per descent step of ChoosePath.
+  std::atomic<uint64_t> choose_subtree_calls{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> forced_reinserts{0};  // R* forced-reinsertion rounds.
+  // Entries those rounds re-routed.
+  std::atomic<uint64_t> reinserted_entries{0};
+  // Entries orphaned by node dissolution.
+  std::atomic<uint64_t> orphaned_entries{0};
+  std::atomic<uint64_t> purged_entries{0};   // Expired entries lazily dropped.
+  std::atomic<uint64_t> purged_subtrees{0};  // Subtrees dropped by the purge.
+  // Pages touched answering queries.
+  std::atomic<uint64_t> nodes_visited_search{0};
+  std::atomic<uint64_t> tpbr_recomputes{0};  // Stored-bound recomputations.
+  std::atomic<uint64_t> horizon_retunes{0};  // UI estimate recomputations.
+  std::atomic<uint64_t> root_grows{0};
+  std::atomic<uint64_t> root_shrinks{0};
 
   // Distribution of buffer-boundary I/Os and wall time per operation.
   obs::Histogram insert_io{obs::IoCountBounds()};
@@ -88,24 +98,26 @@ struct TreeOpStats {
                                &search_io,         &insert_latency_us,
                                &delete_latency_us, &search_latency_us};
     for (obs::Histogram* h : hists) h->Reset();
-    uint64_t* counters[] = {&inserts,
-                            &deletes,
-                            &delete_misses,
-                            &searches,
-                            &nn_searches,
-                            &choose_subtree_calls,
-                            &splits,
-                            &forced_reinserts,
-                            &reinserted_entries,
-                            &orphaned_entries,
-                            &purged_entries,
-                            &purged_subtrees,
-                            &nodes_visited_search,
-                            &tpbr_recomputes,
-                            &horizon_retunes,
-                            &root_grows,
-                            &root_shrinks};
-    for (uint64_t* c : counters) *c = 0;
+    std::atomic<uint64_t>* counters[] = {&inserts,
+                                         &deletes,
+                                         &delete_misses,
+                                         &searches,
+                                         &nn_searches,
+                                         &choose_subtree_calls,
+                                         &splits,
+                                         &forced_reinserts,
+                                         &reinserted_entries,
+                                         &orphaned_entries,
+                                         &purged_entries,
+                                         &purged_subtrees,
+                                         &nodes_visited_search,
+                                         &tpbr_recomputes,
+                                         &horizon_retunes,
+                                         &root_grows,
+                                         &root_shrinks};
+    for (std::atomic<uint64_t>* c : counters) {
+      c->store(0, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -194,6 +206,14 @@ class Tree {
   // rectangles evaluated at `t`.
   void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                         std::vector<ObjectId>* out);
+
+  // Answers `queries` with a pool of `num_threads` worker threads, each
+  // running Search under its own shared epoch (concurrent with the other
+  // workers and with external readers, exclusive against writers).
+  // results[i] corresponds to queries[i]. num_threads is clamped to
+  // [1, queries.size()]; 1 degenerates to a sequential loop.
+  std::vector<std::vector<ObjectId>> ParallelSearch(
+      const std::vector<Query<kDims>>& queries, int num_threads);
 
   // --- Introspection --------------------------------------------------
 
@@ -358,6 +378,20 @@ class Tree {
   // the buffer). kCorruption if no slot is valid.
   Status LoadMeta();
   Status PinRoot(PageId new_root);
+
+  // Commit body without taking the epoch lock; Insert/Delete/BulkLoad
+  // call it while already holding the exclusive epoch (the lock is not
+  // reentrant).
+  Status CommitLocked();
+
+  // Single-writer / multi-reader epoch lock (DESIGN.md §8): structure-
+  // modifying operations (Insert, BulkLoad, Delete, Commit, the invariant
+  // checkers) hold it exclusive; Search and NearestNeighbors hold it
+  // shared, so any number of queries run concurrently between updates.
+  // Writer-preferring (sched::SharedMutex) so a continuous query stream
+  // cannot starve updates. Acquired before any buffer access; never held
+  // while waiting on a frame latch owned by another tree's pool.
+  mutable sched::SharedMutex epoch_mu_;
 
   TreeConfig config_;
   PageFile* file_;

@@ -223,8 +223,10 @@ TEST(BufferManagerTest, DirtyPageWrittenOnceOnFlush) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  Page* page = buffer.NewPageOrDie(&id);
-  page->Write<uint32_t>(0, 99);
+  {
+    PageGuard page = buffer.NewPageOrDie(&id);
+    page.mutable_page()->Write<uint32_t>(0, 99);
+  }
   ASSERT_TRUE(buffer.FlushDirty().ok());
   EXPECT_EQ(buffer.stats().writes, 1u);
   ASSERT_TRUE(buffer.FlushDirty().ok());  // Clean now: no further writes.
@@ -239,18 +241,18 @@ TEST(BufferManagerTest, LruEvictionWritesDirtyVictim) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 2);
   PageId a, b, c;
-  buffer.NewPageOrDie(&a)->Write<uint32_t>(0, 1);
-  buffer.NewPageOrDie(&b)->Write<uint32_t>(0, 2);
+  buffer.NewPageOrDie(&a).mutable_page()->Write<uint32_t>(0, 1);
+  buffer.NewPageOrDie(&b).mutable_page()->Write<uint32_t>(0, 2);
   // Frames full; allocating a third page must evict the LRU page (a),
   // writing it because it is dirty.
-  buffer.NewPageOrDie(&c)->Write<uint32_t>(0, 3);
+  buffer.NewPageOrDie(&c).mutable_page()->Write<uint32_t>(0, 3);
   EXPECT_EQ(buffer.stats().writes, 1u);
   EXPECT_FALSE(buffer.IsBuffered(a));
   EXPECT_TRUE(buffer.IsBuffered(b));
   EXPECT_TRUE(buffer.IsBuffered(c));
 
   // Re-fetching a reads it back with its flushed contents.
-  Page* pa = buffer.FetchOrDie(a);
+  PageGuard pa = buffer.FetchOrDie(a);
   EXPECT_EQ(pa->Read<uint32_t>(0), 1u);
 }
 
@@ -285,7 +287,7 @@ TEST(BufferManagerTest, FreeDiscardsDirtyContentsWithoutWrite) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 7);
+  buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(0, 7);
   buffer.FreePage(id);
   ASSERT_TRUE(buffer.FlushDirty().ok());
   EXPECT_EQ(buffer.stats().writes, 0u);
@@ -296,11 +298,11 @@ TEST(BufferManagerTest, RecycledPageIsZeroedByNewPage) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 7);
+  buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(0, 7);
   ASSERT_TRUE(buffer.FlushDirty().ok());
   buffer.FreePage(id);
   PageId id2;
-  Page* page = buffer.NewPageOrDie(&id2);
+  PageGuard page = buffer.NewPageOrDie(&id2);
   EXPECT_EQ(id2, id);  // Free list reuse.
   EXPECT_EQ(page->Read<uint32_t>(0), 0u);
 }
@@ -309,7 +311,7 @@ TEST(BufferManagerTest, FetchOfCorruptPagePropagatesAndStaysConsistent) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 9);
+  buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(0, 9);
   ASSERT_TRUE(buffer.FlushDirty().ok());
 
   // Rot a bit on the device, then push the page out of the buffer.
@@ -330,7 +332,7 @@ TEST(BufferManagerTest, FetchOfCorruptPagePropagatesAndStaysConsistent) {
   EXPECT_FALSE(buffer.IsBuffered(id));
   // The buffer remains usable.
   PageId fresh;
-  buffer.NewPageOrDie(&fresh)->Write<uint32_t>(0, 1);
+  buffer.NewPageOrDie(&fresh).mutable_page()->Write<uint32_t>(0, 1);
   ASSERT_TRUE(buffer.FlushDirty().ok());
 }
 
@@ -356,7 +358,7 @@ TEST(BufferManagerTest, EvictionSplitsCleanAndDirty) {
   PageId clean = file.Allocate().value();
   buffer.FetchOrDie(clean);
   PageId dirty;
-  buffer.NewPageOrDie(&dirty)->Write<uint32_t>(0, 1);
+  buffer.NewPageOrDie(&dirty).mutable_page()->Write<uint32_t>(0, 1);
   // Two more fetches evict both: the clean page costs no write, the
   // dirty one is written back.
   PageId x = file.Allocate().value(), y = file.Allocate().value();
@@ -375,7 +377,7 @@ TEST(BufferManagerTest, FlushWritesAreNotWriteBacks) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 5);
+  buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(0, 5);
   ASSERT_TRUE(buffer.FlushDirty().ok());
   EXPECT_EQ(buffer.stats().writes, 1u);
   EXPECT_EQ(buffer.stats().write_backs, 0u);
@@ -387,20 +389,20 @@ TEST(BufferManagerTest, PinAccountingCountsCalls) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id = file.Allocate().value();
-  buffer.FetchOrDie(id);
+  buffer.FetchOrDie(id);  // The guard's implicit pin/unpin counts too.
   buffer.Pin(id);
   buffer.Pin(id);  // Nested pin counts again.
   buffer.Unpin(id);
   buffer.Unpin(id);
-  EXPECT_EQ(buffer.stats().pins, 2u);
-  EXPECT_EQ(buffer.stats().unpins, 2u);
+  EXPECT_EQ(buffer.stats().pins, 3u);
+  EXPECT_EQ(buffer.stats().unpins, 3u);
 }
 
 TEST(BufferManagerTest, ResetStatsClearsAllCounters) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 2);
   PageId a;
-  buffer.NewPageOrDie(&a)->Write<uint32_t>(0, 1);
+  buffer.NewPageOrDie(&a).mutable_page()->Write<uint32_t>(0, 1);
   for (int i = 0; i < 4; ++i) {
     PageId id = file.Allocate().value();
     buffer.FetchOrDie(id);
@@ -428,7 +430,7 @@ TEST(BufferManagerTest, MissOnCorruptPageStillCountsAsMiss) {
   MemoryPageFile file(kPageSize);
   BufferManager buffer(&file, 4);
   PageId id;
-  buffer.NewPageOrDie(&id)->Write<uint32_t>(0, 9);
+  buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(0, 9);
   ASSERT_TRUE(buffer.FlushDirty().ok());
   std::vector<uint8_t> frame(file.frame_size());
   ASSERT_TRUE(file.ReadFrame(id, frame.data()).ok());
@@ -509,21 +511,21 @@ TEST(BufferManagerTest, StressMatchesShadowStore) {
   std::vector<uint32_t> shadow;
   for (int i = 0; i < 64; ++i) {
     PageId id;
-    Page* p = buffer.NewPageOrDie(&id);
-    p->Write<uint32_t>(0, static_cast<uint32_t>(i));
+    buffer.NewPageOrDie(&id).mutable_page()->Write<uint32_t>(
+        0, static_cast<uint32_t>(i));
     ids.push_back(id);
     shadow.push_back(static_cast<uint32_t>(i));
   }
   for (int step = 0; step < 5000; ++step) {
     size_t k = rng.UniformInt(ids.size());
     if (rng.Bernoulli(0.3)) {
-      Page* p = buffer.FetchOrDie(ids[k]);
+      PageGuard p = buffer.FetchOrDie(ids[k], PageIntent::kWrite);
       uint32_t v = static_cast<uint32_t>(rng.NextU64());
-      p->Write<uint32_t>(0, v);
-      buffer.MarkDirty(ids[k]);
+      p.mutable_page()->Write<uint32_t>(0, v);
+      p.MarkDirty();
       shadow[k] = v;
     } else {
-      Page* p = buffer.FetchOrDie(ids[k]);
+      PageGuard p = buffer.FetchOrDie(ids[k]);
       ASSERT_EQ(p->Read<uint32_t>(0), shadow[k]) << "page index " << k;
     }
     if (rng.Bernoulli(0.01)) {
