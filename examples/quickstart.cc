@@ -105,5 +105,13 @@ int main() {
   std::printf("\nI/O so far: %llu reads, %llu writes\n",
               static_cast<unsigned long long>(tree.io_stats().reads),
               static_cast<unsigned long long>(tree.io_stats().writes));
-  return 0;
+
+  // Self-check: the full invariant catalog (what rexp_fsck runs against
+  // a persisted index) is available on a live tree too.
+  verify::Report report = tree.Verify(now);
+  std::printf("invariant catalog: %s (%llu pages, %llu records checked)\n",
+              report.ok() ? "OK" : report.ToString().c_str(),
+              static_cast<unsigned long long>(report.pages_walked),
+              static_cast<unsigned long long>(report.leaf_records_checked));
+  return report.ok() ? 0 : 1;
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks that every C++ source file is a no-op under clang-format (the
+# .clang-format profile at the repo root). Prints the offending files and
+# the diff on failure.
+#
+# Skips with a notice when clang-format is not installed, so local builds
+# on minimal toolchains are not blocked; set REXP_REQUIRE_FORMAT=1 (CI
+# does) to turn a missing tool into a failure.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if [ "${REXP_REQUIRE_FORMAT:-0}" = "1" ]; then
+    echo "error: $CLANG_FORMAT not found but REXP_REQUIRE_FORMAT=1" >&2
+    exit 1
+  fi
+  echo "notice: $CLANG_FORMAT not found; skipping format check" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ files tracked" >&2
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! diff -u "$f" <("$CLANG_FORMAT" --style=file "$f") \
+      > /tmp/rexp_format_diff.$$ 2>&1; then
+    echo "format: $f"
+    cat /tmp/rexp_format_diff.$$
+    status=1
+  fi
+done
+rm -f /tmp/rexp_format_diff.$$
+
+if [ "$status" -ne 0 ]; then
+  echo "" >&2
+  echo "run: $CLANG_FORMAT -i \$(git ls-files '*.cc' '*.h')" >&2
+fi
+exit "$status"

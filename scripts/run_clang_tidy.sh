@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (the .clang-tidy profile at the repo root) over every
+# first-party translation unit in the compilation database. Zero warnings
+# required — WarningsAsErrors is '*' in the profile.
+#
+#   usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# The build directory must have been configured already (any cmake run —
+# CMAKE_EXPORT_COMPILE_COMMANDS is always on for this project). Skips
+# with a notice when clang-tidy is not installed; set REXP_REQUIRE_TIDY=1
+# (CI does) to turn a missing tool into a failure.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if [ "${REXP_REQUIRE_TIDY:-0}" = "1" ]; then
+    echo "error: $CLANG_TIDY not found but REXP_REQUIRE_TIDY=1" >&2
+    exit 1
+  fi
+  echo "notice: $CLANG_TIDY not found; skipping static analysis" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found;" \
+       "configure the build first (cmake -B $BUILD_DIR -S .)" >&2
+  exit 1
+fi
+
+# First-party sources only: the database also contains GoogleTest/benchmark
+# compile commands we have no business linting.
+mapfile -t files < <(git ls-files 'src/*.cc' 'tests/*.cc' 'tools/*.cc' \
+                                  'bench/*.cc' 'examples/*.cc')
+
+"$CLANG_TIDY" -p "$BUILD_DIR" --quiet "${files[@]}"

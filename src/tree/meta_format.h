@@ -1,0 +1,63 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// On-page layout of the tree's metadata slots, shared by the engine
+// (tree.cc) and the offline tooling (verify/ and tools/rexp_fsck), which
+// must parse a persisted index without instantiating a Tree.
+//
+// Metadata lives in two alternating page slots (pages 0 and 1). A commit
+// with epoch e writes slot e & 1 — always the slot holding the *older*
+// meta — so the newest durable meta survives any torn meta write. Open
+// picks the valid slot with the highest epoch.
+//
+// Payload layout (little-endian, offsets in bytes):
+//
+//   0   u32  magic   "REXP"
+//   4   u32  version
+//   8   u32  dimensions
+//   12  u32  reserved
+//   16  u64  epoch (odd epochs live in slot 1, even in slot 0)
+//   24  u32  root page id (kInvalidPageId when the tree is empty)
+//   28  u32  height (number of levels; 0 iff the tree is empty)
+//   32  u64  committed device capacity in pages
+//   40  u64  underfull remnants left behind by the orphan cap
+//   48  f64  horizon estimator UI
+//   56  u64  per-level entry counts, kMetaMaxLevels slots, leaf first
+//   216 u32  number of persisted free-list entries
+//   220 u64  pages leaked to free-list truncation
+//   228 u32  free-list page ids (as many as fit on the page)
+
+#ifndef REXP_TREE_META_FORMAT_H_
+#define REXP_TREE_META_FORMAT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rexp {
+
+inline constexpr uint32_t kMetaMagic = 0x52455850;  // "REXP"
+inline constexpr uint32_t kMetaVersion = 2;
+inline constexpr int kMetaMaxLevels = 20;
+
+// Pages 0 and 1 are the two alternating metadata slots.
+inline constexpr PageId kNumMetaSlots = 2;
+
+// Field offsets of the meta payload.
+inline constexpr uint32_t kMetaMagicFieldOffset = 0;
+inline constexpr uint32_t kMetaVersionFieldOffset = 4;
+inline constexpr uint32_t kMetaDimsFieldOffset = 8;
+inline constexpr uint32_t kMetaEpochFieldOffset = 16;
+inline constexpr uint32_t kMetaRootFieldOffset = 24;
+inline constexpr uint32_t kMetaHeightFieldOffset = 28;
+inline constexpr uint32_t kMetaCapacityFieldOffset = 32;
+inline constexpr uint32_t kMetaUnderfullFieldOffset = 40;
+inline constexpr uint32_t kMetaUiFieldOffset = 48;
+inline constexpr uint32_t kMetaLevelCountsFieldOffset = 56;
+inline constexpr uint32_t kMetaFreeCountFieldOffset =
+    kMetaLevelCountsFieldOffset + 8 * kMetaMaxLevels;
+inline constexpr uint32_t kMetaLeakedFieldOffset = kMetaFreeCountFieldOffset + 4;
+inline constexpr uint32_t kMetaFreeListOffset = kMetaLeakedFieldOffset + 8;
+
+}  // namespace rexp
+
+#endif  // REXP_TREE_META_FORMAT_H_

@@ -57,10 +57,13 @@ TreeStats<kDims> CollectStats(Tree<kDims>* tree, Time now) {
   }
   for (int l = 0; l < stats.height; ++l) {
     LevelStats& ls = stats.levels[l];
-    if (ls.nodes > 0) ls.avg_fill = acc[l].fill_sum / ls.nodes;
+    if (ls.nodes > 0) {
+      ls.avg_fill = acc[l].fill_sum / static_cast<double>(ls.nodes);
+    }
     if (acc[l].live_dims > 0) {
-      ls.avg_extent = acc[l].extent_sum / acc[l].live_dims;
-      ls.avg_growth_rate = acc[l].growth_sum / acc[l].live_dims;
+      const double live_dims = static_cast<double>(acc[l].live_dims);
+      ls.avg_extent = acc[l].extent_sum / live_dims;
+      ls.avg_growth_rate = acc[l].growth_sum / live_dims;
     }
   }
   return stats;

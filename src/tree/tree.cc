@@ -13,23 +13,14 @@
 #include "tpbr/integrals.h"
 #include "tpbr/intersect.h"
 #include "tpbr/tpbr_compute.h"
+#include "tree/meta_format.h"
 
 namespace rexp {
 namespace {
 
-constexpr uint32_t kMetaMagic = 0x52455850;  // "REXP"
-constexpr uint32_t kMetaVersion = 2;
-constexpr int kMaxLevels = 20;
-
-// Metadata lives in two alternating page slots (0 and 1). A commit with
-// epoch e writes slot e & 1 — always the slot holding the *older* meta —
-// so the newest durable meta survives any torn meta write. Open picks the
-// valid slot with the highest epoch.
-constexpr PageId kNumMetaSlots = 2;
-
-// Fixed field offsets of the meta payload (see SerializeMeta).
-constexpr uint32_t kMetaFreeListOffset =
-    4 * 4 + 8 + 4 + 4 + 8 + 8 + 8 + 8 * 20 + 4 + 8;
+// Slot layout and field offsets live in tree/meta_format.h, shared with
+// the offline verifier.
+constexpr int kMaxLevels = kMetaMaxLevels;
 
 // Number of area-enlargement-best candidates to which the quadratic R*
 // overlap-enlargement test is restricted (the R*-tree paper's own
@@ -1070,6 +1061,7 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
   if (tracer_ != nullptr) {
     tracer_->Emit("insert", {{"now", now}, {"io", static_cast<double>(io)}});
   }
+  ParanoidVerify(now);
 }
 
 template <int kDims>
@@ -1159,6 +1151,7 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
                              {"found", found ? 1.0 : 0.0},
                              {"io", static_cast<double>(io)}});
   }
+  ParanoidVerify(now);
   return found;
 }
 
@@ -1345,6 +1338,7 @@ void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
   height_ = level + 1;
   REXP_CHECK_OK(PinRoot(root_));
   REXP_CHECK_OK(CommitLocked());
+  ParanoidVerify(now);
 }
 
 namespace {
@@ -1525,115 +1519,13 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
 }
 
 template <int kDims>
-struct Tree<kDims>::CheckState {
-  std::vector<uint64_t> seen_counts;
-  uint64_t pages_seen = 0;
-  uint64_t underfull_nodes = 0;
-};
-
-// Recursive helper: validates the subtree under `id` and returns the true
-// maximum expiration time of its (live) contents. `bound` is the region
-// stored for this subtree in the parent (null at the root).
-//
-// When expiration times are not recorded in internal entries, a decoded
-// entry's expiry is the rectangle's natural one, which legitimately
-// over-estimates the content lifetime — so the containment requirement on
-// the parent bound is capped by the bottom-up *true* expiry of each child
-// entry, not by the decoded value.
-template <int kDims>
-Time Tree<kDims>::CheckSubtree(PageId id, int level,
-                               const Tpbr<kDims>* bound, Time now,
-                               CheckState* state) {
-  Node<kDims> node = ReadNode(id);
-  ++state->pages_seen;
-  REXP_CHECK(node.level == level);
-  const int cap = codec_.Capacity(node.level);
-  const int min_entries =
-      std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
-  REXP_CHECK(static_cast<int>(node.entries.size()) <= cap);
-  if (id != root_ &&
-      static_cast<int>(node.entries.size()) < min_entries) {
-    // Underfull nodes may only exist if the orphan cap left some behind.
-    ++state->underfull_nodes;
-    REXP_CHECK(state->underfull_nodes <= underfull_remnants_);
-  }
-  state->seen_counts[node.level] += node.entries.size();
-
-  const double eps = 1e-3;
-  // Maximum expiration over the subtree's live contents; -infinity when
-  // the subtree holds no live entry at all (everything expired but not
-  // yet purged).
-  Time subtree_expiry = -std::numeric_limits<Time>::infinity();
-  for (const NodeEntry<kDims>& e : node.entries) {
-    Time true_expiry;
-    if (node.IsLeaf()) {
-      true_expiry = e.region.t_exp;
-    } else {
-      true_expiry = CheckSubtree(e.id, level - 1, &e.region, now, state);
-      // The decoded expiry (stored or natural) must never under-estimate
-      // the true content lifetime — otherwise queries could prune live
-      // subtrees. (Subtrees with no live content impose no requirement.)
-      if (config_.expire_entries && true_expiry >= now) {
-        if (!(e.region.t_exp >= true_expiry - 1e-6)) {
-          std::fprintf(stderr,
-                       "expiry under-estimate: level=%d now=%.6f "
-                       "entry_texp=%.9g true=%.9g\n",
-                       node.level, now, e.region.t_exp, true_expiry);
-          REXP_CHECK(false);
-        }
-      }
-    }
-    if (bound != nullptr && EntryLive(e, now) &&
-        (!config_.expire_entries || true_expiry >= now)) {
-      Time to = true_expiry;
-      if (!IsFiniteTime(to) || !config_.expire_entries) {
-        to = now + 10 * horizon_.ui();
-      }
-      if (to < now) to = now;
-      if (!bound->Bounds(e.region, now, to, eps)) {
-        std::fprintf(stderr,
-                     "containment violation: level=%d now=%.6f to=%.6f "
-                     "entry_texp=%.6f bound_texp=%.6f true=%.6f\n",
-                     node.level, now, to, e.region.t_exp, bound->t_exp,
-                     true_expiry);
-        for (int d = 0; d < kDims; ++d) {
-          std::fprintf(
-              stderr,
-              "  d=%d bound=[%.9g,%.9g]v[%.9g,%.9g] entry=[%.9g,%.9g]"
-              "v[%.9g,%.9g]\n",
-              d, bound->lo[d], bound->hi[d], bound->vlo[d], bound->vhi[d],
-              e.region.lo[d], e.region.hi[d], e.region.vlo[d],
-              e.region.vhi[d]);
-        }
-        REXP_CHECK(false);
-      }
-    }
-    if (EntryLive(e, now) && true_expiry > subtree_expiry) {
-      subtree_expiry = true_expiry;
-    }
-  }
-  return subtree_expiry;
-}
-
-template <int kDims>
 void Tree<kDims>::CheckInvariants(Time now) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
-  if (root_ == kInvalidPageId) {
-    REXP_CHECK(height_ == 0);
-    // Meta slots only.
-    REXP_CHECK(file_->allocated_pages() == kNumMetaSlots);
-    return;
+  verify::Report report = Verify(now);
+  if (!report.ok()) {
+    std::fprintf(stderr, "CheckInvariants failed:\n%s",
+                 report.ToString().c_str());
+    REXP_CHECK(false);
   }
-  CheckState state;
-  state.seen_counts.assign(height_, 0);
-  CheckSubtree(root_, height_ - 1, /*bound=*/nullptr, now, &state);
-  for (int l = 0; l < height_; ++l) {
-    REXP_CHECK(state.seen_counts[l] == level_counts_[l]);
-  }
-  // Every allocated page is either a meta slot, a reachable node, or a
-  // page leaked by free-list truncation across re-opens.
-  REXP_CHECK(state.pages_seen + kNumMetaSlots + file_->leaked_pages() ==
-             file_->allocated_pages());
 }
 
 template <int kDims>
@@ -1656,7 +1548,9 @@ double Tree<kDims>::ExpiredLeafFraction(Time now) {
       }
     }
   }
-  return total == 0 ? 0 : static_cast<double>(expired) / total;
+  return total == 0
+             ? 0
+             : static_cast<double>(expired) / static_cast<double>(total);
 }
 
 template <int kDims>
@@ -1676,6 +1570,67 @@ Status Tree<kDims>::VerifySubtree(PageId id, int level) {
     }
   }
   return Status::OK();
+}
+
+template <int kDims>
+verify::Report Tree<kDims>::Verify(Time now) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  return VerifyLocked(now);
+}
+
+template <int kDims>
+verify::Report Tree<kDims>::VerifyLocked(Time now) {
+  // The verifier reads pages straight off the device, so every buffered
+  // change must be on it first.
+  Status flush = buffer_.FlushDirty();
+  if (!flush.ok()) {
+    verify::Report report;
+    report.findings.push_back(verify::Finding{
+        verify::CheckId::kPageChecksum, kInvalidPageId, -1,
+        "flush before verification failed: " + flush.ToString()});
+    return report;
+  }
+  verify::TreeView view;
+  view.root = root_;
+  view.height = height_;
+  view.level_counts = level_counts_;
+  view.underfull_remnants = underfull_remnants_;
+  view.ui = horizon_.ui();
+  view.meta_epoch = meta_epoch_;
+  view.page_limit = file_->capacity_pages();
+  // Live accounting: every allocated page is a meta slot, a reachable
+  // node, or accounted leaked (free and quarantined pages are not
+  // allocated). Matches CheckInvariants.
+  view.expected_reachable =
+      file_->allocated_pages() - kNumMetaSlots - file_->leaked_pages();
+  verify::VerifyOptions options;
+  options.now = now;
+  return verify::TreeVerifier<kDims>::VerifyView(file_, config_, view,
+                                                 options);
+}
+
+template <int kDims>
+void Tree<kDims>::ParanoidVerify(Time now) {
+#ifndef REXP_PARANOID
+  (void)now;
+#else
+  static const uint64_t sample = [] {
+    const char* s = std::getenv("REXP_PARANOID_SAMPLE");
+    const uint64_t v = s != nullptr ? std::strtoull(s, nullptr, 10) : 1;
+    return v == 0 ? uint64_t{1} : v;
+  }();
+  if (++paranoid_mutations_ % sample != 0) return;
+  verify::Report report = VerifyLocked(now);
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "REXP_PARANOID: post-mutation verification failed after "
+                 "%llu mutations at now=%.6f\n%s",
+                 static_cast<unsigned long long>(paranoid_mutations_), now,
+                 report.ToString().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
 }
 
 template <int kDims>

@@ -51,6 +51,7 @@
 #include "tree/horizon.h"
 #include "tree/node.h"
 #include "tree/tree_config.h"
+#include "verify/verifier.h"
 
 namespace rexp {
 
@@ -272,11 +273,10 @@ class Tree {
   // Reads a node (counted as I/O like any other access). Test/checker hook.
   Node<kDims> ReadNodeForTest(PageId id) { return ReadNode(id); }
 
-  // Walks the whole tree and verifies structural invariants: bounding
-  // containment over entry lifetimes, fill factors, level bookkeeping, no
-  // page leaks. Aborts on violation. `now` is the current time (entries
-  // expired before `now` may legally linger; their containment is not
-  // required). Intended for tests; performs unmeasured I/O.
+  // Runs the full invariant catalog (see Verify below) and aborts with
+  // the report on any finding. `now` is the current time (entries expired
+  // before `now` may legally linger; their containment is not required).
+  // Intended for tests; performs unmeasured I/O.
   void CheckInvariants(Time now);
 
   // Fraction of physically present leaf entries that are expired at `now`.
@@ -289,9 +289,18 @@ class Tree {
   // This is how offline tooling detects bit rot in a persisted index.
   Status VerifyPages();
 
+  // Runs the full invariant catalog (verify::TreeVerifier) over this
+  // tree's flushed state and reports every violation as a typed finding —
+  // TPBR conservativeness, expiry monotonicity, fan-out/occupancy, page
+  // checksums, canonical records, level bookkeeping, page accounting.
+  // Never aborts; an empty report means the tree is sound. Unmeasured
+  // device I/O (the walk bypasses the buffer pool). With the
+  // REXP_PARANOID build option this runs automatically after every
+  // mutation (sampled via REXP_PARANOID_SAMPLE=N) and aborts on findings.
+  verify::Report Verify(Time now);
+
  private:
   struct PrivateTag {};
-  struct CheckState;  // Defined in tree.cc (invariant-checker bookkeeping).
 
   struct PathStep {
     PageId id;
@@ -362,10 +371,17 @@ class Tree {
                      const Tpbr<kDims>& point, Time now, bool see_expired,
                      std::vector<PathStep>* path);
 
-  Time CheckSubtree(PageId id, int level, const Tpbr<kDims>* bound, Time now,
-                    CheckState* state);
-
   Status VerifySubtree(PageId id, int level);
+
+  // Verify() body without taking the epoch lock (the paranoid hook runs
+  // while the mutation still holds it exclusively).
+  verify::Report VerifyLocked(Time now);
+
+  // Post-mutation verification for REXP_PARANOID builds: runs
+  // VerifyLocked every REXP_PARANOID_SAMPLE-th mutation (default: every
+  // one) and aborts with the full report on any finding. Compiled to a
+  // no-op otherwise.
+  void ParanoidVerify(Time now);
 
   // Bulk-load helper: packs `items` into nodes at `level` (sort-tile-
   // recursive order), returning the parent entries for the next level.
@@ -422,6 +438,9 @@ class Tree {
   // Number of underfull nodes left in place because the orphan cap was
   // reached (each may later be re-balanced by another update).
   uint64_t underfull_remnants_ = 0;
+
+  // Mutations since open, driving the REXP_PARANOID sampling.
+  uint64_t paranoid_mutations_ = 0;
 };
 
 using RexpTree1 = Tree<1>;

@@ -1,0 +1,537 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/float_round.h"
+#include "tree/meta_format.h"
+
+namespace rexp {
+namespace verify {
+
+const char* CheckIdName(CheckId check) {
+  switch (check) {
+    case CheckId::kMetaSlot:
+      return "meta-slot";
+    case CheckId::kPageChecksum:
+      return "page-checksum";
+    case CheckId::kNodeStructure:
+      return "node-structure";
+    case CheckId::kFanout:
+      return "fanout";
+    case CheckId::kOccupancy:
+      return "occupancy";
+    case CheckId::kLevelBookkeeping:
+      return "level-bookkeeping";
+    case CheckId::kParentContainment:
+      return "parent-containment";
+    case CheckId::kExpiryMonotonic:
+      return "expiry-monotonic";
+    case CheckId::kCanonicalRecord:
+      return "canonical-record";
+    case CheckId::kFreeList:
+      return "free-list";
+    case CheckId::kPageAccounting:
+      return "page-accounting";
+  }
+  return "unknown";
+}
+
+std::string Report::ToString() const {
+  std::string s;
+  if (ok()) {
+    s = "clean: " + std::to_string(pages_walked) + " pages, " +
+        std::to_string(entries_checked) + " entries, " +
+        std::to_string(leaf_records_checked) + " leaf records verified";
+    if (damaged_meta_slots > 0) {
+      s += " (" + std::to_string(damaged_meta_slots) +
+           " torn meta slot tolerated)";
+    }
+    s += "\n";
+    return s;
+  }
+  s = std::to_string(TotalFindings()) + " finding(s):\n";
+  for (const Finding& f : findings) {
+    s += "  [";
+    s += CheckIdName(f.check);
+    s += "]";
+    if (f.page != kInvalidPageId) {
+      s += " page " + std::to_string(f.page);
+    }
+    if (f.level >= 0) {
+      s += " level " + std::to_string(f.level);
+    }
+    s += ": " + f.detail + "\n";
+  }
+  if (findings_suppressed > 0) {
+    s += "  ... " + std::to_string(findings_suppressed) +
+         " further finding(s) suppressed\n";
+  }
+  return s;
+}
+
+namespace {
+
+void AddFinding(Report* report, const VerifyOptions& options, CheckId check,
+                PageId page, int level, std::string detail) {
+  if (report->findings.size() >= options.max_findings) {
+    ++report->findings_suppressed;
+    return;
+  }
+  report->findings.push_back(
+      Finding{check, page, level, std::move(detail)});
+}
+
+bool IsFloatExact(double x) { return ToFloatExactly(x) == x; }
+
+std::string Num(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  return buf;
+}
+
+}  // namespace
+
+template <int kDims>
+struct TreeVerifier<kDims>::WalkState {
+  Report* report;
+  std::unordered_set<PageId> seen;
+  std::vector<uint64_t> level_entry_counts;
+  // Upper bound on containment checks for never-expiring content.
+  Time never_expires_horizon = 0;
+};
+
+// Recursive walker: validates the subtree rooted at `id` and returns the
+// true maximum expiration time of its live contents (-infinity when the
+// subtree holds no live entry, or when it could not be walked). `bound`
+// is the region stored for this subtree in the parent (null at the root).
+template <int kDims>
+Time TreeVerifier<kDims>::WalkSubtree(PageFile* file, const TreeConfig& config,
+                                      const NodeCodec<kDims>& codec,
+                                      const TreeView& view,
+                                      const VerifyOptions& options, PageId id,
+                                      int level, const Tpbr<kDims>* bound,
+                                      WalkState* state) {
+  Report* report = state->report;
+  constexpr Time kNoLiveContent = -std::numeric_limits<Time>::infinity();
+
+  Page page(file->page_size());
+  Status read = file->ReadPage(id, &page);
+  if (!read.ok()) {
+    AddFinding(report, options, CheckId::kPageChecksum, id, level,
+               read.ToString());
+    report->walk_complete = false;
+    return kNoLiveContent;
+  }
+  ++report->pages_walked;
+
+  // Validate the header before decoding: a corrupt level tag or entry
+  // count would otherwise send the codec past the page end.
+  const int node_level = page.Read<uint16_t>(0);
+  const int count = page.Read<uint16_t>(2);
+  if (node_level != level) {
+    AddFinding(report, options, CheckId::kNodeStructure, id, level,
+               "node level tag " + std::to_string(node_level) +
+                   ", expected " + std::to_string(level));
+    report->walk_complete = false;
+    return kNoLiveContent;
+  }
+  const int cap = codec.Capacity(level);
+  if (count > cap) {
+    AddFinding(report, options, CheckId::kFanout, id, level,
+               std::to_string(count) + " entries exceed the capacity of " +
+                   std::to_string(cap));
+    report->walk_complete = false;
+    return kNoLiveContent;
+  }
+
+  Node<kDims> node;
+  codec.Decode(page, &node);
+  report->entries_checked += node.entries.size();
+  if (static_cast<size_t>(level) < state->level_entry_counts.size()) {
+    state->level_entry_counts[level] += node.entries.size();
+  }
+
+  const bool is_root = (id == view.root);
+  const int min_entries =
+      std::max(2, static_cast<int>(static_cast<double>(cap) *
+                                   config.min_fill_fraction));
+  if (!is_root && count < min_entries) {
+    // Underfull nodes may exist only within the orphan-cap budget; the
+    // caller compares the total against view.underfull_remnants.
+    ++report->underfull_nodes;
+  }
+  if (is_root && level > 0 && count < 2) {
+    AddFinding(report, options, CheckId::kOccupancy, id, level,
+               "internal root holds " + std::to_string(count) +
+                   " entries; MaybeShrinkRoot must collapse it");
+  }
+
+  const Time now = options.now;
+  Time subtree_expiry = kNoLiveContent;
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const NodeEntry<kDims>& e = node.entries[i];
+    const bool live = !config.expire_entries || e.region.t_exp >= now;
+
+    // Region sanity: every decoded coordinate must be a number.
+    bool region_numeric = !std::isnan(e.region.t_exp);
+    for (int d = 0; d < kDims; ++d) {
+      if (std::isnan(e.region.lo[d]) || std::isnan(e.region.hi[d]) ||
+          std::isnan(e.region.vlo[d]) || std::isnan(e.region.vhi[d])) {
+        region_numeric = false;
+      }
+    }
+    if (!region_numeric && level > 0) {
+      AddFinding(report, options, CheckId::kNodeStructure, id, level,
+                 "entry " + std::to_string(i) +
+                     " holds a NaN bound coordinate");
+    }
+
+    Time true_expiry;
+    if (node.IsLeaf()) {
+      ++report->leaf_records_checked;
+      if (live) ++report->live_leaf_entries;
+      true_expiry = e.region.t_exp;
+
+      // Canonical-record contract (the ToFloatExactly contract from the
+      // concurrency PR): leaf records are degenerate points, finite, and
+      // bit-exact under the 32-bit on-page round trip.
+      for (int d = 0; d < kDims; ++d) {
+        const double lo = e.region.lo[d];
+        const double vlo = e.region.vlo[d];
+        if (lo != e.region.hi[d] || vlo != e.region.vhi[d]) {
+          AddFinding(report, options, CheckId::kCanonicalRecord, id, level,
+                     "oid " + std::to_string(e.id) + " dim " +
+                         std::to_string(d) + " is not a degenerate point");
+          continue;
+        }
+        if (!std::isfinite(lo) || !std::isfinite(vlo)) {
+          AddFinding(report, options, CheckId::kCanonicalRecord, id, level,
+                     "oid " + std::to_string(e.id) + " dim " +
+                         std::to_string(d) + " is not finite (pos " +
+                         Num(lo) + ", vel " + Num(vlo) + ")");
+          continue;
+        }
+        if (!IsFloatExact(lo) || !IsFloatExact(vlo)) {
+          AddFinding(report, options, CheckId::kCanonicalRecord, id, level,
+                     "oid " + std::to_string(e.id) + " dim " +
+                         std::to_string(d) + " is not float-exact");
+        }
+      }
+      const Time t_exp = e.region.t_exp;
+      if (std::isnan(t_exp) ||
+          t_exp == -std::numeric_limits<Time>::infinity()) {
+        AddFinding(report, options, CheckId::kCanonicalRecord, id, level,
+                   "oid " + std::to_string(e.id) + " expiration " +
+                       Num(t_exp) + " is not a valid time");
+      } else if (IsFiniteTime(t_exp) && !IsFloatExact(t_exp)) {
+        AddFinding(report, options, CheckId::kCanonicalRecord, id, level,
+                   "oid " + std::to_string(e.id) + " expiration " +
+                       Num(t_exp) + " is not float-exact");
+      }
+    } else {
+      // Child pointer validity and acyclicity.
+      if (e.id < kNumMetaSlots || e.id >= view.page_limit) {
+        AddFinding(report, options, CheckId::kNodeStructure, id, level,
+                   "entry " + std::to_string(i) + " references page " +
+                       std::to_string(e.id) + " outside [2, " +
+                       std::to_string(view.page_limit) + ")");
+        report->walk_complete = false;
+        continue;
+      }
+      if (!state->seen.insert(e.id).second) {
+        AddFinding(report, options, CheckId::kNodeStructure, id, level,
+                   "page " + std::to_string(e.id) +
+                       " is reachable twice (cycle or shared subtree)");
+        report->walk_complete = false;
+        continue;
+      }
+      true_expiry = WalkSubtree(file, config, codec, view, options, e.id,
+                                level - 1, &e.region, state);
+
+      // Expiration-time monotonicity (paper Section 4.1.1): the decoded
+      // expiry — stored, or the rectangle's natural one — must never
+      // under-estimate the true lifetime of live content, else queries
+      // could prune live subtrees.
+      if (config.expire_entries && true_expiry >= now &&
+          !(e.region.t_exp >= true_expiry - 1e-6)) {
+        AddFinding(report, options, CheckId::kExpiryMonotonic, id, level,
+                   "entry " + std::to_string(i) + " expiry " +
+                       Num(e.region.t_exp) +
+                       " under-estimates its content's lifetime " +
+                       Num(true_expiry));
+      }
+    }
+
+    // Per-type TPBR conservativeness (paper Section 4.1): the parent's
+    // stored rectangle must contain this entry's region at every sampled
+    // timestamp across the entry's bounded lifetime. Expired entries are
+    // exempt — the paper requires them to be purgeable without affecting
+    // query results, so no bound needs to cover them.
+    if (bound != nullptr && region_numeric && live &&
+        (!config.expire_entries || true_expiry >= now)) {
+      Time to = true_expiry;
+      if (!IsFiniteTime(to) || !config.expire_entries) {
+        to = state->never_expires_horizon;
+      }
+      if (to < now) to = now;
+      const int samples = std::max(0, options.horizon_samples);
+      for (int s = 0; s <= samples + 1; ++s) {
+        // s == 0 and s == samples + 1 hit the interval endpoints exactly.
+        const Time t = now + (to - now) * static_cast<double>(s) /
+                                 static_cast<double>(samples + 1);
+        bool contained = true;
+        int bad_dim = 0;
+        for (int d = 0; d < kDims; ++d) {
+          if (bound->LoAt(d, t) > e.region.LoAt(d, t) + options.eps ||
+              bound->HiAt(d, t) < e.region.HiAt(d, t) - options.eps) {
+            contained = false;
+            bad_dim = d;
+            break;
+          }
+        }
+        if (!contained) {
+          AddFinding(
+              report, options, CheckId::kParentContainment, id, level,
+              "entry " + std::to_string(i) + " escapes its parent bound in "
+                  "dim " + std::to_string(bad_dim) + " at t=" + Num(t) +
+                  " (bound [" + Num(bound->LoAt(bad_dim, t)) + ", " +
+                  Num(bound->HiAt(bad_dim, t)) + "], entry [" +
+                  Num(e.region.LoAt(bad_dim, t)) + ", " +
+                  Num(e.region.HiAt(bad_dim, t)) + "])");
+          break;  // One finding per entry keeps reports readable.
+        }
+      }
+    }
+
+    if (live && true_expiry > subtree_expiry) {
+      subtree_expiry = true_expiry;
+    }
+  }
+  return subtree_expiry;
+}
+
+template <int kDims>
+Report TreeVerifier<kDims>::VerifyView(PageFile* file,
+                                       const TreeConfig& config,
+                                       const TreeView& view,
+                                       const VerifyOptions& options) {
+  Report report;
+  report.meta_epoch = view.meta_epoch;
+  report.height = view.height;
+
+  NodeCodec<kDims> codec(config.page_size, config.StoresVelocities(),
+                         config.store_tpbr_expiration);
+
+  if ((view.root == kInvalidPageId) != (view.height == 0)) {
+    AddFinding(&report, options, CheckId::kMetaSlot, kInvalidPageId, -1,
+               "root/height disagree: root " + std::to_string(view.root) +
+                   ", height " + std::to_string(view.height));
+    return report;
+  }
+
+  WalkState state;
+  state.report = &report;
+  state.level_entry_counts.assign(
+      static_cast<size_t>(std::max(view.height, 0)), 0);
+  state.never_expires_horizon = options.now + 10 * view.ui;
+
+  if (view.root != kInvalidPageId) {
+    state.seen.insert(view.root);
+    WalkSubtree(file, config, codec, view, options, view.root,
+                view.height - 1, /*bound=*/nullptr, &state);
+  }
+
+  // Bookkeeping and accounting checks are only meaningful over a complete
+  // walk; a truncated one would double-report every structural finding.
+  if (report.walk_complete) {
+    for (int l = 0; l < view.height; ++l) {
+      const uint64_t seen_count = state.level_entry_counts[l];
+      const uint64_t meta_count =
+          l < static_cast<int>(view.level_counts.size())
+              ? view.level_counts[l]
+              : 0;
+      if (seen_count != meta_count) {
+        AddFinding(&report, options, CheckId::kLevelBookkeeping,
+                   kInvalidPageId, l,
+                   "walk found " + std::to_string(seen_count) +
+                       " entries, metadata records " +
+                       std::to_string(meta_count));
+      }
+    }
+    if (report.underfull_nodes > view.underfull_remnants) {
+      AddFinding(&report, options, CheckId::kOccupancy, kInvalidPageId, -1,
+                 std::to_string(report.underfull_nodes) +
+                     " underfull nodes exceed the orphan-cap budget of " +
+                     std::to_string(view.underfull_remnants));
+    }
+    if (report.pages_walked != view.expected_reachable) {
+      AddFinding(&report, options, CheckId::kPageAccounting, kInvalidPageId,
+                 -1,
+                 "walk reached " + std::to_string(report.pages_walked) +
+                     " node pages; the committed state accounts for " +
+                     std::to_string(view.expected_reachable) +
+                     " (orphaned or double-counted pages)");
+    }
+  }
+
+  if (view.check_free_list) {
+    std::unordered_set<PageId> free_seen;
+    for (PageId id : view.free_list) {
+      if (id < kNumMetaSlots || id >= view.page_limit) {
+        AddFinding(&report, options, CheckId::kFreeList, id, -1,
+                   "free-list entry outside [2, " +
+                       std::to_string(view.page_limit) + ")");
+        continue;
+      }
+      if (!free_seen.insert(id).second) {
+        AddFinding(&report, options, CheckId::kFreeList, id, -1,
+                   "page appears on the free list twice");
+        continue;
+      }
+      if (state.seen.count(id) != 0) {
+        AddFinding(&report, options, CheckId::kFreeList, id, -1,
+                   "free-list entry is reachable from the root (stale "
+                   "free)");
+      }
+    }
+  }
+  return report;
+}
+
+template <int kDims>
+Report TreeVerifier<kDims>::VerifyFile(PageFile* file,
+                                       const TreeConfig& config,
+                                       const VerifyOptions& options) {
+  Report report;
+
+  // Probe both meta slots, mirroring Tree::LoadMeta but reporting typed
+  // findings instead of a single Status.
+  Page page(config.page_size);
+  Page best(config.page_size);
+  uint64_t best_epoch = 0;
+  int best_slot = -1;
+  int damaged = 0;
+  if (file->capacity_pages() < kNumMetaSlots) {
+    AddFinding(&report, options, CheckId::kMetaSlot, kInvalidPageId, -1,
+               "file holds no complete meta slot");
+    return report;
+  }
+  for (PageId slot = 0; slot < kNumMetaSlots; ++slot) {
+    Status s = file->ReadPage(slot, &page);
+    if (!s.ok()) {
+      if (s.IsIOError()) {
+        AddFinding(&report, options, CheckId::kMetaSlot, slot, -1,
+                   "device error: " + s.ToString());
+        return report;
+      }
+      ++damaged;
+      continue;
+    }
+    if (page.Read<uint32_t>(kMetaMagicFieldOffset) == 0) continue;  // Empty.
+    if (page.Read<uint32_t>(kMetaMagicFieldOffset) != kMetaMagic ||
+        page.Read<uint32_t>(kMetaVersionFieldOffset) != kMetaVersion ||
+        page.Read<uint32_t>(kMetaDimsFieldOffset) !=
+            static_cast<uint32_t>(kDims)) {
+      ++damaged;
+      continue;
+    }
+    const uint64_t epoch = page.Read<uint64_t>(kMetaEpochFieldOffset);
+    if (epoch == 0 || (epoch & 1) != slot) {
+      ++damaged;
+      continue;
+    }
+    if (epoch > best_epoch) {
+      best_epoch = epoch;
+      best_slot = static_cast<int>(slot);
+      best = page;
+    }
+  }
+  if (best_slot < 0) {
+    AddFinding(&report, options, CheckId::kMetaSlot, kInvalidPageId, -1,
+               "no valid meta slot (" + std::to_string(damaged) +
+                   " damaged)");
+    return report;
+  }
+  // One damaged slot next to a valid one is the legal signature of a
+  // commit torn mid-metadata-write; it is tolerated (and reported as
+  // context), exactly as Tree::Open tolerates it.
+  report.damaged_meta_slots = damaged;
+  report.meta_epoch = best_epoch;
+
+  TreeView view;
+  view.meta_epoch = best_epoch;
+  view.root = best.Read<uint32_t>(kMetaRootFieldOffset);
+  view.height =
+      static_cast<int>(best.Read<uint32_t>(kMetaHeightFieldOffset));
+  const uint64_t committed = best.Read<uint64_t>(kMetaCapacityFieldOffset);
+  view.underfull_remnants = best.Read<uint64_t>(kMetaUnderfullFieldOffset);
+  const double ui = best.Read<double>(kMetaUiFieldOffset);
+  if (ui > 0) view.ui = ui;
+  if (view.height < 0 || view.height > kMetaMaxLevels ||
+      (view.root == kInvalidPageId) != (view.height == 0) ||
+      committed < kNumMetaSlots || committed > file->capacity_pages() ||
+      (view.root != kInvalidPageId &&
+       (view.root < kNumMetaSlots || view.root >= committed))) {
+    AddFinding(&report, options, CheckId::kMetaSlot,
+               static_cast<PageId>(best_slot), -1,
+               "meta slot (epoch " + std::to_string(best_epoch) +
+                   ") is internally inconsistent");
+    return report;
+  }
+  view.level_counts.assign(static_cast<size_t>(view.height), 0);
+  for (int l = 0; l < view.height; ++l) {
+    view.level_counts[static_cast<size_t>(l)] = best.Read<uint64_t>(
+        kMetaLevelCountsFieldOffset + 8 * static_cast<uint32_t>(l));
+  }
+  const uint32_t persisted = best.Read<uint32_t>(kMetaFreeCountFieldOffset);
+  const uint64_t leaked = best.Read<uint64_t>(kMetaLeakedFieldOffset);
+  if (persisted > (config.page_size - kMetaFreeListOffset) / 4) {
+    AddFinding(&report, options, CheckId::kMetaSlot,
+               static_cast<PageId>(best_slot), -1,
+               "meta free list overruns the slot");
+    return report;
+  }
+  view.free_list.reserve(persisted);
+  for (uint32_t i = 0; i < persisted; ++i) {
+    view.free_list.push_back(
+        best.Read<uint32_t>(kMetaFreeListOffset + 4 * i));
+  }
+  view.check_free_list = true;
+  view.page_limit = committed;
+
+  // Page accounting over the committed extent: every committed page is a
+  // meta slot, on the free list, accounted leaked, or a reachable node.
+  // (Pages the device grew past the committed extent are uncommitted
+  // writes; recovery reclaims them, so they are not findings.)
+  const uint64_t overhead =
+      kNumMetaSlots + view.free_list.size() + leaked;
+  if (overhead > committed) {
+    AddFinding(&report, options, CheckId::kPageAccounting, kInvalidPageId,
+               -1,
+               "free list (" + std::to_string(view.free_list.size()) +
+                   ") and leaked pages (" + std::to_string(leaked) +
+                   ") exceed the committed capacity of " +
+                   std::to_string(committed));
+    return report;
+  }
+  view.expected_reachable = committed - overhead;
+
+  Report walk = VerifyView(file, config, view, options);
+  walk.damaged_meta_slots = report.damaged_meta_slots;
+  walk.meta_epoch = best_epoch;
+  walk.findings.insert(walk.findings.begin(),
+                       std::make_move_iterator(report.findings.begin()),
+                       std::make_move_iterator(report.findings.end()));
+  return walk;
+}
+
+template class TreeVerifier<1>;
+template class TreeVerifier<2>;
+template class TreeVerifier<3>;
+
+}  // namespace verify
+}  // namespace rexp

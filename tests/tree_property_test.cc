@@ -152,8 +152,8 @@ TEST_P(TreeVsReference, ThreeDimensional) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllFlavors, TreeVsReference, ::testing::ValuesIn(kFlavors),
-    [](const ::testing::TestParamInfo<Flavor>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<Flavor>& flavor_info) {
+      return flavor_info.param.name;
     });
 
 // A high-churn scenario where most objects expire before being updated:

@@ -188,9 +188,10 @@ TEST(WorkloadGenerator, QueryMixMatchesProbabilities) {
   }
   uint64_t total = timeslice + window + moving;
   ASSERT_GT(total, 500u);
-  EXPECT_NEAR(static_cast<double>(timeslice) / total, 0.6, 0.05);
-  EXPECT_NEAR(static_cast<double>(window) / total, 0.2, 0.05);
-  EXPECT_NEAR(static_cast<double>(moving) / total, 0.2, 0.05);
+  const double total_d = static_cast<double>(total);
+  EXPECT_NEAR(static_cast<double>(timeslice) / total_d, 0.6, 0.05);
+  EXPECT_NEAR(static_cast<double>(window) / total_d, 0.2, 0.05);
+  EXPECT_NEAR(static_cast<double>(moving) / total_d, 0.2, 0.05);
 }
 
 TEST(WorkloadGenerator, NewObReplacesObjects) {

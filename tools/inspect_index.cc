@@ -5,11 +5,14 @@
 // statistics, and the live/expired entry split at a given time.
 //
 //   $ ./inspect_index <index-file> [--now T] [--page-size N]
-//                     [--json] [--metrics]
+//                     [--json] [--metrics] [--verify]
 //
 // --json emits the whole report as one JSON object (structure, per-level
 // stats, horizon estimate, and the telemetry registry snapshot) instead
 // of the human-readable text; --metrics emits only the registry snapshot.
+// --verify additionally runs the full invariant catalog (the same checks
+// as rexp_fsck: TPBR conservativeness, expiry monotonicity, occupancy,
+// accounting) and fails with exit status 1 on any finding.
 //
 // The configuration flags must match the ones the index was created with
 // (defaults: the standard R^exp-tree configuration). Build an index to
@@ -27,6 +30,7 @@
 #include "storage/page_file.h"
 #include "tree/stats.h"
 #include "tree/tree.h"
+#include "verify/verifier.h"
 
 using namespace rexp;
 
@@ -35,7 +39,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index-file> [--now T] [--page-size N] [--json] "
-               "[--metrics]\n",
+               "[--metrics] [--verify]\n",
                argv0);
   return 2;
 }
@@ -49,11 +53,14 @@ int main(int argc, char** argv) {
   uint32_t page_size = 4096;
   bool json = false;
   bool metrics_only = false;
+  bool full_verify = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_only = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      full_verify = true;
     } else if (std::strcmp(argv[i], "--now") == 0 ||
                std::strcmp(argv[i], "--page-size") == 0) {
       if (i + 1 >= argc) {
@@ -101,13 +108,19 @@ int main(int argc, char** argv) {
 
   Status verify = tree->VerifyPages();
 
+  // Full invariant catalog on request. Safe even when the page walk above
+  // found damage — the verifier reports findings instead of aborting.
+  verify::Report report;
+  if (full_verify) report = tree->Verify(now);
+  const bool sound = verify.ok() && (!full_verify || report.ok());
+
   if (metrics_only) {
     // Just the registry snapshot (the open + verification walk already
     // populated the device and buffer counters).
     obs::MetricsRegistry registry;
     tree->RegisterMetrics(&registry, "tree.");
     std::printf("%s\n", registry.ToJson().c_str());
-    return verify.ok() ? 0 : 1;
+    return sound ? 0 : 1;
   }
 
   if (json) {
@@ -120,6 +133,20 @@ int main(int argc, char** argv) {
     w.KV("meta_slot_errors", tree->meta_slot_errors());
     w.KV("verify_ok", verify.ok());
     if (!verify.ok()) w.KV("verify_error", verify.ToString());
+    if (full_verify) {
+      w.KV("invariants_ok", report.ok());
+      w.Key("invariant_findings").BeginArray();
+      for (const verify::Finding& f : report.findings) {
+        w.BeginObject();
+        w.KV("check", std::string(verify::CheckIdName(f.check)));
+        if (f.page != kInvalidPageId) {
+          w.KV("page", static_cast<uint64_t>(f.page));
+        }
+        w.KV("detail", f.detail);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     if (verify.ok()) {
       TreeStats<2> stats = CollectStats(tree.get(), now);
       w.KV("height", stats.height);
@@ -151,7 +178,7 @@ int main(int argc, char** argv) {
     w.Key("metrics").RawValue(registry.ToJson());
     w.EndObject();
     std::printf("%s\n", w.str().c_str());
-    return verify.ok() ? 0 : 1;
+    return sound ? 0 : 1;
   }
 
   std::printf("index %s (page size %u)\n", path.c_str(), page_size);
@@ -178,5 +205,9 @@ int main(int argc, char** argv) {
               tree->horizon().DecisionHorizon());
   std::printf("expired leaf fraction at t=%.2f: %.2f%%\n", now,
               100 * tree->ExpiredLeafFraction(now));
-  return 0;
+  if (full_verify) {
+    std::printf("invariant catalog: %s",
+                report.ok() ? "OK\n" : report.ToString().c_str());
+  }
+  return sound ? 0 : 1;
 }
