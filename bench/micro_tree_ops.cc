@@ -3,6 +3,17 @@
 // Micro-benchmarks for whole index operations: insertion, search, and
 // update throughput of the R^exp-tree and the TPR-tree baseline, and the
 // B-tree event queue underneath the scheduled-deletion variants.
+//
+// This binary also audits heap traffic: the global allocator is wrapped
+// with a per-thread counter, every tree benchmark reports allocs_per_op,
+// and the memory-resident Search benchmark aborts outright if the
+// steady-state query path allocates at all (the scratch-reuse guarantee
+// in tree.cc).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +23,41 @@
 #include "storage/page_file.h"
 #include "tests/test_util.h"
 #include "tree/tree.h"
+
+namespace {
+thread_local uint64_t g_thread_allocs = 0;
+}  // namespace
+
+// noinline keeps the compiler from pairing an inlined malloc here with a
+// default-delete call site elsewhere and warning about the mismatch.
+#if defined(__GNUC__)
+#define REXP_ALLOC_NOINLINE __attribute__((noinline))
+#else
+#define REXP_ALLOC_NOINLINE
+#endif
+
+REXP_ALLOC_NOINLINE void* operator new(std::size_t size) {
+  ++g_thread_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+REXP_ALLOC_NOINLINE void* operator new[](std::size_t size) {
+  ++g_thread_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+REXP_ALLOC_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+REXP_ALLOC_NOINLINE void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+REXP_ALLOC_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+REXP_ALLOC_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace rexp {
 namespace {
@@ -64,14 +110,67 @@ void BM_TreeSearch(benchmark::State& state) {
     tree.Insert(oid, RandomPoint<2>(&rng, 0.0, 1e5), 0.0);
   }
   std::vector<ObjectId> hits;
+  hits.reserve(20000);
+  uint64_t allocs_before = g_thread_allocs;
   for (auto _ : state) {
     hits.clear();
     tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
     benchmark::DoNotOptimize(hits.data());
   }
   state.SetItemsProcessed(state.iterations());
+  // Paper geometry (50-frame pool, index larger than the pool): the only
+  // remaining allocations are the buffer pool's frame-table updates on
+  // page misses.
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_thread_allocs - allocs_before),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_TreeSearch);
+
+// Search with the whole index resident in the buffer pool: the hot path
+// (descent stack, node decode, result accumulation, telemetry) must not
+// allocate at all in steady state. This is a hard regression gate, not a
+// measurement — the process aborts if the guarantee breaks.
+void BM_TreeSearchResident(benchmark::State& state) {
+  Rng rng(2);
+  TreeConfig config = TreeConfig::Rexp();
+  config.buffer_frames = 1024;  // > pages used by the 20k-object index.
+  MemoryPageFile file(config.page_size);
+  Tree<2> tree(config, &file);
+  for (ObjectId oid = 0; oid < 20000; ++oid) {
+    tree.Insert(oid, RandomPoint<2>(&rng, 0.0, 1e5), 0.0);
+  }
+  std::vector<ObjectId> hits;
+  hits.reserve(20000);
+  // Warm the per-thread scratch (descent stack, node buffer) and fault
+  // every page into the pool.
+  for (int i = 0; i < 200; ++i) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+  }
+  uint64_t check_start = g_thread_allocs;
+  for (int i = 0; i < 200; ++i) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+  }
+  if (g_thread_allocs != check_start) {
+    std::fprintf(stderr,
+                 "FATAL: steady-state Search allocated %llu time(s) over "
+                 "200 resident queries; the hot path must be "
+                 "allocation-free (see scratch reuse in tree.cc)\n",
+                 static_cast<unsigned long long>(g_thread_allocs -
+                                                 check_start));
+    std::abort();
+  }
+  for (auto _ : state) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_op"] = 0;
+}
+BENCHMARK(BM_TreeSearchResident);
 
 void BM_TreeUpdate(benchmark::State& state) {
   Rng rng(3);
@@ -85,6 +184,7 @@ void BM_TreeUpdate(benchmark::State& state) {
   }
   Time now = 0;
   ObjectId oid = 0;
+  uint64_t allocs_before = g_thread_allocs;
   for (auto _ : state) {
     now += 0.01;
     tree.Delete(oid, last[oid], now);
@@ -93,8 +193,59 @@ void BM_TreeUpdate(benchmark::State& state) {
     oid = (oid + 1) % n;
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_thread_allocs - allocs_before),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_TreeUpdate);
+
+// Position re-reports through the bottom-up Update API on the paper's
+// steady-state workload shape: each object reports a position on (or
+// near) its predicted trajectory with a bounded heading change and the
+// paper's ExpT = 120 lifetime, so the DAT pins the leaf and most updates
+// never descend. Reports the fast-path rate and residual heap traffic
+// alongside throughput. (bench/bench_update.cc compares the update modes
+// head-to-head on identical workloads.)
+void BM_TreeUpdateBottomUp(benchmark::State& state) {
+  Rng rng(3);
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  const int n = 20000;
+  std::vector<Tpbr<2>> last(n);
+  Time now = 0;
+  for (ObjectId oid = 0; oid < n; ++oid) {
+    now += 0.001;
+    last[oid] = RandomPoint<2>(&rng, now, 120.0);
+    tree.Insert(oid, last[oid], now);
+  }
+  ObjectId oid = 0;
+  tree.ResetOpStats();
+  uint64_t allocs_before = g_thread_allocs;
+  for (auto _ : state) {
+    now += 0.001;
+    Vec<2> pos, vel;
+    for (int d = 0; d < 2; ++d) {
+      pos[d] = last[oid].LoAt(d, now) + rng.Uniform(-0.5, 0.5);
+      vel[d] = std::clamp<double>(last[oid].vlo[d] + rng.Uniform(-0.2, 0.2),
+                                  -3.0, 3.0);
+    }
+    Tpbr<2> fresh = MakeMovingPoint<2>(pos, vel, now, now + 120.0);
+    tree.Update(oid, last[oid], fresh, now);
+    last[oid] = fresh;
+    oid = (oid + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_thread_allocs - allocs_before),
+      benchmark::Counter::kAvgIterations);
+  const TreeOpStats& ops = tree.op_stats();
+  uint64_t updates = ops.updates.load();
+  state.counters["fast_path_rate"] =
+      updates == 0 ? 0.0
+                   : static_cast<double>(ops.update_fast.load()) /
+                         static_cast<double>(updates);
+}
+BENCHMARK(BM_TreeUpdateBottomUp);
 
 void BM_BTreeInsertPop(benchmark::State& state) {
   MemoryPageFile file(4096);

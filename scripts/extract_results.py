@@ -85,9 +85,21 @@ def extract_json(path, out_dir):
             count += 1
     runs = doc.get("runs", [])
     if runs:
-        header = ["series", "x"] + RUN_FIELDS
-        rows = [[r.get("series", ""), r.get("x", "")] +
-                [r.get(k, "") for k in RUN_FIELDS] for r in runs]
+        if any(k in r for r in runs for k in RUN_FIELDS):
+            header = ["series", "x"] + RUN_FIELDS
+            rows = [[r.get("series", ""), r.get("x", "")] +
+                    [r.get(k, "") for k in RUN_FIELDS] for r in runs]
+        else:
+            # Runs that don't follow the figure schema (e.g.
+            # BENCH_update / BENCH_concurrency): emit the union of the
+            # runs' scalar keys, in first-appearance order.
+            fields = []
+            for r in runs:
+                for k, v in r.items():
+                    if k not in fields and not isinstance(v, (dict, list)):
+                        fields.append(k)
+            header = fields
+            rows = [[r.get(k, "") for k in fields] for r in runs]
         write_csv(out_dir, f"{doc.get('bench', 'bench')}_runs", header, rows)
         count += 1
     return count

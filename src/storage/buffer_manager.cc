@@ -212,8 +212,9 @@ StatusOr<uint32_t> BufferManager::AcquireFrameLocked() {
   // Evict the least-recently-used unpinned page. Pinned (and therefore
   // guarded) frames are never on the LRU list, so evicting the victim
   // cannot race with a reader of its content.
-  REXP_CHECK(!lru_.empty());  // All frames pinned => misconfigured buffer.
-  uint32_t fi = lru_.back();
+  // All frames pinned => misconfigured buffer.
+  REXP_CHECK(lru_tail_ != kNoFrame);
+  uint32_t fi = lru_tail_;
   Frame& f = *frames_[fi];
   if (f.dirty) {
     // Write the victim out *before* dismantling its mapping: if the write
@@ -237,18 +238,29 @@ StatusOr<uint32_t> BufferManager::AcquireFrameLocked() {
 void BufferManager::TouchLocked(uint32_t frame_index) {
   Frame& f = *frames_[frame_index];
   if (f.pin_count > 0) return;  // Pinned pages are not on the LRU list.
-  if (f.in_lru) lru_.erase(f.lru_pos);
-  lru_.push_front(frame_index);
-  f.lru_pos = lru_.begin();
+  RemoveFromLruLocked(frame_index);
+  f.lru_prev = kNoFrame;
+  f.lru_next = lru_head_;
+  if (lru_head_ != kNoFrame) frames_[lru_head_]->lru_prev = frame_index;
+  lru_head_ = frame_index;
+  if (lru_tail_ == kNoFrame) lru_tail_ = frame_index;
   f.in_lru = true;
 }
 
 void BufferManager::RemoveFromLruLocked(uint32_t frame_index) {
   Frame& f = *frames_[frame_index];
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
+  if (!f.in_lru) return;
+  if (f.lru_prev != kNoFrame) {
+    frames_[f.lru_prev]->lru_next = f.lru_next;
+  } else {
+    lru_head_ = f.lru_next;
   }
+  if (f.lru_next != kNoFrame) {
+    frames_[f.lru_next]->lru_prev = f.lru_prev;
+  } else {
+    lru_tail_ = f.lru_prev;
+  }
+  f.in_lru = false;
 }
 
 void BufferManager::PinFrameLocked(uint32_t frame_index) {

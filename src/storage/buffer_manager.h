@@ -44,7 +44,6 @@
 #define REXP_STORAGE_BUFFER_MANAGER_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -223,6 +222,9 @@ class BufferManager {
  private:
   friend class PageGuard;
 
+  // Null link / "no frame" sentinel for the intrusive LRU list.
+  static constexpr uint32_t kNoFrame = 0xFFFFFFFFu;
+
   struct Frame {
     Page page;
     PageId id = kInvalidPageId;
@@ -231,8 +233,12 @@ class BufferManager {
     // Bumped every time the frame is bound to a different page (or its
     // binding is dropped); guards snapshot it for stale detection.
     uint64_t generation = 0;
-    // Position in lru_ (valid when id != kInvalidPageId and unpinned).
-    std::list<uint32_t>::iterator lru_pos;
+    // Links of the intrusive LRU list (valid while in_lru). The list is
+    // threaded through the fixed frame array so touching a page on every
+    // fetch/unpin allocates nothing — a std::list node per touch showed
+    // up directly in search latency.
+    uint32_t lru_prev = kNoFrame;
+    uint32_t lru_next = kNoFrame;
     bool in_lru = false;
     // Content latch. Guards hold it shared (read) or exclusive (write);
     // frame metadata above is guarded by pool_mu_, not by this latch.
@@ -267,8 +273,10 @@ class BufferManager {
   // move path and its address stable for outstanding guards.
   std::vector<std::unique_ptr<Frame>> frames_;
   std::vector<uint32_t> free_frames_;
-  // Front = most recently used; back = least recently used.
-  std::list<uint32_t> lru_;
+  // Intrusive LRU list over frames_ (links in Frame). Head = most
+  // recently used; tail = least recently used (the eviction victim).
+  uint32_t lru_head_ = kNoFrame;
+  uint32_t lru_tail_ = kNoFrame;
   std::unordered_map<PageId, uint32_t> frame_of_;
   IoStats stats_;
 };

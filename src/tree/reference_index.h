@@ -46,6 +46,15 @@ class ReferenceIndex {
     return false;
   }
 
+  // Mirrors Tree::Update: removes the live record equal to `old_point`
+  // (reporting whether one existed) and inserts `new_point` either way.
+  bool Update(ObjectId oid, const Tpbr<kDims>& old_point,
+              const Tpbr<kDims>& new_point, Time now) {
+    bool found = Delete(oid, old_point, now);
+    Insert(oid, new_point);
+    return found;
+  }
+
   void Search(const Query<kDims>& query, std::vector<ObjectId>* out) const {
     for (const Record& r : records_) {
       Time expiry = expire_entries_ ? r.point.t_exp : kNeverExpires;

@@ -113,6 +113,9 @@ Status Tree<kDims>::Init() {
     if (root_ != kInvalidPageId) {
       REXP_RETURN_IF_ERROR(PinRoot(root_));
     }
+    // The direct-access table and parent map are in-memory only; rebuild
+    // them from a leaf walk of the recovered state.
+    REXP_RETURN_IF_ERROR(RebuildDat());
   }
   if (config_.crash_consistent) file_->set_deferred_free(true);
   open_ok_ = true;
@@ -329,9 +332,29 @@ Status Tree<kDims>::PinRoot(PageId new_root) {
 template <int kDims>
 Node<kDims> Tree<kDims>::ReadNode(PageId id) {
   Node<kDims> node;
-  PageGuard guard = buffer_.FetchOrDie(id);
-  codec_.Decode(*guard, &node);
+  ReadNodeInto(id, &node);
   return node;
+}
+
+template <int kDims>
+void Tree<kDims>::ReadNodeInto(PageId id, Node<kDims>* out) {
+  PageGuard guard = buffer_.FetchOrDie(id);
+  codec_.Decode(*guard, out);
+}
+
+template <int kDims>
+void Tree<kDims>::NoteNodeStored(PageId id, const Node<kDims>& node) {
+  // Every entry placement flows through a node write, so this is the one
+  // point that keeps the DAT's leaf pins and the parent map current.
+  if (node.IsLeaf()) {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      dat_.NoteLeaf(e.id, id);
+    }
+  } else {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      parent_of_.Put(e.id, id);
+    }
+  }
 }
 
 template <int kDims>
@@ -339,6 +362,7 @@ void Tree<kDims>::WriteNode(PageId id, const Node<kDims>& node) {
   PageGuard guard = buffer_.FetchOrDie(id, PageIntent::kWrite);
   codec_.Encode(node, guard.mutable_page());
   guard.MarkDirty();
+  NoteNodeStored(id, node);
 }
 
 template <int kDims>
@@ -350,7 +374,7 @@ PageId Tree<kDims>::StoreNode(PageId id, const Node<kDims>& node) {
   // Copy-on-write: relocate the node to a fresh page and quarantine the
   // old one (deferred free), so every page the last committed state
   // references stays untouched until the next commit is durable.
-  buffer_.FreePage(id);
+  FreeNode(id);
   return AllocNode(node);
 }
 
@@ -359,12 +383,21 @@ PageId Tree<kDims>::AllocNode(const Node<kDims>& node) {
   PageId id;
   PageGuard guard = buffer_.NewPageOrDie(&id);
   codec_.Encode(node, guard.mutable_page());
+  NoteNodeStored(id, node);
   return id;
 }
 
 template <int kDims>
 void Tree<kDims>::FreeNode(PageId id) {
   buffer_.FreePage(id);
+  parent_of_.Erase(id);
+}
+
+template <int kDims>
+void Tree<kDims>::ReleaseLeafRefs(const Node<kDims>& node) {
+  for (const NodeEntry<kDims>& e : node.entries) {
+    dat_.ReleaseRef(e.id);
+  }
 }
 
 template <int kDims>
@@ -378,6 +411,7 @@ void Tree<kDims>::FreeSubtree(PageId id, int level) {
     level_counts_[level] -= node.entries.size();
   } else {
     Node<kDims> node = ReadNode(id);
+    ReleaseLeafRefs(node);
     level_counts_[0] -= node.entries.size();
   }
   FreeNode(id);
@@ -403,7 +437,9 @@ void Tree<kDims>::PurgeExpired(Node<kDims>* node, Time now,
     bool keep = EntryLive(e, now) || (!node->IsLeaf() && e.id == skip_id);
     if (keep) {
       node->entries[kept++] = e;
-    } else if (!node->IsLeaf()) {
+    } else if (node->IsLeaf()) {
+      dat_.ReleaseRef(e.id);
+    } else {
       // Dropping an expired internal entry deallocates its whole subtree
       // (paper Section 4.3).
       FreeSubtree(e.id, node->level - 1);
@@ -440,7 +476,8 @@ double Tree<kDims>::TpbrHorizonForLevel(int parent_level) const {
 
 template <int kDims>
 Tpbr<kDims> Tree<kDims>::ComputeBound(const Node<kDims>& node, Time now) {
-  std::vector<Tpbr<kDims>> regions;
+  std::vector<Tpbr<kDims>>& regions = bound_scratch_;
+  regions.clear();
   regions.reserve(node.entries.size());
   for (const NodeEntry<kDims>& e : node.entries) {
     if (EntryLive(e, now)) regions.push_back(e.region);
@@ -774,8 +811,9 @@ void Tree<kDims>::RemoveForReinsert(Node<kDims>* node, Time now) {
     kept.push_back(node->entries[by_distance[i].second]);
   }
   for (int i = total - remove; i < total; ++i) {
-    pending_.push_back(Pending{node->level,
-                               node->entries[by_distance[i].second]});
+    const NodeEntry<kDims>& removed = node->entries[by_distance[i].second];
+    if (node->level == 0) dat_.ReleaseRef(removed.id);
+    pending_.push_back(Pending{node->level, removed});
   }
   level_counts_[node->level] -= remove;
   node->entries = std::move(kept);
@@ -835,8 +873,8 @@ void Tree<kDims>::FixPath(const std::vector<PathStep>& path,
         have_extra = true;
         // Bound the new sibling as stored on its page (float-rounded), so
         // that parent bounds always cover the on-page child exactly.
-        extra = NodeEntry<kDims>{ComputeBound(ReadNode(right_id), now),
-                                 right_id};
+        ReadNodeInto(right_id, &fix_scratch_);
+        extra = NodeEntry<kDims>{ComputeBound(fix_scratch_, now), right_id};
       }
     } else if (!is_root &&
                static_cast<int>(node.entries.size()) < min_entries) {
@@ -848,7 +886,10 @@ void Tree<kDims>::FixPath(const std::vector<PathStep>& path,
         stored_id = StoreNode(id, node);
       } else {
         // Underfull: orphan the live entries and dissolve the node (paper
-        // step PU2).
+        // step PU2). Orphaned leaf records leave the leaf level until
+        // reinserted, so their DAT references drop here and come back in
+        // InsertPending.
+        if (node.level == 0) ReleaseLeafRefs(node);
         for (const NodeEntry<kDims>& e : node.entries) {
           pending_.push_back(Pending{node.level, e});
         }
@@ -891,7 +932,8 @@ void Tree<kDims>::FixPath(const std::vector<PathStep>& path,
       // Recompute the bound from the node as stored on its page: encoding
       // rounds entries outward, and the parent bound must cover the
       // on-page representation. Under copy-on-write the child also moved.
-      parent.entries[idx].region = ComputeBound(ReadNode(stored_id), now);
+      ReadNodeInto(stored_id, &fix_scratch_);
+      parent.entries[idx].region = ComputeBound(fix_scratch_, now);
       parent.entries[idx].id = stored_id;
     }
     if (have_extra) {
@@ -938,6 +980,7 @@ void Tree<kDims>::MaybeShrinkRoot(Time now) {
       height_ = root.level;
       level_counts_.resize(height_);
       root_ = new_root;
+      parent_of_.Erase(new_root);  // The root has no parent.
       ++op_stats_.root_shrinks;
       if (tracer_ != nullptr) {
         tracer_->Emit("root_shrink",
@@ -985,6 +1028,9 @@ void Tree<kDims>::EnsureHeightFor(int level, Time now) {
 
 template <int kDims>
 void Tree<kDims>::InsertPending(Pending pending, Time now) {
+  // The entry is about to gain a physical leaf placement; the leaf write
+  // below (AllocNode/StoreNode) pins its location.
+  if (pending.level == 0) dat_.AddRef(pending.entry.id);
   if (root_ == kInvalidPageId) {
     // Empty tree: the entry becomes (the only entry of) a new root at its
     // own level (paper CT3.1).
@@ -1070,7 +1116,11 @@ bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
                                 bool see_expired,
                                 std::vector<PathStep>* path) {
   path->push_back(PathStep{id});
-  Node<kDims> node = ReadNode(id);
+  if (delete_scratch_.size() <= static_cast<size_t>(level)) {
+    delete_scratch_.resize(level + 1);
+  }
+  Node<kDims>& node = delete_scratch_[level];
+  ReadNodeInto(id, &node);
   REXP_CHECK(node.level == level);
   // The record is guaranteed to lie inside every ancestor bound while it
   // is live; for an already-expired record (scheduled deletions arriving
@@ -1089,6 +1139,7 @@ bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
                 e.region.vlo[d] == point.vlo[d];
       }
       if (!match) continue;
+      dat_.ReleaseRef(e.id);
       node.entries.erase(node.entries.begin() + i);
       level_counts_[0] -= 1;
       PurgeExpired(&node, now);
@@ -1131,9 +1182,17 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
   // Canonicalize the probe so it compares equal to what Insert stored even
   // when the caller kept the record in full double precision.
   const Tpbr<kDims> p = CanonicalRecord(point);
-  std::vector<PathStep> path;
-  bool found = DeleteRecurse(root_, height_ - 1, oid, p, now,
-                             see_expired, &path);
+  // When the DAT pins the object's single physical copy the whole
+  // operation resolves at that leaf — no overlap-guided descent.
+  bool found;
+  DatDelete direct = DeleteViaDat(oid, p, now, see_expired);
+  if (direct == DatDelete::kUnknown) {
+    path_scratch_.clear();
+    found = DeleteRecurse(root_, height_ - 1, oid, p, now, see_expired,
+                          &path_scratch_);
+  } else {
+    found = direct == DatDelete::kDeleted;
+  }
   if (found) {
     DrainPending(now);
   } else {
@@ -1155,6 +1214,407 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
   return found;
 }
 
+// ---------------------------------------------------------------------------
+// Bottom-up updates (DESIGN.md §10).
+
+namespace {
+
+// Index of the leaf entry matching (oid, point) under Delete's predicate,
+// or -1. Exact-match on the canonical record: a degenerate TPBR is fully
+// determined by its reference position, lower velocity, and expiry.
+template <int kDims>
+int FindLeafMatch(const Node<kDims>& node, ObjectId oid,
+                  const Tpbr<kDims>& point, Time now, bool see_expired,
+                  bool expire_entries) {
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const NodeEntry<kDims>& e = node.entries[i];
+    if (e.id != oid) continue;
+    if (!see_expired && expire_entries && e.region.t_exp < now) continue;
+    bool match = e.region.t_exp == point.t_exp;
+    for (int d = 0; match && d < kDims; ++d) {
+      match = e.region.lo[d] == point.lo[d] &&
+              e.region.vlo[d] == point.vlo[d];
+    }
+    if (match) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+template <int kDims>
+Status Tree<kDims>::RebuildDat() {
+  dat_.Clear();
+  parent_of_.Clear();
+  if (root_ == kInvalidPageId) return Status::OK();
+  REXP_RETURN_IF_ERROR(RebuildDatWalk(root_, height_ - 1));
+  ++op_stats_.dat_rebuilds;
+  return Status::OK();
+}
+
+template <int kDims>
+Status Tree<kDims>::RebuildDatWalk(PageId id, int level) {
+  Node<kDims> node;
+  {
+    REXP_ASSIGN_OR_RETURN(PageGuard guard, buffer_.Fetch(id));
+    codec_.Decode(*guard, &node);
+  }
+  if (node.level != level) {
+    return Status::Corruption(
+        "page " + std::to_string(id) + ": node level " +
+        std::to_string(node.level) + ", expected " + std::to_string(level));
+  }
+  if (node.IsLeaf()) {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      dat_.AddRef(e.id);
+      dat_.NoteLeaf(e.id, id);
+    }
+  } else {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      parent_of_.Put(e.id, id);
+      REXP_RETURN_IF_ERROR(RebuildDatWalk(e.id, level - 1));
+    }
+  }
+  return Status::OK();
+}
+
+template <int kDims>
+bool Tree<kDims>::BuildPathFromDat(PageId leaf, std::vector<PathStep>* path) {
+  path->clear();
+  PageId id = leaf;
+  int steps = 0;
+  while (id != root_) {
+    path->push_back(PathStep{id});
+    PageId* parent = parent_of_.Find(id);
+    if (parent == nullptr || ++steps >= height_) return false;
+    id = *parent;
+  }
+  path->push_back(PathStep{root_});
+  std::reverse(path->begin(), path->end());
+  return static_cast<int>(path->size()) == height_;
+}
+
+template <int kDims>
+bool Tree<kDims>::RecordCoveredByBound(const Tpbr<kDims>& bound,
+                                       const Tpbr<kDims>& rec,
+                                       Time now) const {
+  if (config_.expire_entries && IsFiniteTime(rec.t_exp)) {
+    if (rec.t_exp < now) return false;  // Already expired: not admissible.
+    // Both sides are linear in t, so endpoint containment over the
+    // record's remaining lifetime is exact containment.
+    return bound.Bounds(rec, now, rec.t_exp, 0.0);
+  }
+  // Unbounded lifetime (TPR mode): velocity nesting plus position
+  // containment now imply containment at every t >= now.
+  for (int d = 0; d < kDims; ++d) {
+    if (bound.vlo[d] > rec.vlo[d] || rec.vhi[d] > bound.vhi[d]) return false;
+    if (bound.LoAt(d, now) > rec.LoAt(d, now) ||
+        rec.HiAt(d, now) > bound.HiAt(d, now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <int kDims>
+typename Tree<kDims>::DatDelete Tree<kDims>::DeleteViaDat(
+    ObjectId oid, const Tpbr<kDims>& point, Time now, bool see_expired) {
+  const DatEntry* de = dat_.Find(oid);
+  if (de == nullptr) {
+    // The DAT tracks every physical copy; no entry means no copy anywhere
+    // in the tree, so a descent could not succeed either.
+    ++op_stats_.delete_bottom_up;
+    return DatDelete::kAbsent;
+  }
+  if (de->count != 1 || de->leaf == kInvalidPageId) {
+    return DatDelete::kUnknown;
+  }
+  const PageId leaf = de->leaf;
+  if (!BuildPathFromDat(leaf, &path_scratch_)) return DatDelete::kUnknown;
+  Node<kDims>& node = update_scratch_;
+  ReadNodeInto(leaf, &node);
+  const int match = FindLeafMatch(node, oid, point, now, see_expired,
+                                  config_.expire_entries);
+  ++op_stats_.delete_bottom_up;
+  if (match < 0) {
+    // The object's single physical copy does not match the probe.
+    return DatDelete::kAbsent;
+  }
+  dat_.ReleaseRef(oid);
+  node.entries.erase(node.entries.begin() + match);
+  level_counts_[0] -= 1;
+  PurgeExpired(&node, now);
+  FixPath(path_scratch_, std::move(node), now);
+  return DatDelete::kDeleted;
+}
+
+template <int kDims>
+bool Tree<kDims>::UpdateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
+                               const Tpbr<kDims>& new_record, Time now) {
+  ++op_stats_.updates;
+  if (horizon_.RecordInsertion(
+          now, level_counts_.empty() ? 0 : level_counts_[0])) {
+    ++op_stats_.horizon_retunes;
+    if (tracer_ != nullptr) {
+      tracer_->Emit("horizon_retune", {{"now", now},
+                                       {"ui", horizon_.ui()},
+                                       {"w", horizon_.w()},
+                                       {"h", horizon_.DecisionHorizon()}});
+    }
+  }
+
+  // Fast path: the DAT pins the object's single physical copy to a leaf.
+  const DatEntry* de =
+      root_ != kInvalidPageId ? dat_.Find(oid) : nullptr;
+  const PageId leaf =
+      (de != nullptr && de->count == 1) ? de->leaf : kInvalidPageId;
+  if (leaf != kInvalidPageId) {
+    ++op_stats_.dat_hits;
+    Node<kDims>& node = update_scratch_;
+    ReadNodeInto(leaf, &node);
+    const int match = FindLeafMatch(node, oid, old_record, now,
+                                    /*see_expired=*/false,
+                                    config_.expire_entries);
+    if (match >= 0) {
+      bool covered = false;
+      bool expiry_ok = false;
+      if (leaf == root_) {
+        // A leaf root has no parent-facing bound to respect.
+        covered = expiry_ok = true;
+      } else {
+        PageId* parent = parent_of_.Find(leaf);
+        if (parent != nullptr) {
+          ReadNodeInto(*parent, &fix_scratch_);
+          const int pidx = fix_scratch_.FindId(leaf);
+          if (pidx >= 0) {
+            const Tpbr<kDims>& bound = fix_scratch_.entries[pidx].region;
+            covered = RecordCoveredByBound(bound, new_record, now);
+            // Queries prune internal entries by effective expiry, so a
+            // pure in-place write additionally needs the parent entry to
+            // outlive the new record.
+            expiry_ok = !config_.expire_entries ||
+                        bound.EffectiveExpiry(0) >= new_record.t_exp;
+          }
+        }
+      }
+      if (covered && expiry_ok && !config_.crash_consistent) {
+        // Tier 1: a single leaf write — no purge, no parent touch, zero
+        // descents. Ancestors stay sound: the parent entry covers the new
+        // record over its whole remaining lifetime, and every ancestor
+        // covers the parent entry up to its recorded expiry, which the
+        // admission rule keeps at or above the new record's.
+        node.entries[match].region = new_record;
+        WriteNode(leaf, node);
+        ++op_stats_.update_fast;
+        return true;
+      }
+      if (covered && BuildPathFromDat(leaf, &path_scratch_)) {
+        // Tier 2: replace in the leaf, then let FixPath recompute every
+        // ancestor bound/expiry up the parent chain — still no
+        // ChooseSubtree descent. This is the usual case when the new
+        // record outlives the recorded parent expiry, and the only
+        // admissible bottom-up form under copy-on-write (the leaf's page
+        // id changes on every store).
+        node.entries[match].region = new_record;
+        PurgeExpired(&node, now);
+        FixPath(path_scratch_, std::move(node), now);
+        DrainPending(now);
+        ++op_stats_.update_fast;
+        ++op_stats_.update_fast_propagations;
+        return true;
+      }
+    }
+  } else {
+    ++op_stats_.dat_misses;
+  }
+
+  // Fallback: localized delete (bottom-up when the DAT can resolve it,
+  // overlap-guided descent otherwise) followed by a regular insert.
+  ++op_stats_.update_fallback;
+  bool found = false;
+  if (root_ != kInvalidPageId) {
+    DatDelete direct = DeleteViaDat(oid, old_record, now,
+                                    /*see_expired=*/false);
+    if (direct == DatDelete::kUnknown) {
+      path_scratch_.clear();
+      found = DeleteRecurse(root_, height_ - 1, oid, old_record, now,
+                            /*see_expired=*/false, &path_scratch_);
+    } else {
+      found = direct == DatDelete::kDeleted;
+    }
+    if (found) DrainPending(now);
+  }
+  InsertPending(Pending{0, NodeEntry<kDims>{new_record, oid}}, now);
+  DrainPending(now);
+  return found;
+}
+
+template <int kDims>
+bool Tree<kDims>::Update(ObjectId oid, const Tpbr<kDims>& old_record,
+                         const Tpbr<kDims>& new_record, Time now) {
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  reinserted_levels_ = 0;
+  const uint64_t io_before = buffer_.stats().Total();
+  const uint64_t fast_before =
+      op_stats_.update_fast.load(std::memory_order_relaxed);
+  obs::LatencyTimer timer(&op_stats_.update_latency_us);
+  bool found = UpdateLocked(oid, CanonicalRecord(old_record),
+                            CanonicalRecord(new_record), now);
+  if (config_.crash_consistent) {
+    REXP_CHECK_OK(CommitLocked());
+  } else {
+    REXP_CHECK_OK(buffer_.FlushDirty());
+  }
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  op_stats_.update_io.Record(static_cast<double>(io));
+  if (tracer_ != nullptr) {
+    const bool fast =
+        op_stats_.update_fast.load(std::memory_order_relaxed) != fast_before;
+    tracer_->Emit("update", {{"now", now},
+                             {"found", found ? 1.0 : 0.0},
+                             {"fast", fast ? 1.0 : 0.0},
+                             {"io", static_cast<double>(io)}});
+  }
+  ParanoidVerify(now);
+  return found;
+}
+
+template <int kDims>
+std::vector<bool> Tree<kDims>::GroupUpdate(
+    const std::vector<UpdateRequest>& requests, Time now) {
+  std::vector<bool> results(requests.size(), false);
+  if (requests.empty()) return results;
+  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  ++op_stats_.group_update_batches;
+  const uint64_t io_before = buffer_.stats().Total();
+  obs::LatencyTimer timer(&op_stats_.update_latency_us);
+
+  std::vector<UpdateRequest> reqs = requests;
+  for (UpdateRequest& r : reqs) {
+    r.old_record = CanonicalRecord(r.old_record);
+    r.new_record = CanonicalRecord(r.new_record);
+  }
+
+  // Order the batch by DAT-pinned target leaf — stable, so requests for
+  // the same object keep their batch order — and coalesce same-leaf
+  // updates into one read-modify-write.
+  std::vector<std::pair<PageId, size_t>> order;
+  order.reserve(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const DatEntry* de =
+        root_ != kInvalidPageId ? dat_.Find(reqs[i].oid) : nullptr;
+    const PageId leaf =
+        (de != nullptr && de->count == 1) ? de->leaf : kInvalidPageId;
+    order.emplace_back(leaf, i);
+  }
+  std::stable_sort(
+      order.begin(), order.end(),
+      [](const std::pair<PageId, size_t>& a,
+         const std::pair<PageId, size_t>& b) { return a.first < b.first; });
+
+  std::vector<char> done(reqs.size(), 0);
+  // Pass 1: per pinned leaf, apply every tier-1-admissible replacement to
+  // one in-memory copy and write the page once. Copy-on-write mode
+  // relocates the leaf on every store (invalidating the grouping), so it
+  // takes the singles pass only.
+  if (!config_.crash_consistent) {
+    size_t g = 0;
+    while (g < order.size()) {
+      const PageId leaf = order[g].first;
+      size_t g_end = g;
+      while (g_end < order.size() && order[g_end].first == leaf) ++g_end;
+      if (leaf == kInvalidPageId) {
+        g = g_end;
+        continue;
+      }
+      // The leaf's parent-facing bound gates every admission in this
+      // group; read it once.
+      bool have_bound = leaf == root_;
+      Tpbr<kDims> bound;
+      if (leaf != root_) {
+        PageId* parent = parent_of_.Find(leaf);
+        if (parent != nullptr) {
+          ReadNodeInto(*parent, &fix_scratch_);
+          const int pidx = fix_scratch_.FindId(leaf);
+          if (pidx >= 0) {
+            have_bound = true;
+            bound = fix_scratch_.entries[pidx].region;
+          }
+        }
+        if (!have_bound) {
+          g = g_end;  // Broken parent chain: singles pass.
+          continue;
+        }
+      }
+      Node<kDims>& node = update_scratch_;
+      ReadNodeInto(leaf, &node);
+      bool dirty = false;
+      for (size_t k = g; k < g_end; ++k) {
+        const UpdateRequest& r = reqs[order[k].second];
+        const int match = FindLeafMatch(node, r.oid, r.old_record, now,
+                                        /*see_expired=*/false,
+                                        config_.expire_entries);
+        if (match < 0) continue;
+        const bool admit =
+            leaf == root_ ||
+            (RecordCoveredByBound(bound, r.new_record, now) &&
+             (!config_.expire_entries ||
+              bound.EffectiveExpiry(0) >= r.new_record.t_exp));
+        if (!admit) continue;
+        node.entries[match].region = r.new_record;
+        dirty = true;
+        done[order[k].second] = 1;
+        results[order[k].second] = true;
+        ++op_stats_.updates;
+        ++op_stats_.update_fast;
+        ++op_stats_.dat_hits;
+        if (horizon_.RecordInsertion(
+                now, level_counts_.empty() ? 0 : level_counts_[0])) {
+          ++op_stats_.horizon_retunes;
+        }
+      }
+      if (dirty) WriteNode(leaf, node);
+      g = g_end;
+    }
+  }
+
+  // Pass 2: the rest through the single-update path, in batch order.
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (done[i] != 0) continue;
+    reinserted_levels_ = 0;
+    results[i] =
+        UpdateLocked(reqs[i].oid, reqs[i].old_record, reqs[i].new_record,
+                     now);
+  }
+
+  if (config_.crash_consistent) {
+    REXP_CHECK_OK(CommitLocked());
+  } else {
+    REXP_CHECK_OK(buffer_.FlushDirty());
+  }
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  op_stats_.update_io.Record(static_cast<double>(io));
+  if (tracer_ != nullptr) {
+    tracer_->Emit("group_update",
+                  {{"now", now},
+                   {"batch", static_cast<double>(requests.size())},
+                   {"io", static_cast<double>(io)}});
+  }
+  ParanoidVerify(now);
+  return results;
+}
+
+template <int kDims>
+std::vector<verify::DatSnapshotEntry> Tree<kDims>::DatSnapshotForTest()
+    const {
+  std::vector<verify::DatSnapshotEntry> out;
+  out.reserve(dat_.size());
+  dat_.ForEach([&out](uint32_t oid, const DatEntry& e) {
+    out.push_back(verify::DatSnapshotEntry{oid, e.leaf, e.count});
+  });
+  return out;
+}
+
 template <int kDims>
 void Tree<kDims>::Search(const Query<kDims>& query,
                          std::vector<ObjectId>* out) {
@@ -1165,12 +1625,18 @@ void Tree<kDims>::Search(const Query<kDims>& query,
   const size_t results_before = out->size();
   obs::LatencyTimer timer(&op_stats_.search_latency_us);
   uint64_t visited = 0;
-  std::vector<PageId> stack;
+  // Reader-side scratch: Search runs under a shared epoch from many
+  // threads at once, so the reused stack and node buffers are per-thread.
+  // After the first few queries their capacity plateaus and the steady
+  // state performs no heap allocation (guarded in bench/micro_tree_ops).
+  static thread_local std::vector<PageId> stack;
+  static thread_local Node<kDims> node;
+  stack.clear();
   stack.push_back(root_);
   while (!stack.empty()) {
     PageId id = stack.back();
     stack.pop_back();
-    Node<kDims> node = ReadNode(id);
+    ReadNodeInto(id, &node);
     ++visited;
     for (const NodeEntry<kDims>& e : node.entries) {
       Time expiry = kNeverExpires;
@@ -1295,6 +1761,12 @@ std::vector<NodeEntry<kDims>> Tree<kDims>::PackLevel(
 
   StrOrder<kDims>(&items, 0, items.size(), 0, num_nodes, now);
 
+  if (level == 0) {
+    // Reference each record before its node is written so the write hook
+    // can pin single-copy objects to their leaf.
+    for (const NodeEntry<kDims>& item : items) dat_.AddRef(item.id);
+  }
+
   std::vector<NodeEntry<kDims>> parents;
   parents.reserve(num_nodes);
   for (size_t i = 0; i < num_nodes; ++i) {
@@ -1391,6 +1863,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
   };
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
   heap.push(Item{0.0, false, root_, height_ - 1});
+  static thread_local Node<kDims> node;
 
   while (!heap.empty() && static_cast<int>(out->size()) < k) {
     Item item = heap.top();
@@ -1399,7 +1872,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
       out->push_back(item.id);
       continue;
     }
-    Node<kDims> node = ReadNode(item.id);
+    ReadNodeInto(item.id, &node);
     ++visited;
     for (const NodeEntry<kDims>& e : node.entries) {
       // Only entries valid at time t participate.
@@ -1464,6 +1937,18 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->AddCounter(prefix + "ops.delete_misses", &ops.delete_misses);
   registry->AddCounter(prefix + "ops.searches", &ops.searches);
   registry->AddCounter(prefix + "ops.nn_searches", &ops.nn_searches);
+  registry->AddCounter(prefix + "ops.updates", &ops.updates);
+  registry->AddCounter(prefix + "ops.update_fast", &ops.update_fast);
+  registry->AddCounter(prefix + "ops.update_fast_propagations",
+                       &ops.update_fast_propagations);
+  registry->AddCounter(prefix + "ops.update_fallback", &ops.update_fallback);
+  registry->AddCounter(prefix + "ops.group_update_batches",
+                       &ops.group_update_batches);
+  registry->AddCounter(prefix + "ops.dat_hits", &ops.dat_hits);
+  registry->AddCounter(prefix + "ops.dat_misses", &ops.dat_misses);
+  registry->AddCounter(prefix + "ops.dat_rebuilds", &ops.dat_rebuilds);
+  registry->AddCounter(prefix + "ops.delete_bottom_up",
+                       &ops.delete_bottom_up);
   registry->AddCounter(prefix + "ops.choose_subtree_calls",
                        &ops.choose_subtree_calls);
   registry->AddCounter(prefix + "ops.splits", &ops.splits);
@@ -1487,12 +1972,15 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->AddHistogram(prefix + "ops.insert_io", &ops.insert_io);
   registry->AddHistogram(prefix + "ops.delete_io", &ops.delete_io);
   registry->AddHistogram(prefix + "ops.search_io", &ops.search_io);
+  registry->AddHistogram(prefix + "ops.update_io", &ops.update_io);
   registry->AddHistogram(prefix + "ops.insert_latency_us",
                          &ops.insert_latency_us);
   registry->AddHistogram(prefix + "ops.delete_latency_us",
                          &ops.delete_latency_us);
   registry->AddHistogram(prefix + "ops.search_latency_us",
                          &ops.search_latency_us);
+  registry->AddHistogram(prefix + "ops.update_latency_us",
+                         &ops.update_latency_us);
 
   // Structure and horizon-estimator gauges.
   registry->AddGauge(prefix + "tree.height",
@@ -1505,6 +1993,9 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   });
   registry->AddGauge(prefix + "tree.underfull_remnants", [this] {
     return static_cast<double>(underfull_remnants_);
+  });
+  registry->AddGauge(prefix + "tree.dat_entries", [this] {
+    return static_cast<double>(dat_.size());
   });
   registry->AddGauge(prefix + "tree.meta_epoch", [this] {
     return static_cast<double>(meta_epoch_);
@@ -1603,6 +2094,12 @@ verify::Report Tree<kDims>::VerifyLocked(Time now) {
   // allocated). Matches CheckInvariants.
   view.expected_reachable =
       file_->allocated_pages() - kNumMetaSlots - file_->leaked_pages();
+  // Cross-check the direct-access table against the walk (kDatMapping).
+  view.check_dat = true;
+  view.dat.reserve(dat_.size());
+  dat_.ForEach([&view](uint32_t oid, const DatEntry& e) {
+    view.dat.push_back(verify::DatSnapshotEntry{oid, e.leaf, e.count});
+  });
   verify::VerifyOptions options;
   options.now = now;
   return verify::TreeVerifier<kDims>::VerifyView(file_, config_, view,

@@ -48,6 +48,7 @@
 #include "sched/shared_mutex.h"
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
+#include "tree/dat.h"
 #include "tree/horizon.h"
 #include "tree/node.h"
 #include "tree/tree_config.h"
@@ -68,6 +69,20 @@ struct TreeOpStats {
   std::atomic<uint64_t> delete_misses{0};  // ...found no matching live entry.
   std::atomic<uint64_t> searches{0};
   std::atomic<uint64_t> nn_searches{0};
+
+  // Bottom-up update path (DESIGN.md §10).
+  std::atomic<uint64_t> updates{0};      // Update() calls (incl. batched).
+  std::atomic<uint64_t> update_fast{0};  // Served by in-place leaf replace...
+  // ...of which these also propagated bounds up the parent chain.
+  std::atomic<uint64_t> update_fast_propagations{0};
+  std::atomic<uint64_t> update_fallback{0};  // Fell back to delete+insert.
+  std::atomic<uint64_t> group_update_batches{0};  // GroupUpdate() calls.
+  std::atomic<uint64_t> dat_hits{0};    // DAT knew the exact leaf.
+  std::atomic<uint64_t> dat_misses{0};  // DAT had no pinned leaf for the oid.
+  std::atomic<uint64_t> dat_rebuilds{0};  // DAT rebuilt from a leaf walk.
+  // Deletions (including update fallbacks) resolved through the DAT
+  // without a descent.
+  std::atomic<uint64_t> delete_bottom_up{0};
 
   // One per descent step of ChoosePath.
   std::atomic<uint64_t> choose_subtree_calls{0};
@@ -90,20 +105,32 @@ struct TreeOpStats {
   obs::Histogram insert_io{obs::IoCountBounds()};
   obs::Histogram delete_io{obs::IoCountBounds()};
   obs::Histogram search_io{obs::IoCountBounds()};
+  obs::Histogram update_io{obs::IoCountBounds()};
   obs::Histogram insert_latency_us{obs::LatencyBoundsUs()};
   obs::Histogram delete_latency_us{obs::LatencyBoundsUs()};
   obs::Histogram search_latency_us{obs::LatencyBoundsUs()};
+  obs::Histogram update_latency_us{obs::LatencyBoundsUs()};
 
   void Reset() {
     obs::Histogram* hists[] = {&insert_io,         &delete_io,
-                               &search_io,         &insert_latency_us,
-                               &delete_latency_us, &search_latency_us};
+                               &search_io,         &update_io,
+                               &insert_latency_us, &delete_latency_us,
+                               &search_latency_us, &update_latency_us};
     for (obs::Histogram* h : hists) h->Reset();
     std::atomic<uint64_t>* counters[] = {&inserts,
                                          &deletes,
                                          &delete_misses,
                                          &searches,
                                          &nn_searches,
+                                         &updates,
+                                         &update_fast,
+                                         &update_fast_propagations,
+                                         &update_fallback,
+                                         &group_update_batches,
+                                         &dat_hits,
+                                         &dat_misses,
+                                         &dat_rebuilds,
+                                         &delete_bottom_up,
                                          &choose_subtree_calls,
                                          &splits,
                                          &forced_reinserts,
@@ -192,6 +219,36 @@ class Tree {
   bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
               bool see_expired = false);
 
+  // Replaces `oid`'s record `old_record` with `new_record` in one
+  // operation — the bottom-up fast path for the update-dominated steady
+  // state where every object periodically re-reports its position. The
+  // direct-access table pins the leaf holding the old record without a
+  // descent; when the new record is still covered by the leaf's
+  // parent-facing bound the replacement is a single leaf write (bounds
+  // are re-propagated up the parent chain only if the leaf's recorded
+  // expiry must grow), otherwise it degrades to a localized delete plus a
+  // regular insert. Equivalent to Delete(oid, old_record) followed by
+  // Insert(oid, new_record); returns whether the old record was found
+  // (the new record is inserted either way). Both records must be
+  // canonical (MakeMovingPoint).
+  bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
+              const Tpbr<kDims>& new_record, Time now);
+
+  // One pending position re-report for GroupUpdate.
+  struct UpdateRequest {
+    ObjectId oid;
+    Tpbr<kDims> old_record;
+    Tpbr<kDims> new_record;
+  };
+
+  // Applies a batch of updates under one exclusive epoch, grouping the
+  // requests by their DAT-pinned target leaf so updates that land on the
+  // same leaf share one read-modify-write; the remainder run through the
+  // single-update path. result[i] is what Update would have returned for
+  // requests[i]. Requests for the same oid are applied in batch order.
+  std::vector<bool> GroupUpdate(const std::vector<UpdateRequest>& requests,
+                                Time now);
+
   // Reports the ids of all live objects whose trajectories intersect the
   // query. The query's time interval must not precede the time of the
   // last update operation. (With expire_entries == false — the TPR-tree —
@@ -273,6 +330,10 @@ class Tree {
   // Reads a node (counted as I/O like any other access). Test/checker hook.
   Node<kDims> ReadNodeForTest(PageId id) { return ReadNode(id); }
 
+  // Snapshot of the direct-access table for tests and the verifier's
+  // DAT-vs-walk cross-check (verify::CheckId::kDatMapping).
+  std::vector<verify::DatSnapshotEntry> DatSnapshotForTest() const;
+
   // Runs the full invariant catalog (see Verify below) and aborts with
   // the report on any finding. `now` is the current time (entries expired
   // before `now` may legally linger; their containment is not required).
@@ -319,6 +380,9 @@ class Tree {
 
   // --- node I/O ---
   Node<kDims> ReadNode(PageId id);
+  // ReadNode into caller-owned storage (reuses `out`'s entry capacity —
+  // the hot paths' allocation-free variant).
+  void ReadNodeInto(PageId id, Node<kDims>* out);
   void WriteNode(PageId id, const Node<kDims>& node);
   // Persists `node` over the page that held it. In-place write (returns
   // `id`) normally; with crash_consistent the old page is freed into the
@@ -370,6 +434,34 @@ class Tree {
   bool DeleteRecurse(PageId id, int level, ObjectId oid,
                      const Tpbr<kDims>& point, Time now, bool see_expired,
                      std::vector<PathStep>* path);
+
+  // --- bottom-up updates (DESIGN.md §10) ---
+  // Feeds the DAT and parent-pointer map from a node hitting the page
+  // `id` — the single point every entry placement flows through.
+  void NoteNodeStored(PageId id, const Node<kDims>& node);
+  // Releases DAT references for every leaf entry under a dropped subtree
+  // or dissolved leaf.
+  void ReleaseLeafRefs(const Node<kDims>& node);
+  // Rebuilds the DAT and parent map from a full walk (on re-open).
+  Status RebuildDat();
+  Status RebuildDatWalk(PageId id, int level);
+  // Reconstructs the root→leaf path ending at `leaf` from the parent
+  // map. Returns false (path untouched) if the chain is broken — the
+  // caller then falls back to a descent.
+  bool BuildPathFromDat(PageId leaf, std::vector<PathStep>* path);
+  // Whether `bound` covers `rec` over rec's whole lifetime from `now`
+  // (the geometric half of the fast-path admission rule).
+  bool RecordCoveredByBound(const Tpbr<kDims>& bound, const Tpbr<kDims>& rec,
+                            Time now) const;
+  // Delete through the DAT when it pins the oid's single copy; returns
+  // kUnknown when the DAT cannot decide and a descent is required.
+  enum class DatDelete { kDeleted, kAbsent, kUnknown };
+  DatDelete DeleteViaDat(ObjectId oid, const Tpbr<kDims>& point, Time now,
+                         bool see_expired);
+  // Update body run under the exclusive epoch (shared by Update and
+  // GroupUpdate's singles pass).
+  bool UpdateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
+                    const Tpbr<kDims>& new_record, Time now);
 
   Status VerifySubtree(PageId id, int level);
 
@@ -434,6 +526,20 @@ class Tree {
   // Per-operation state.
   std::vector<Pending> pending_;
   uint32_t reinserted_levels_ = 0;  // Bitmask: forced reinsert done at level.
+
+  // Bottom-up update state: oid → (leaf, copy count) and child page →
+  // parent page, both maintained by the node-write hooks and rebuilt on
+  // open. Mutated only under the exclusive epoch.
+  DirectAccessTable dat_;
+  U32HashMap<PageId> parent_of_;
+
+  // Writer-side scratch (exclusive epoch): reused across operations so
+  // the Delete/Update hot paths run allocation-free in steady state.
+  std::vector<Node<kDims>> delete_scratch_;  // One slot per tree level.
+  std::vector<PathStep> path_scratch_;
+  Node<kDims> update_scratch_;
+  Node<kDims> fix_scratch_;
+  std::vector<Tpbr<kDims>> bound_scratch_;  // ComputeBound's region list.
 
   // Number of underfull nodes left in place because the orphan cap was
   // reached (each may later be re-balanced by another update).

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "common/float_round.h"
 #include "tree/meta_format.h"
@@ -36,6 +38,8 @@ const char* CheckIdName(CheckId check) {
       return "free-list";
     case CheckId::kPageAccounting:
       return "page-accounting";
+    case CheckId::kDatMapping:
+      return "dat-mapping";
   }
   return "unknown";
 }
@@ -102,6 +106,10 @@ struct TreeVerifier<kDims>::WalkState {
   std::vector<uint64_t> level_entry_counts;
   // Upper bound on containment checks for never-expiring content.
   Time never_expires_horizon = 0;
+  // Physical leaf copies per object id (count, leaf page of the last copy
+  // seen), collected only when the view carries a DAT snapshot to
+  // cross-check.
+  std::unordered_map<ObjectId, std::pair<uint64_t, PageId>> leaf_copies;
 };
 
 // Recursive walker: validates the subtree rooted at `id` and returns the
@@ -195,6 +203,11 @@ Time TreeVerifier<kDims>::WalkSubtree(PageFile* file, const TreeConfig& config,
       ++report->leaf_records_checked;
       if (live) ++report->live_leaf_entries;
       true_expiry = e.region.t_exp;
+      if (view.check_dat) {
+        auto& copies = state->leaf_copies[e.id];
+        copies.first += 1;
+        copies.second = id;
+      }
 
       // Canonical-record contract (the ToFloatExactly contract from the
       // concurrency PR): leaf records are degenerate points, finite, and
@@ -375,6 +388,60 @@ Report TreeVerifier<kDims>::VerifyView(PageFile* file,
                      " node pages; the committed state accounts for " +
                      std::to_string(view.expected_reachable) +
                      " (orphaned or double-counted pages)");
+    }
+
+    // Direct-access-table cross-check (tree/dat.h): the snapshot must
+    // list exactly the object ids the leaf walk found, with matching
+    // physical copy counts, and may pin a leaf page only for ids with a
+    // single copy — and then only the leaf the walk saw it on.
+    if (view.check_dat) {
+      std::unordered_map<ObjectId, const DatSnapshotEntry*> dat_by_oid;
+      dat_by_oid.reserve(view.dat.size());
+      for (const DatSnapshotEntry& e : view.dat) {
+        if (!dat_by_oid.emplace(e.oid, &e).second) {
+          AddFinding(&report, options, CheckId::kDatMapping, kInvalidPageId,
+                     -1,
+                     "oid " + std::to_string(e.oid) +
+                         " appears in the DAT snapshot twice");
+        }
+      }
+      for (const auto& [oid, copies] : state.leaf_copies) {
+        auto it = dat_by_oid.find(oid);
+        if (it == dat_by_oid.end()) {
+          AddFinding(&report, options, CheckId::kDatMapping, copies.second,
+                     0,
+                     "oid " + std::to_string(oid) + " has " +
+                         std::to_string(copies.first) +
+                         " leaf copies but no DAT entry");
+          continue;
+        }
+        const DatSnapshotEntry& e = *it->second;
+        if (e.count != copies.first) {
+          AddFinding(&report, options, CheckId::kDatMapping, copies.second,
+                     0,
+                     "oid " + std::to_string(oid) + " has " +
+                         std::to_string(copies.first) +
+                         " leaf copies; the DAT records " +
+                         std::to_string(e.count));
+        }
+        if (e.leaf != kInvalidPageId &&
+            (e.count != 1 || e.leaf != copies.second)) {
+          AddFinding(&report, options, CheckId::kDatMapping, e.leaf, 0,
+                     "oid " + std::to_string(oid) +
+                         " pins leaf page " + std::to_string(e.leaf) +
+                         " (count " + std::to_string(e.count) +
+                         "); the walk found its copy on page " +
+                         std::to_string(copies.second));
+        }
+      }
+      for (const DatSnapshotEntry& e : view.dat) {
+        if (state.leaf_copies.count(e.oid) == 0) {
+          AddFinding(&report, options, CheckId::kDatMapping, e.leaf, -1,
+                     "DAT tracks oid " + std::to_string(e.oid) +
+                         " (count " + std::to_string(e.count) +
+                         ") but the walk found no leaf copy");
+        }
+      }
     }
   }
 

@@ -56,6 +56,7 @@ enum class CheckId {
   kCanonicalRecord,    // Leaf record violates the canonical contract.
   kFreeList,           // Free-list entry invalid, duplicate, or reachable.
   kPageAccounting,     // Committed pages unaccounted for (orphans/leaks).
+  kDatMapping,         // Direct-access table disagrees with the leaf walk.
 };
 
 const char* CheckIdName(CheckId check);
@@ -103,6 +104,14 @@ struct Report {
   std::string ToString() const;
 };
 
+// A live tree's direct-access-table entry, snapshotted for the
+// DAT-vs-walk cross-check (tree/dat.h documents the invariants).
+struct DatSnapshotEntry {
+  ObjectId oid = 0;
+  PageId leaf = kInvalidPageId;  // Known only while count == 1.
+  uint32_t count = 0;            // Physical leaf copies of this oid.
+};
+
 // A tree state to verify: either parsed from a committed meta slot
 // (MakeFileView) or donated by a live Tree (Tree::Verify).
 struct TreeView {
@@ -120,6 +129,10 @@ struct TreeView {
   // Persisted free list (offline verification only).
   std::vector<PageId> free_list;
   bool check_free_list = false;
+  // Direct-access-table snapshot (live verification only — the DAT is an
+  // in-memory structure, so offline VerifyFile leaves check_dat false).
+  std::vector<DatSnapshotEntry> dat;
+  bool check_dat = false;
 };
 
 template <int kDims>

@@ -101,15 +101,15 @@ void RunWorkload(const Flavor& flavor, uint64_t seed, int ops,
       reference.Insert(rec.oid, rec.point);
       live.push_back(rec);
     } else if (roll < 0.7) {
-      // Update: delete + reinsert with fresh parameters. The delete may
-      // legitimately fail if the record expired (both sides must agree).
+      // Update through the bottom-up API (exercising both the in-place
+      // fast path and the fallback). The old record may legitimately be
+      // gone if it expired (both sides must agree).
       size_t k = rng.UniformInt(live.size());
-      bool tree_ok = tree.Delete(live[k].oid, live[k].point, now);
-      bool ref_ok = reference.Delete(live[k].oid, live[k].point, now);
-      ASSERT_EQ(tree_ok, ref_ok) << "delete divergence at op " << op;
-      live[k].point = RandomPoint<kDims>(&rng, now, max_life);
-      tree.Insert(live[k].oid, live[k].point, now);
-      reference.Insert(live[k].oid, live[k].point);
+      Tpbr<kDims> fresh = RandomPoint<kDims>(&rng, now, max_life);
+      bool tree_ok = tree.Update(live[k].oid, live[k].point, fresh, now);
+      bool ref_ok = reference.Update(live[k].oid, live[k].point, fresh, now);
+      ASSERT_EQ(tree_ok, ref_ok) << "update divergence at op " << op;
+      live[k].point = fresh;
     } else if (roll < 0.8) {
       // Pure delete.
       size_t k = rng.UniformInt(live.size());

@@ -1,0 +1,489 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the bottom-up update subsystem (DESIGN.md §10): the
+// open-addressing hash table and direct-access table primitives, the DAT
+// invariants under churn (snapshot == full leaf walk after every
+// mutation), the Update fast path and its fallback, GroupUpdate
+// equivalence with sequential updates, the crash-consistent flavor, and
+// DAT reconstruction on re-open.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+#include "tree/dat.h"
+#include "tree/reference_index.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomPoint;
+using ::rexp::testing::RandomQuery;
+
+// --- U32HashMap -------------------------------------------------------
+
+TEST(U32HashMap, PutFindErase) {
+  U32HashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map.Put(7, 70);
+  map.Put(9, 90);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70);
+  EXPECT_EQ(*map.Find(9), 90);
+  EXPECT_EQ(map.size(), 2u);
+  map.Put(7, 71);  // Overwrite.
+  EXPECT_EQ(*map.Find(7), 71);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(9), 90);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(U32HashMap, FindOrInsertDefaultsOnce) {
+  U32HashMap<int> map;
+  int* v = map.FindOrInsert(3, 33);
+  EXPECT_EQ(*v, 33);
+  *v = 34;
+  EXPECT_EQ(*map.FindOrInsert(3, 99), 34);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(U32HashMap, GrowsAndSurvivesTombstoneChurn) {
+  // Insert/erase far past the initial capacity with key reuse: growth,
+  // tombstone sweeps, and probe chains across collisions must all keep
+  // the map exact. Mirror against std::map.
+  U32HashMap<uint32_t> map;
+  std::map<uint32_t, uint32_t> mirror;
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.UniformInt(512));
+    if (rng.Bernoulli(0.6)) {
+      map.Put(key, key * 3 + 1);
+      mirror[key] = key * 3 + 1;
+    } else {
+      bool a = map.Erase(key);
+      bool b = mirror.erase(key) > 0;
+      ASSERT_EQ(a, b) << "erase divergence on key " << key;
+    }
+  }
+  ASSERT_EQ(map.size(), mirror.size());
+  for (const auto& [key, value] : mirror) {
+    const uint32_t* got = map.Find(key);
+    ASSERT_NE(got, nullptr) << "key " << key;
+    EXPECT_EQ(*got, value);
+  }
+  size_t seen = 0;
+  map.ForEach([&](uint32_t key, uint32_t value) {
+    ++seen;
+    auto it = mirror.find(key);
+    ASSERT_NE(it, mirror.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(seen, mirror.size());
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(0), nullptr);
+}
+
+// --- DirectAccessTable ------------------------------------------------
+
+TEST(DirectAccessTable, RefCountingAndLeafTrust) {
+  DirectAccessTable dat;
+  EXPECT_EQ(dat.Find(5), nullptr);
+
+  // One copy, location learned from the leaf write.
+  dat.AddRef(5);
+  const DatEntry* e = dat.Find(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 1u);
+  EXPECT_EQ(e->leaf, kInvalidPageId);
+  dat.NoteLeaf(5, 17);
+  EXPECT_EQ(dat.Find(5)->leaf, 17u);
+
+  // A second copy appears (e.g. mid-reinsertion): the location can no
+  // longer be trusted, and NoteLeaf must not re-pin it.
+  dat.AddRef(5);
+  EXPECT_EQ(dat.Find(5)->count, 2u);
+  EXPECT_EQ(dat.Find(5)->leaf, kInvalidPageId);
+  dat.NoteLeaf(5, 23);
+  EXPECT_EQ(dat.Find(5)->leaf, kInvalidPageId);
+
+  // Back to one copy: unknown until the next leaf write.
+  dat.ReleaseRef(5);
+  EXPECT_EQ(dat.Find(5)->count, 1u);
+  EXPECT_EQ(dat.Find(5)->leaf, kInvalidPageId);
+  dat.NoteLeaf(5, 23);
+  EXPECT_EQ(dat.Find(5)->leaf, 23u);
+
+  // Last copy removed: the id disappears entirely.
+  dat.ReleaseRef(5);
+  EXPECT_EQ(dat.Find(5), nullptr);
+  EXPECT_EQ(dat.size(), 0u);
+
+  // NoteLeaf for an untracked id is a no-op.
+  dat.NoteLeaf(6, 9);
+  EXPECT_EQ(dat.Find(6), nullptr);
+}
+
+// --- DAT-vs-walk cross check under churn ------------------------------
+
+// Collects (copy count, containing leaf) for every object id physically
+// present at the leaf level, by walking the tree through the public
+// read hook.
+template <int kDims>
+void CollectLeafCopies(Tree<kDims>* tree, PageId id, int level,
+                       std::map<ObjectId, std::pair<uint32_t, PageId>>* out) {
+  Node<kDims> node = tree->ReadNodeForTest(id);
+  if (level == 0) {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      auto& copies = (*out)[e.id];
+      copies.first += 1;
+      copies.second = id;
+    }
+  } else {
+    for (const NodeEntry<kDims>& e : node.entries) {
+      CollectLeafCopies(tree, e.id, level - 1, out);
+    }
+  }
+}
+
+// Asserts the DAT snapshot equals the ground-truth leaf walk: same id
+// set, matching counts, and every recorded leaf names the actual page of
+// the single copy.
+template <int kDims>
+void ExpectDatMatchesWalk(Tree<kDims>* tree) {
+  std::map<ObjectId, std::pair<uint32_t, PageId>> walk;
+  if (tree->root() != kInvalidPageId) {
+    CollectLeafCopies(tree, tree->root(), tree->height() - 1, &walk);
+  }
+  std::vector<verify::DatSnapshotEntry> dat = tree->DatSnapshotForTest();
+  ASSERT_EQ(dat.size(), walk.size());
+  for (const verify::DatSnapshotEntry& e : dat) {
+    auto it = walk.find(e.oid);
+    ASSERT_NE(it, walk.end()) << "DAT tracks oid " << e.oid
+                              << " absent from the leaf level";
+    EXPECT_EQ(e.count, it->second.first) << "oid " << e.oid;
+    if (e.leaf != kInvalidPageId) {
+      EXPECT_EQ(e.count, 1u) << "oid " << e.oid;
+      EXPECT_EQ(e.leaf, it->second.second) << "oid " << e.oid;
+    }
+  }
+}
+
+struct ChurnFlavor {
+  std::string name;
+  bool crash_consistent;
+};
+
+std::ostream& operator<<(std::ostream& os, const ChurnFlavor& f) {
+  return os << f.name;
+}
+
+class DatChurn : public ::testing::TestWithParam<ChurnFlavor> {};
+
+// After *every* mutation — insert, bottom-up update, delete — the DAT
+// must exactly mirror the physical leaf level. Runs under REXP_PARANOID
+// CI legs too, where every mutation additionally replays the full
+// invariant catalog (including verify::CheckId::kDatMapping).
+TEST_P(DatChurn, SnapshotMatchesWalkAfterEveryMutation) {
+  MemoryPageFile file(512);
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  config.crash_consistent = GetParam().crash_consistent;
+  Tree<2> tree(config, &file);
+  ReferenceIndex<2> reference(config.expire_entries);
+  Rng rng(0xDA7);
+
+  struct Live {
+    ObjectId oid;
+    Tpbr<2> point;
+  };
+  std::vector<Live> live;
+  ObjectId next_oid = 0;
+  Time now = 0;
+  const double max_life = 30.0;
+  const int ops = GetParam().crash_consistent ? 500 : 1200;
+
+  for (int op = 0; op < ops; ++op) {
+    now += rng.Uniform(0, 0.2);
+    double roll = rng.NextDouble();
+    if (roll < 0.45 || live.empty()) {
+      Live rec{next_oid++, RandomPoint<2>(&rng, now, max_life)};
+      tree.Insert(rec.oid, rec.point, now);
+      reference.Insert(rec.oid, rec.point);
+      live.push_back(rec);
+    } else if (roll < 0.75) {
+      size_t k = rng.UniformInt(live.size());
+      // Mix small perturbations (likely in-place) with full teleports
+      // (likely fallback) so both tiers see the cross-check.
+      Tpbr<2> fresh;
+      if (rng.Bernoulli(0.5)) {
+        Vec<2> pos, vel;
+        for (int d = 0; d < 2; ++d) {
+          pos[d] = live[k].point.LoAt(d, now) + rng.Uniform(-1.0, 1.0);
+          vel[d] = live[k].point.vlo[d];
+        }
+        fresh = MakeMovingPoint<2>(pos, vel, now,
+                                   now + rng.Uniform(0.01, max_life));
+      } else {
+        fresh = RandomPoint<2>(&rng, now, max_life);
+      }
+      bool tree_ok = tree.Update(live[k].oid, live[k].point, fresh, now);
+      bool ref_ok = reference.Update(live[k].oid, live[k].point, fresh, now);
+      ASSERT_EQ(tree_ok, ref_ok) << "update divergence at op " << op;
+      live[k].point = fresh;
+    } else if (roll < 0.85) {
+      size_t k = rng.UniformInt(live.size());
+      bool tree_ok = tree.Delete(live[k].oid, live[k].point, now);
+      bool ref_ok = reference.Delete(live[k].oid, live[k].point, now);
+      ASSERT_EQ(tree_ok, ref_ok) << "delete divergence at op " << op;
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      Query<2> q = RandomQuery<2>(&rng, now, 20.0, 150.0);
+      std::vector<ObjectId> got, want;
+      tree.Search(q, &got);
+      reference.Search(q, &want);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "query divergence at op " << op;
+      continue;  // Queries do not mutate; skip the walk.
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&tree)) << "op " << op;
+    if (op % 200 == 199) tree.CheckInvariants(now);
+  }
+  tree.CheckInvariants(now);
+
+  const TreeOpStats& ops_stats = tree.op_stats();
+  EXPECT_GT(ops_stats.updates.load(), 0u);
+  if (!GetParam().crash_consistent) {
+    // The perturbation half of the updates must land on the in-place
+    // fast path.
+    EXPECT_GT(ops_stats.update_fast.load(), 0u);
+  } else {
+    // Copy-on-write relocates the leaf on every write, so tier 1 is
+    // disabled; the propagating tier still serves covered updates.
+    EXPECT_EQ(ops_stats.update_fast.load(),
+              ops_stats.update_fast_propagations.load());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, DatChurn,
+    ::testing::Values(ChurnFlavor{"in_place", false},
+                      ChurnFlavor{"crash_consistent", true}),
+    [](const ::testing::TestParamInfo<ChurnFlavor>& flavor_info) {
+      return flavor_info.param.name;
+    });
+
+// --- GroupUpdate ------------------------------------------------------
+
+// GroupUpdate must be observationally equivalent to applying the same
+// requests one by one with Update, including per-request return values
+// and duplicate-oid batches applied in order.
+TEST(GroupUpdate, MatchesSequentialUpdates) {
+  MemoryPageFile file_a(512), file_b(512);
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  Tree<2> grouped(config, &file_a);
+  Tree<2> sequential(config, &file_b);
+  Rng rng(0x6E0);
+
+  struct Live {
+    ObjectId oid;
+    Tpbr<2> point;
+  };
+  std::vector<Live> live;
+  Time now = 0;
+  for (ObjectId oid = 0; oid < 600; ++oid) {
+    now += 0.01;
+    Tpbr<2> p = RandomPoint<2>(&rng, now, 60.0);
+    grouped.Insert(oid, p, now);
+    sequential.Insert(oid, p, now);
+    live.push_back({oid, p});
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    now += 1.0;
+    std::vector<Tree<2>::UpdateRequest> batch;
+    for (int i = 0; i < 150; ++i) {
+      size_t k = rng.UniformInt(live.size());
+      Vec<2> pos, vel;
+      for (int d = 0; d < 2; ++d) {
+        pos[d] = live[k].point.LoAt(d, now) + rng.Uniform(-2.0, 2.0);
+        vel[d] = rng.Uniform(-3.0, 3.0);
+      }
+      Tpbr<2> fresh =
+          MakeMovingPoint<2>(pos, vel, now, now + rng.Uniform(1.0, 60.0));
+      batch.push_back({live[k].oid, live[k].point, fresh});
+      // Later requests in the batch must see earlier ones' effects.
+      live[k].point = fresh;
+    }
+    std::vector<bool> got = grouped.GroupUpdate(batch, now);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      bool want = sequential.Update(batch[i].oid, batch[i].old_record,
+                                    batch[i].new_record, now);
+      EXPECT_EQ(got[i], want) << "round " << round << " request " << i;
+    }
+    // Both trees must answer identically afterwards.
+    for (int q = 0; q < 10; ++q) {
+      Query<2> query = RandomQuery<2>(&rng, now, 20.0, 200.0);
+      std::vector<ObjectId> a, b;
+      grouped.Search(query, &a);
+      sequential.Search(query, &b);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "round " << round;
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&grouped));
+  }
+  grouped.CheckInvariants(now);
+  sequential.CheckInvariants(now);
+  EXPECT_GT(grouped.op_stats().group_update_batches.load(), 0u);
+  // Perturbation updates on a stable population: the batched leaf pass
+  // must actually coalesce (fast-path counter advanced).
+  EXPECT_GT(grouped.op_stats().update_fast.load(), 0u);
+}
+
+TEST(GroupUpdate, EmptyBatchIsANoOp) {
+  MemoryPageFile file(512);
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  Tree<2> tree(config, &file);
+  std::vector<bool> result = tree.GroupUpdate({}, 0.0);
+  EXPECT_TRUE(result.empty());
+  tree.CheckInvariants(0.0);
+}
+
+// --- Fast-path admission ----------------------------------------------
+
+// A stable fleet re-reporting small position corrections — the paper's
+// steady state — must be served overwhelmingly by the fast path, with
+// single-digit I/O per update.
+TEST(UpdateFastPath, StableWorkloadHitsInPlacePath) {
+  MemoryPageFile file(4096);
+  TreeConfig config = TreeConfig::Rexp();
+  Tree<2> tree(config, &file);
+  Rng rng(0xFA57);
+  Time now = 0;
+  const int n = 2000;
+  std::vector<Tpbr<2>> last(n);
+  for (ObjectId oid = 0; oid < n; ++oid) {
+    now += 0.001;
+    Vec<2> pos, vel;
+    for (int d = 0; d < 2; ++d) {
+      pos[d] = rng.Uniform(0, testing::kSpace);
+      vel[d] = rng.Uniform(-3.0, 3.0);
+    }
+    // Fixed long lifetimes: no record expires during the run, so every
+    // old record must still be found.
+    last[oid] = MakeMovingPoint<2>(pos, vel, now, now + 120.0);
+    tree.Insert(oid, last[oid], now);
+  }
+  tree.ResetOpStats();
+  const int updates = 4000;
+  for (int i = 0; i < updates; ++i) {
+    now += 0.001;
+    ObjectId oid = static_cast<ObjectId>(rng.UniformInt(n));
+    Vec<2> pos, vel;
+    for (int d = 0; d < 2; ++d) {
+      pos[d] = last[oid].LoAt(d, now) + rng.Uniform(-0.5, 0.5);
+      vel[d] = last[oid].vlo[d] + rng.Uniform(-0.1, 0.1);
+    }
+    Tpbr<2> fresh = MakeMovingPoint<2>(pos, vel, now, now + 120.0);
+    ASSERT_TRUE(tree.Update(oid, last[oid], fresh, now)) << "update " << i;
+    last[oid] = fresh;
+  }
+  const TreeOpStats& ops = tree.op_stats();
+  EXPECT_EQ(ops.updates.load(), static_cast<uint64_t>(updates));
+  EXPECT_EQ(ops.update_fast.load() + ops.update_fallback.load(),
+            static_cast<uint64_t>(updates));
+  // "Overwhelmingly": over half on this gentle workload (in practice far
+  // more; the bound is loose to stay robust across codec/page tweaks).
+  EXPECT_GT(ops.update_fast.load(), static_cast<uint64_t>(updates) / 2);
+  EXPECT_GT(ops.dat_hits.load(), 0u);
+  tree.CheckInvariants(now);
+  ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&tree));
+}
+
+// --- Rebuild on re-open -----------------------------------------------
+
+TEST(DatRebuild, ReopenReconstructsTableFromLeafWalk) {
+  std::string path = ::testing::TempDir() + "/rexp_dat_reopen.bin";
+  std::remove(path.c_str());
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 8;
+  Rng rng(0x0DA7);
+  Time now = 0;
+
+  std::vector<verify::DatSnapshotEntry> before;
+  std::vector<Tpbr<2>> records(500);
+  {
+    auto file = DiskPageFile::Open(path, 512, /*keep=*/true).value();
+    Tree<2> tree(config, file.get());
+    for (ObjectId oid = 0; oid < 500; ++oid) {
+      now += 0.01;
+      records[oid] = RandomPoint<2>(&rng, now, 120.0);
+      tree.Insert(oid, records[oid], now);
+    }
+    before = tree.DatSnapshotForTest();
+    ASSERT_TRUE(tree.Commit().ok());
+  }
+
+  auto file = DiskPageFile::Open(path, 512, /*keep=*/true).value();
+  Tree<2> tree(config, file.get());
+  // Exactly the open-time rebuild, no more.
+  EXPECT_EQ(tree.op_stats().dat_rebuilds.load(), 1u);
+  ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&tree));
+
+  // The rebuilt table pins every single-copy object at its exact leaf —
+  // identical to the table the writer had (order aside).
+  std::vector<verify::DatSnapshotEntry> after = tree.DatSnapshotForTest();
+  auto by_oid = [](const verify::DatSnapshotEntry& a,
+                   const verify::DatSnapshotEntry& b) {
+    return a.oid < b.oid;
+  };
+  std::sort(before.begin(), before.end(), by_oid);
+  std::sort(after.begin(), after.end(), by_oid);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].oid, before[i].oid);
+    EXPECT_EQ(after[i].count, before[i].count);
+    EXPECT_EQ(after[i].leaf, before[i].leaf) << "oid " << after[i].oid;
+  }
+
+  // And the rebuilt table immediately serves bottom-up updates: a small
+  // perturbation of a known record must resolve via the DAT.
+  now += 1.0;
+  ObjectId oid = 123;
+  Vec<2> pos, vel;
+  for (int d = 0; d < 2; ++d) {
+    pos[d] = records[oid].LoAt(d, now);
+    vel[d] = records[oid].vlo[d];
+  }
+  Tpbr<2> fresh = MakeMovingPoint<2>(pos, vel, now, now + 120.0);
+  ASSERT_TRUE(tree.Update(oid, records[oid], fresh, now));
+  EXPECT_EQ(tree.op_stats().dat_hits.load(), 1u);
+  tree.CheckInvariants(now);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rexp

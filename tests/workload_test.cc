@@ -4,12 +4,16 @@
 // Section 5.1 prescribes (update-interval mean, speed classes, spatial
 // extent, query mix, expiration modes, population control, turn-over).
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "storage/page_file.h"
+#include "tree/reference_index.h"
+#include "tree/tree.h"
 #include "workload/generator.h"
 #include "workload/workload_spec.h"
 
@@ -221,6 +225,61 @@ TEST(WorkloadGenerator, DeterministicForSameSeed) {
     ASSERT_EQ(oa.oid, ob.oid);
     ASSERT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
   }
+}
+
+// Replays a generated workload through the bottom-up Tree::Update API
+// against the ReferenceIndex::Update oracle: every kUpdate drives the
+// single-descent-free path on the exact workload shape the paper
+// prescribes, and every query must agree with brute force.
+TEST(WorkloadGenerator, ReplayDrivesTreeUpdateAgainstOracle) {
+  WorkloadSpec spec = SmallSpec();
+  spec.target_objects = 400;
+  spec.total_insertions = 6000;
+  WorkloadGenerator gen(spec);
+
+  MemoryPageFile file(4096);
+  TreeConfig config = TreeConfig::Rexp();
+  Tree<2> tree(config, &file);
+  ReferenceIndex<2> reference(config.expire_entries);
+
+  Operation op;
+  uint64_t updates = 0;
+  Time last_time = 0;
+  while (gen.Next(&op)) {
+    last_time = op.time;
+    switch (op.kind) {
+      case Operation::Kind::kInsert:
+        tree.Insert(op.oid, op.record, op.time);
+        reference.Insert(op.oid, op.record);
+        break;
+      case Operation::Kind::kUpdate: {
+        bool tree_ok =
+            tree.Update(op.oid, op.old_record, op.record, op.time);
+        bool ref_ok =
+            reference.Update(op.oid, op.old_record, op.record, op.time);
+        ASSERT_EQ(tree_ok, ref_ok)
+            << "update divergence for oid " << op.oid << " at t=" << op.time;
+        ++updates;
+        break;
+      }
+      case Operation::Kind::kQuery: {
+        std::vector<ObjectId> got, want;
+        tree.Search(op.query, &got);
+        reference.Search(op.query, &want);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << "query divergence at t=" << op.time;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(updates, 1000u);
+  // The workload's re-reports land on the bottom-up path; most must be
+  // served without a delete+insert fallback.
+  const TreeOpStats& ops = tree.op_stats();
+  EXPECT_EQ(ops.updates.load(), updates);
+  EXPECT_GT(ops.update_fast.load(), ops.update_fallback.load());
+  tree.CheckInvariants(last_time);
 }
 
 TEST(WorkloadGenerator, UniformModeCoversSpace) {
