@@ -1,0 +1,268 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Repair-path benchmark: how long the offline maintenance pipeline takes
+// on a bulk-loaded on-disk index — a full verification pass over a clean
+// file, an in-place repair of a seeded parent-bound corruption, and a
+// whole-file salvage after both meta slots are destroyed. Timings and
+// record-preservation counts are exported as BENCH_repair.json
+// (REXP_BENCH_DIR redirects the output directory, as for the figure
+// benchmarks). REXP_REPAIR_OBJECTS scales the index.
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/vec.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "storage/page_file.h"
+#include "tree/meta_format.h"
+#include "tree/node.h"
+#include "tree/tree.h"
+#include "verify/repair.h"
+#include "verify/verifier.h"
+
+namespace rexp {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+double Seconds(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
+// The committed meta slot with the highest epoch (as recovery picks it).
+PageId BestMetaSlot(PageFile* file, uint32_t page_size) {
+  Page page(page_size);
+  uint64_t best_epoch = 0;
+  PageId best = kInvalidPageId;
+  for (PageId slot = 0; slot < kNumMetaSlots; ++slot) {
+    if (!file->ReadPage(slot, &page).ok()) continue;
+    if (page.Read<uint32_t>(kMetaMagicFieldOffset) != kMetaMagic) continue;
+    const uint64_t epoch = page.Read<uint64_t>(kMetaEpochFieldOffset);
+    if (epoch > best_epoch && (epoch & 1) == slot) {
+      best_epoch = epoch;
+      best = slot;
+    }
+  }
+  return best;
+}
+
+// Descends first-child pointers from the committed root to `level`.
+PageId FindPageAtLevel(PageFile* file, const TreeConfig& config,
+                       int level) {
+  Page page(config.page_size);
+  const PageId slot = BestMetaSlot(file, config.page_size);
+  if (slot == kInvalidPageId ||
+      !file->ReadPage(slot, &page).ok()) {
+    return kInvalidPageId;
+  }
+  PageId id = page.Read<uint32_t>(kMetaRootFieldOffset);
+  int node_level =
+      static_cast<int>(page.Read<uint32_t>(kMetaHeightFieldOffset)) - 1;
+  if (node_level < level) return kInvalidPageId;
+  NodeCodec<2> codec(config.page_size, config.StoresVelocities(),
+                     config.store_tpbr_expiration);
+  Node<2> node;
+  while (node_level > level) {
+    if (!file->ReadPage(id, &page).ok()) return kInvalidPageId;
+    codec.Decode(page, &node);
+    if (node.entries.empty()) return kInvalidPageId;
+    id = node.entries[0].id;
+    --node_level;
+  }
+  return id;
+}
+
+int Main() {
+  const uint64_t num_objects = EnvU64("REXP_REPAIR_OBJECTS", 200000);
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = static_cast<uint32_t>(
+      EnvU64("REXP_REPAIR_PAGE_SIZE", 4096));
+  obs::telemetry::SetEnabled(false);
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("REXP_BENCH_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/bench_repair_index.bin";
+  const std::string fresh_path = dir + "/bench_repair_salvaged.bin";
+
+  // ---- Build: one bulk-loaded fleet, committed to disk. ----
+  Time now = 0.0;
+  {
+    std::remove(path.c_str());
+    auto file =
+        DiskPageFile::Open(path, config.page_size, /*keep=*/true).value();
+    auto tree = std::make_unique<Tree<2>>(config, file.get());
+    Rng rng(7);
+    std::vector<RexpTree2::BulkRecord> fleet;
+    fleet.reserve(num_objects);
+    for (uint64_t i = 0; i < num_objects; ++i) {
+      Vec<2> pos{rng.Uniform(0, 1000.0), rng.Uniform(0, 1000.0)};
+      Vec<2> vel{rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+      fleet.push_back(RexpTree2::BulkRecord{
+          static_cast<ObjectId>(i),
+          MakeMovingPoint<2>(pos, vel, now, now + 120.0)});
+    }
+    tree->BulkLoad(std::move(fleet), now, 0.7);
+  }
+
+  verify::VerifyOptions verify_options;
+  verify_options.now = now;
+
+  // ---- Phase 1: verification pass over the clean index. ----
+  double verify_seconds;
+  uint64_t pages_walked, leaf_records;
+  {
+    auto file =
+        DiskPageFile::Open(path, config.page_size, /*keep=*/true).value();
+    const auto t0 = std::chrono::steady_clock::now();
+    verify::Report report =
+        verify::TreeVerifier<2>::VerifyFile(file.get(), config,
+                                            verify_options);
+    verify_seconds = Seconds(t0);
+    pages_walked = report.pages_walked;
+    leaf_records = report.leaf_records_checked;
+    if (!report.ok()) {
+      std::fprintf(stderr, "clean index has findings:\n%s",
+                   report.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Phase 2: in-place repair of a seeded parent-bound violation. ----
+  double repair_seconds;
+  uint64_t bounds_recomputed;
+  {
+    auto file =
+        DiskPageFile::Open(path, config.page_size, /*keep=*/true).value();
+    const PageId internal = FindPageAtLevel(file.get(), config, 1);
+    if (internal == kInvalidPageId) {
+      std::fprintf(stderr, "index too shallow to seed corruption\n");
+      return 1;
+    }
+    Page page(config.page_size);
+    NodeCodec<2> codec(config.page_size, config.StoresVelocities(),
+                       config.store_tpbr_expiration);
+    Node<2> node;
+    if (!file->ReadPage(internal, &page).ok()) return 1;
+    codec.Decode(page, &node);
+    node.entries[0].region.hi[0] = node.entries[0].region.lo[0];
+    node.entries[0].region.vhi[0] = node.entries[0].region.vlo[0];
+    codec.Encode(node, &page);
+    if (!file->WritePage(internal, page).ok()) return 1;
+
+    verify::RepairOptions repair_options;
+    repair_options.verify = verify_options;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report =
+        verify::TreeRepairer<2>::Repair(file.get(), config, repair_options);
+    repair_seconds = Seconds(t0);
+    if (!report.ok() || !report.value().ok()) {
+      std::fprintf(stderr, "repair failed\n");
+      return 1;
+    }
+    bounds_recomputed = report.value().bounds_recomputed;
+  }
+
+  // ---- Phase 3: salvage after destroying both meta slots. ----
+  double salvage_seconds;
+  uint64_t records_salvaged, salvage_pages_scanned;
+  {
+    auto file =
+        DiskPageFile::Open(path, config.page_size, /*keep=*/true).value();
+    Page page(config.page_size);
+    for (PageId s = 0; s < kNumMetaSlots; ++s) {
+      if (!file->ReadPage(s, &page).ok()) return 1;
+      page.Write<uint32_t>(kMetaMagicFieldOffset, 0xdeadbeef);
+      if (!file->WritePage(s, page).ok()) return 1;
+    }
+    std::remove(fresh_path.c_str());
+    auto fresh = DiskPageFile::Open(fresh_path, config.page_size,
+                                    /*keep=*/true)
+                     .value();
+    verify::SalvageOptions salvage_options;
+    salvage_options.now = now;
+    salvage_options.verify = verify_options;
+    std::vector<verify::QuarantinedPage> quarantine;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report = verify::TreeRepairer<2>::Salvage(
+        file.get(), fresh.get(), config, salvage_options, &quarantine);
+    salvage_seconds = Seconds(t0);
+    if (!report.ok() || !report.value().ok()) {
+      std::fprintf(stderr, "salvage failed\n");
+      return 1;
+    }
+    records_salvaged = report.value().records_salvaged;
+    salvage_pages_scanned = report.value().pages_scanned;
+    if (records_salvaged != num_objects) {
+      std::fprintf(stderr,
+                   "salvage lost records: %llu of %llu recovered\n",
+                   static_cast<unsigned long long>(records_salvaged),
+                   static_cast<unsigned long long>(num_objects));
+      return 1;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(fresh_path.c_str());
+
+  std::printf("%12s %12s %14s\n", "phase", "seconds", "records/sec");
+  std::printf("%12s %12.4f %14.0f\n", "verify", verify_seconds,
+              leaf_records / verify_seconds);
+  std::printf("%12s %12.4f %14.0f\n", "repair", repair_seconds,
+              leaf_records / repair_seconds);
+  std::printf("%12s %12.4f %14.0f\n", "salvage", salvage_seconds,
+              records_salvaged / salvage_seconds);
+  std::fflush(stdout);
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "repair");
+  w.KV("objects", num_objects);
+  w.KV("page_size", static_cast<uint64_t>(config.page_size));
+  w.KV("pages_walked", pages_walked);
+  w.KV("leaf_records", leaf_records);
+  w.KV("verify_seconds", verify_seconds);
+  w.KV("repair_seconds", repair_seconds);
+  w.KV("bounds_recomputed", bounds_recomputed);
+  w.KV("salvage_seconds", salvage_seconds);
+  w.KV("salvage_pages_scanned", salvage_pages_scanned);
+  w.KV("records_salvaged", records_salvaged);
+  w.EndObject();
+
+  std::string out = dir + "/BENCH_repair.json";
+  std::FILE* f = std::fopen(out.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "open '%s': %s\n", out.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::string json = w.str();
+  json += '\n';
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || n != json.size()) {
+    std::fprintf(stderr, "write '%s' failed\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rexp
+
+int main() { return rexp::Main(); }

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# End-to-end repair matrix over every corruption class the verifier can
+# seed: builds a small index, damages it with corrupt_index, and drives
+# rexp_fsck through the operator workflow — detect (exit 1), repair or
+# salvage (exit 3), re-check clean (exit 0). In-place-repairable classes
+# must never escalate to salvage; checksum-level and meta-level damage
+# must be recovered by --salvage with a quarantine sidecar.
+#
+#   usage: scripts/repair_matrix.sh [build-dir]
+#
+# Exits non-zero if any class deviates from its expected exit-code
+# sequence.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CORRUPT="$BUILD_DIR/tools/corrupt_index"
+FSCK="$BUILD_DIR/tools/rexp_fsck"
+
+for bin in "$CORRUPT" "$FSCK"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+PAGE_SIZE=512
+failures=0
+
+# expect <label> <want-rc> <cmd...> — runs the command quietly and
+# complains when the exit code differs.
+expect() {
+  local label="$1" want="$2"
+  shift 2
+  "$@" > "$WORK/last.out" 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL  $label: expected exit $want, got $got" >&2
+    sed 's/^/      /' "$WORK/last.out" >&2
+    failures=$((failures + 1))
+    return 1
+  fi
+  return 0
+}
+
+run_class() {
+  local class="$1" mode="$2"
+  shift 2
+  local idx="$WORK/$class.bin"
+  local corrupt_args=() fsck_args=(--page-size "$PAGE_SIZE")
+  case "$class" in
+    undercut-expiry)
+      corrupt_args+=(--stored-expiry)
+      fsck_args+=(--stored-expiry)
+      ;;
+    orphan-page)
+      corrupt_args+=(--deletes 450)
+      ;;
+  esac
+
+  if ! "$CORRUPT" "$idx" --make 600 --class "$class" \
+      "${corrupt_args[@]+"${corrupt_args[@]}"}" \
+      > "$WORK/last.out" 2>&1; then
+    echo "FAIL  $class: corrupt_index could not seed the fault" >&2
+    sed 's/^/      /' "$WORK/last.out" >&2
+    failures=$((failures + 1))
+    return
+  fi
+
+  local ok=1
+  # 1. Detection: a plain check reports findings.
+  expect "$class detect" 1 "$FSCK" "$idx" "${fsck_args[@]}" || ok=0
+  # 2. Planning: a dry run still reports findings and must not modify
+  #    the file.
+  local before after
+  before="$(cksum < "$idx")"
+  expect "$class dry-run" 1 \
+      "$FSCK" "$idx" "${fsck_args[@]}" --repair --salvage --dry-run || ok=0
+  after="$(cksum < "$idx")"
+  if [ "$before" != "$after" ]; then
+    echo "FAIL  $class: --dry-run modified the index file" >&2
+    failures=$((failures + 1))
+    ok=0
+  fi
+  # 3. Recovery: repair (or repair escalating to salvage) succeeds.
+  if [ "$mode" = repair ]; then
+    expect "$class repair" 3 "$FSCK" "$idx" "${fsck_args[@]}" --repair \
+        || ok=0
+  else
+    expect "$class salvage" 3 "$FSCK" "$idx" "${fsck_args[@]}" \
+        --repair --salvage --quarantine "$WORK/$class.quarantine" || ok=0
+  fi
+  # 4. The recovered file verifies clean.
+  expect "$class recheck" 0 "$FSCK" "$idx" "${fsck_args[@]}" || ok=0
+
+  if [ "$ok" = 1 ]; then
+    echo "PASS  $class ($mode)"
+  fi
+}
+
+for class in parent-bound undercut-expiry orphan-page stale-free \
+    noncanonical-record level-count; do
+  run_class "$class" repair
+done
+for class in bit-rot both-meta; do
+  run_class "$class" salvage
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "repair matrix: $failures failure(s)" >&2
+  exit 1
+fi
+echo "repair matrix: all classes recovered"

@@ -3,7 +3,10 @@
 #include "btree/btree.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -73,21 +76,25 @@ void BTree::RegisterMetrics(obs::MetricsRegistry* registry,
 
 BTree::BtNode BTree::ReadNode(PageId id) {
   PageGuard guard = buffer_.FetchOrDie(id);
-  const Page* page = &guard.page();
+  return DecodeNode(guard.page());
+}
+
+BTree::BtNode BTree::DecodeNode(const Page& page) const {
+  const Page* p = &page;
   BtNode node;
-  node.level = page->Read<uint16_t>(0);
-  int count = page->Read<uint16_t>(2);
+  node.level = p->Read<uint16_t>(0);
+  int count = p->Read<uint16_t>(2);
   uint32_t off = kHeaderSize;
   if (node.level == 0) {
     node.keys.resize(count);
     node.values.resize(static_cast<size_t>(count) * value_size_);
     for (int i = 0; i < count; ++i) {
-      node.keys[i].t = page->Read<float>(off);
-      node.keys[i].id = page->Read<uint32_t>(off + 4);
+      node.keys[i].t = p->Read<float>(off);
+      node.keys[i].id = p->Read<uint32_t>(off + 4);
       off += kKeySize;
       if (value_size_ > 0) {
         std::memcpy(node.values.data() + static_cast<size_t>(i) * value_size_,
-                    page->data() + off, value_size_);
+                    p->data() + off, value_size_);
         off += value_size_;
       }
     }
@@ -96,11 +103,11 @@ BTree::BtNode BTree::ReadNode(PageId id) {
     node.children.resize(count);
     node.keys.resize(count > 0 ? count - 1 : 0);
     for (int i = 0; i < count; ++i) {
-      node.children[i] = page->Read<uint32_t>(off);
+      node.children[i] = p->Read<uint32_t>(off);
       off += kChildSize;
       if (i + 1 < count) {
-        node.keys[i].t = page->Read<float>(off);
-        node.keys[i].id = page->Read<uint32_t>(off + 4);
+        node.keys[i].t = p->Read<float>(off);
+        node.keys[i].id = p->Read<uint32_t>(off + 4);
         off += kKeySize;
       }
     }
@@ -409,51 +416,169 @@ bool BTree::PopFirstUpTo(float t_max, Key* key, uint8_t* value) {
 // ---------------------------------------------------------------------------
 // Invariant checking.
 
-BTree::Key BTree::CheckSubtree(PageId id, int level, const Key* lower_bound,
-                               uint64_t* entries, uint64_t* pages) {
-  BtNode node = ReadNode(id);
-  ++*pages;
-  REXP_CHECK(node.level == level);
-  // Keys sorted strictly.
-  for (size_t i = 1; i < node.keys.size(); ++i) {
-    REXP_CHECK(node.keys[i - 1] < node.keys[i]);
+namespace {
+
+std::string KeyStr(const BTree::Key& k) {
+  std::string s = "(";
+  s += std::to_string(k.t);
+  s += ", ";
+  s += std::to_string(k.id);
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+struct BTree::VerifyState {
+  verify::Report* report = nullptr;
+  size_t max_findings = 64;
+  std::unordered_set<PageId> seen;
+  uint64_t entries = 0;
+
+  void Add(verify::CheckId check, PageId page, int level,
+           std::string detail) {
+    if (report->findings.size() < max_findings) {
+      report->findings.push_back({check, page, level, std::move(detail)});
+    } else {
+      ++report->findings_suppressed;
+    }
   }
+};
+
+BTree::Key BTree::VerifySubtree(PageId id, int level, const Key* lower_bound,
+                                VerifyState* state) {
+  const Key fallback = lower_bound != nullptr ? *lower_bound : Key{};
+  Page page(file_->page_size());
+  Status read = file_->ReadPage(id, &page);
+  if (!read.ok()) {
+    state->Add(verify::CheckId::kPageChecksum, id, level,
+               "queue page unreadable: " + read.message());
+    state->report->walk_complete = false;
+    return fallback;
+  }
+  ++state->report->pages_walked;
+  const int node_level = page.Read<uint16_t>(0);
+  const int count = page.Read<uint16_t>(2);
+  if (node_level != level) {
+    state->Add(verify::CheckId::kNodeStructure, id, level,
+               "level tag " + std::to_string(node_level) + ", expected " +
+                   std::to_string(level));
+    state->report->walk_complete = false;
+    return fallback;
+  }
+  const int cap = level == 0 ? leaf_capacity_ : internal_capacity_;
+  if (count > cap) {
+    state->Add(verify::CheckId::kFanout, id, level,
+               "count " + std::to_string(count) + " exceeds capacity " +
+                   std::to_string(cap));
+    state->report->walk_complete = false;
+    return fallback;
+  }
+  BtNode node = DecodeNode(page);
+  state->report->entries_checked += node.keys.size();
+  for (size_t i = 1; i < node.keys.size(); ++i) {
+    if (!(node.keys[i - 1] < node.keys[i])) {
+      state->Add(verify::CheckId::kNodeStructure, id, level,
+                 "keys out of order at index " + std::to_string(i) + ": " +
+                     KeyStr(node.keys[i - 1]) + " !< " +
+                     KeyStr(node.keys[i]));
+    }
+  }
+  const int min_entries = MinEntries(node);
   if (node.level == 0) {
-    if (id != root_) {
-      REXP_CHECK(static_cast<int>(node.keys.size()) >= MinEntries(node));
+    state->report->leaf_records_checked += node.keys.size();
+    state->entries += node.keys.size();
+    if (id != root_ && static_cast<int>(node.keys.size()) < min_entries) {
+      ++state->report->underfull_nodes;
+      state->Add(verify::CheckId::kOccupancy, id, level,
+                 "leaf holds " + std::to_string(node.keys.size()) +
+                     " entries, minimum is " + std::to_string(min_entries));
     }
-    REXP_CHECK(node.values.size() == node.keys.size() * value_size_);
-    *entries += node.keys.size();
-    if (lower_bound != nullptr && !node.keys.empty()) {
-      REXP_CHECK(!(node.keys.front() < *lower_bound));
+    if (lower_bound != nullptr && !node.keys.empty() &&
+        node.keys.front() < *lower_bound) {
+      state->Add(verify::CheckId::kNodeStructure, id, level,
+                 "first key " + KeyStr(node.keys.front()) +
+                     " below separator bound " + KeyStr(*lower_bound));
     }
-    return node.keys.empty() ? (lower_bound ? *lower_bound : Key{})
-                             : node.keys.back();
+    return node.keys.empty() ? fallback : node.keys.back();
   }
   if (id != root_) {
-    REXP_CHECK(static_cast<int>(node.children.size()) >= MinEntries(node));
-  } else {
-    REXP_CHECK(node.children.size() >= 2);
+    if (static_cast<int>(node.children.size()) < min_entries) {
+      ++state->report->underfull_nodes;
+      state->Add(verify::CheckId::kOccupancy, id, level,
+                 "internal node holds " +
+                     std::to_string(node.children.size()) +
+                     " children, minimum is " + std::to_string(min_entries));
+    }
+  } else if (node.children.size() < 2) {
+    state->Add(verify::CheckId::kOccupancy, id, level,
+               "internal root holds " + std::to_string(node.children.size()) +
+                   " child(ren), minimum is 2");
   }
-  Key max_seen{};
+  Key max_seen = fallback;
   for (size_t i = 0; i < node.children.size(); ++i) {
+    const PageId child = node.children[i];
+    if (child >= file_->capacity_pages()) {
+      state->Add(verify::CheckId::kNodeStructure, id, level,
+                 "child " + std::to_string(i) + " references page " +
+                     std::to_string(child) + " beyond device capacity");
+      state->report->walk_complete = false;
+      continue;
+    }
+    if (!state->seen.insert(child).second) {
+      state->Add(verify::CheckId::kNodeStructure, id, level,
+                 "child page " + std::to_string(child) +
+                     " is reachable twice (cycle or shared subtree)");
+      state->report->walk_complete = false;
+      continue;
+    }
     const Key* lb = i == 0 ? lower_bound : &node.keys[i - 1];
-    Key child_max = CheckSubtree(node.children[i], level - 1, lb, entries,
-                                 pages);
-    if (i + 1 < node.children.size()) {
-      // Everything in child i is strictly below separator i.
-      REXP_CHECK(child_max < node.keys[i]);
+    Key child_max = VerifySubtree(child, level - 1, lb, state);
+    if (i < node.keys.size() && !(child_max < node.keys[i])) {
+      // Everything in child i must lie strictly below separator i.
+      state->Add(verify::CheckId::kNodeStructure, id, level,
+                 "child " + std::to_string(i) + " max key " +
+                     KeyStr(child_max) + " not below separator " +
+                     KeyStr(node.keys[i]));
     }
     max_seen = child_max;
   }
   return max_seen;
 }
 
+verify::Report BTree::Verify() {
+  verify::Report report;
+  report.height = height_;
+  REXP_CHECK_OK(buffer_.FlushDirty());
+  VerifyState state;
+  state.report = &report;
+  state.seen.insert(root_);
+  VerifySubtree(root_, height_ - 1, nullptr, &state);
+  if (report.walk_complete) {
+    if (state.entries != size_) {
+      state.Add(verify::CheckId::kLevelBookkeeping, kInvalidPageId, -1,
+                "walk found " + std::to_string(state.entries) +
+                    " entries, size bookkeeping says " +
+                    std::to_string(size_));
+    }
+    if (report.pages_walked != file_->allocated_pages()) {
+      state.Add(verify::CheckId::kPageAccounting, kInvalidPageId, -1,
+                "walk reached " + std::to_string(report.pages_walked) +
+                    " pages, device accounts " +
+                    std::to_string(file_->allocated_pages()) +
+                    " allocated");
+    }
+  }
+  return report;
+}
+
 void BTree::CheckInvariants() {
-  uint64_t entries = 0, pages = 0;
-  CheckSubtree(root_, height_ - 1, nullptr, &entries, &pages);
-  REXP_CHECK(entries == size_);
-  REXP_CHECK(pages == file_->allocated_pages());
+  verify::Report report = Verify();
+  if (!report.ok()) {
+    std::fprintf(stderr, "BTree::CheckInvariants:\n%s",
+                 report.ToString().c_str());
+  }
+  REXP_CHECK(report.ok());
 }
 
 }  // namespace rexp

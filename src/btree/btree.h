@@ -26,6 +26,7 @@
 #include "obs/registry.h"
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
+#include "verify/verifier.h"
 
 namespace rexp {
 
@@ -72,6 +73,15 @@ class BTree {
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const;
 
+  // Verifies the queue's full invariant catalog — page checksums, level
+  // tags, strict key ordering, separator bounds, fan-out and minimum
+  // occupancy, acyclicity, size and page accounting — and reports every
+  // violation as a typed finding (the same schema rexp_fsck emits for the
+  // primary index). Flushes dirty buffers first and reads pages straight
+  // off the device, so checksum damage under the buffer pool surfaces.
+  // Never aborts. Test/fsck hook (unmeasured I/O patterns).
+  verify::Report Verify();
+
   // Verifies ordering, balance, fill factors, and size bookkeeping.
   // Aborts on violation. Test hook (unmeasured I/O patterns).
   void CheckInvariants();
@@ -92,6 +102,7 @@ class BTree {
   };
 
   BtNode ReadNode(PageId id);
+  BtNode DecodeNode(const Page& page) const;
   void WriteNode(PageId id, const BtNode& node);
   PageId AllocNode(const BtNode& node);
 
@@ -110,8 +121,9 @@ class BTree {
   // borrowing from or merging with an adjacent sibling.
   void FixChildUnderflow(BtNode* parent, PageId parent_id, int child_index);
 
-  Key CheckSubtree(PageId id, int level, const Key* lower_bound,
-                   uint64_t* entries, uint64_t* pages);
+  struct VerifyState;
+  Key VerifySubtree(PageId id, int level, const Key* lower_bound,
+                    VerifyState* state);
 
   PageFile* const file_;
   BufferManager buffer_;

@@ -24,6 +24,28 @@ Status FaultInjectionPageFile::ReadFrame(PageId id, uint8_t* frame) {
     return Status::IOError("injected read error on page " +
                            std::to_string(id));
   }
+  if (options_.transient_read_error_p > 0 &&
+      transient_read_streak_ < options_.max_transient_burst &&
+      rng_.Bernoulli(options_.transient_read_error_p)) {
+    ++transient_read_streak_;
+    ++counters_.transient_read_errors;
+    return Status::IOError("injected transient read error on page " +
+                           std::to_string(id));
+  }
+  if (options_.read_bit_flip_p > 0 &&
+      transient_read_streak_ < options_.max_transient_burst &&
+      rng_.Bernoulli(options_.read_bit_flip_p)) {
+    Status s = inner_->ReadFrame(id, frame);
+    if (!s.ok()) return s;
+    // Garble the transfer, not the platter: the caller's frame validation
+    // rejects this copy, but a reread gets the intact stored frame.
+    ++transient_read_streak_;
+    ++counters_.read_bit_flips;
+    const size_t bit = rng_.UniformInt(frame_size() * 8);
+    frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return s;
+  }
+  transient_read_streak_ = 0;
   return inner_->ReadFrame(id, frame);
 }
 
@@ -41,12 +63,32 @@ Status FaultInjectionPageFile::WriteFrame(PageId id, const uint8_t* frame) {
     return Status::IOError("injected write error on page " +
                            std::to_string(id));
   }
+  if (options_.transient_write_error_p > 0 &&
+      transient_write_streak_ < options_.max_transient_burst &&
+      rng_.Bernoulli(options_.transient_write_error_p)) {
+    ++transient_write_streak_;
+    ++counters_.transient_write_errors;
+    return Status::IOError("injected transient write error on page " +
+                           std::to_string(id));
+  }
+  transient_write_streak_ = 0;
+  // Decide the actual destination before logging so the write log
+  // faithfully records where the frame landed (and the misdirection
+  // detector can compare destination against the frame's stamp).
+  PageId dest = id;
+  if (options_.misdirect_write_p > 0 && capacity_pages() > 1 &&
+      rng_.Bernoulli(options_.misdirect_write_p)) {
+    ++counters_.misdirected_writes;
+    dest = static_cast<PageId>(rng_.UniformInt(capacity_pages() - 1));
+    if (dest >= id) ++dest;  // any page but the intended one
+  }
   if (options_.record_write_log) {
     WriteEvent ev;
-    ev.id = id;
+    ev.id = dest;
     ev.frame.assign(frame, frame + frame_size());
     write_log_.push_back(std::move(ev));
   }
+  id = dest;
   if (options_.torn_write_p > 0 && rng_.Bernoulli(options_.torn_write_p)) {
     // Persist only a random prefix; the tail keeps whatever the device
     // held before (zeros if nothing was readable).
@@ -82,5 +124,23 @@ Status FaultInjectionPageFile::GrowDevice(PageId id) {
 }
 
 Status FaultInjectionPageFile::Sync() { return inner_->Sync(); }
+
+size_t FaultInjectionPageFile::MisdirectedWritesInLog(
+    const std::vector<WriteEvent>& log) {
+  auto get_u32 = [](const uint8_t* p) {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  };
+  size_t n = 0;
+  for (const WriteEvent& ev : log) {
+    if (ev.grow || ev.frame.size() < kFramePageIdOffset + 4) continue;
+    if (get_u32(ev.frame.data() + kFrameMagicOffset) != kPageFrameMagic) {
+      continue;
+    }
+    if (get_u32(ev.frame.data() + kFramePageIdOffset) != ev.id) ++n;
+  }
+  return n;
+}
 
 }  // namespace rexp

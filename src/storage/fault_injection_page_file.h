@@ -36,6 +36,23 @@ class FaultInjectionPageFile final : public PageFile {
     double write_error_p = 0;  // fail a WriteFrame with kIOError
     double bit_flip_p = 0;     // flip one random bit in a written frame
     double torn_write_p = 0;   // persist only a random prefix of the frame
+    // Transient flavors of the error faults: the failure streak per
+    // direction is capped at max_transient_burst consecutive failures, so
+    // a caller retrying at least that many times is guaranteed to get
+    // through — the regime RetryPolicy targets. (read_error_p /
+    // write_error_p, by contrast, fire independently forever.)
+    double transient_read_error_p = 0;
+    double transient_write_error_p = 0;
+    // Transient transfer garbling: flip one random bit in the frame
+    // handed back to the caller (the stored frame stays intact, so a
+    // reread sees clean data). Shares the transient-read streak cap.
+    // This is the failure mode read-retry-on-kCorruption exists for.
+    double read_bit_flip_p = 0;
+    uint64_t max_transient_burst = 1;
+    // Misdirected write: the (correctly sealed) frame lands on a random
+    // *other* page of the device. The victim page then fails validation
+    // with a stamp mismatch; the intended page keeps its old content.
+    double misdirect_write_p = 0;
     // After this many successful WriteFrame calls the "process" has
     // crashed: every later write is silently dropped (reported as OK, as
     // a page cache that never reaches the platter would). 0 disables.
@@ -47,8 +64,12 @@ class FaultInjectionPageFile final : public PageFile {
   struct Counters {
     uint64_t read_errors = 0;
     uint64_t write_errors = 0;
+    uint64_t transient_read_errors = 0;
+    uint64_t transient_write_errors = 0;
+    uint64_t read_bit_flips = 0;
     uint64_t bit_flips = 0;
     uint64_t torn_writes = 0;
+    uint64_t misdirected_writes = 0;
     uint64_t dropped_after_crash = 0;
   };
 
@@ -79,12 +100,21 @@ class FaultInjectionPageFile final : public PageFile {
            writes_attempted_ >= options_.crash_after_writes;
   }
 
+  // Number of logged write events whose sealed frame is stamped for a
+  // different page than the one it landed on — i.e. misdirected writes,
+  // whether injected here or produced by the system under test. Grow
+  // events and frames without a valid seal (torn/flipped beyond the
+  // stamp) are not counted.
+  static size_t MisdirectedWritesInLog(const std::vector<WriteEvent>& log);
+
  private:
   PageFile* inner_;
   Options options_;
   Counters counters_;
   Rng rng_;
   uint64_t writes_attempted_ = 0;
+  uint64_t transient_read_streak_ = 0;
+  uint64_t transient_write_streak_ = 0;
   std::vector<WriteEvent> write_log_;
 };
 

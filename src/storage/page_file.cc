@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/check.h"
 #include "common/crc32c.h"
@@ -57,6 +59,19 @@ bool AllZero(const uint8_t* p, size_t n) {
 
 std::string Errno() { return std::strerror(errno); }
 
+// Sleeps for the exponential-backoff delay before retry number `retry`
+// (1-based): initial * multiplier^(retry-1), capped. A zero-initial policy
+// retries immediately (how tests keep retry paths fast).
+void BackoffSleep(const RetryPolicy& policy, uint32_t retry) {
+  double us = static_cast<double>(policy.backoff_initial_us);
+  for (uint32_t i = 1; i < retry; ++i) us *= policy.backoff_multiplier;
+  us = std::min(us, static_cast<double>(policy.backoff_max_us));
+  if (us >= 1.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(us)));
+  }
+}
+
 }  // namespace
 
 StatusOr<PageId> PageFile::Allocate() {
@@ -104,6 +119,21 @@ void PageFile::RestoreFreeList(std::vector<PageId> ids, uint64_t leaked) {
 }
 
 Status PageFile::ReadPage(PageId id, Page* page) {
+  Status s = ReadPageAttempt(id, page);
+  // Retry both kIOError and kCorruption: a transiently garbled transfer
+  // surfaces as a checksum failure, and only a reread can tell it from
+  // real rot (which keeps failing until the budget runs out).
+  for (uint32_t retry = 1; !s.ok() && retry <= retry_policy_.max_retries;
+       ++retry) {
+    ++device_stats_.read_retries;
+    BackoffSleep(retry_policy_, retry);
+    s = ReadPageAttempt(id, page);
+  }
+  if (!s.ok() && retry_policy_.max_retries > 0) ++device_stats_.read_giveups;
+  return s;
+}
+
+Status PageFile::ReadPageAttempt(PageId id, Page* page) {
   REXP_CHECK(id < capacity_);
   REXP_CHECK(page->size() == page_size_);
   frame_scratch_.resize(frame_size());
@@ -153,6 +183,20 @@ Status PageFile::ReadPage(PageId id, Page* page) {
 }
 
 Status PageFile::WritePage(PageId id, const Page& page) {
+  Status s = WritePageAttempt(id, page);
+  // Writes only fail with kIOError (validation happens on read), so any
+  // failure here is worth the bounded retry.
+  for (uint32_t retry = 1; !s.ok() && retry <= retry_policy_.max_retries;
+       ++retry) {
+    ++device_stats_.write_retries;
+    BackoffSleep(retry_policy_, retry);
+    s = WritePageAttempt(id, page);
+  }
+  if (!s.ok() && retry_policy_.max_retries > 0) ++device_stats_.write_giveups;
+  return s;
+}
+
+Status PageFile::WritePageAttempt(PageId id, const Page& page) {
   REXP_CHECK(id < capacity_);
   REXP_CHECK(page.size() == page_size_);
   frame_scratch_.resize(frame_size());

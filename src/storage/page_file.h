@@ -68,18 +68,43 @@ struct DeviceStats {
   std::atomic<uint64_t> read_errors{0};
   std::atomic<uint64_t> write_errors{0};
   std::atomic<uint64_t> checksum_failures{0};
+  // Transient-fault retry accounting (see RetryPolicy): attempts repeated
+  // after a failure, and operations that still failed with the retry
+  // budget exhausted.
+  std::atomic<uint64_t> read_retries{0};
+  std::atomic<uint64_t> write_retries{0};
+  std::atomic<uint64_t> read_giveups{0};
+  std::atomic<uint64_t> write_giveups{0};
   obs::Histogram read_latency_us{obs::LatencyBoundsUs()};
   obs::Histogram write_latency_us{obs::LatencyBoundsUs()};
 
   void Reset() {
-    for (std::atomic<uint64_t>* c : {&frame_reads, &frame_writes,
-                                     &read_errors, &write_errors,
-                                     &checksum_failures}) {
+    for (std::atomic<uint64_t>* c :
+         {&frame_reads, &frame_writes, &read_errors, &write_errors,
+          &checksum_failures, &read_retries, &write_retries, &read_giveups,
+          &write_giveups}) {
       c->store(0, std::memory_order_relaxed);
     }
     read_latency_us.Reset();
     write_latency_us.Reset();
   }
+};
+
+// Bounded retry-with-exponential-backoff for flaky devices. Applied by
+// ReadPage/WritePage around the whole frame transfer + validation:
+// a failed attempt is retried up to `max_retries` times, sleeping
+// backoff_initial_us * backoff_multiplier^k (capped at backoff_max_us)
+// between attempts. Reads retry on both kIOError (the device balked) and
+// kCorruption (the transfer may have garbled a frame that is fine on the
+// platter — a reread distinguishes transient garbling from real rot,
+// which simply keeps failing until the budget runs out). Writes retry on
+// kIOError only. The default policy performs no retries, preserving
+// fail-fast semantics; Tree::Open applies TreeConfig's policy.
+struct RetryPolicy {
+  uint32_t max_retries = 0;  // Extra attempts after the first failure.
+  uint32_t backoff_initial_us = 100;
+  double backoff_multiplier = 2.0;
+  uint32_t backoff_max_us = 10000;
 };
 
 // Bytes of frame header preceding each page payload on the device.
@@ -150,6 +175,12 @@ class PageFile {
   const DeviceStats& device_stats() const { return device_stats_; }
   void ResetDeviceStats() { device_stats_.Reset(); }
 
+  // Transient-fault retry policy applied by ReadPage/WritePage (see
+  // RetryPolicy). The default performs no retries. Not thread-safe; set
+  // before the device is shared (Tree::Open does this from TreeConfig).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   // Checksummed page transfer. `page->size()` must equal page_size() and
   // `id` must be allocated-or-free within capacity (anything else is a
   // programming error). Returns kCorruption if the stored frame fails
@@ -181,7 +212,13 @@ class PageFile {
   uint64_t capacity_ = 0;
 
  private:
+  // One checksummed transfer attempt (the bodies ReadPage/WritePage retry
+  // around, per retry_policy_).
+  Status ReadPageAttempt(PageId id, Page* page);
+  Status WritePageAttempt(PageId id, const Page& page);
+
   const uint32_t page_size_;
+  RetryPolicy retry_policy_;
   std::vector<PageId> free_list_;
   std::vector<PageId> deferred_;
   bool deferred_free_ = false;

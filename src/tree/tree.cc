@@ -97,6 +97,12 @@ Tree<kDims>::Tree(const TreeConfig& config, PageFile* file)
 
 template <int kDims>
 Status Tree<kDims>::Init() {
+  if (config_.io_max_retries > 0) {
+    file_->set_retry_policy({config_.io_max_retries,
+                             config_.io_backoff_initial_us,
+                             config_.io_backoff_multiplier,
+                             config_.io_backoff_max_us});
+  }
   if (file_->allocated_pages() == 0) {
     // Fresh file: reserve the two meta slots and make the empty tree
     // durable (epoch 1 lands in slot 1; slot 0 stays zero until epoch 2).
@@ -219,28 +225,38 @@ Status Tree<kDims>::LoadMeta() {
   Page best(config_.page_size);
   uint64_t best_epoch = 0;
   int best_slot = -1;
+  std::string slot_findings;
+  auto note_slot = [&slot_findings](PageId slot, const std::string& why) {
+    if (!slot_findings.empty()) slot_findings += "; ";
+    slot_findings += "slot " + std::to_string(slot) + ": " + why;
+  };
   for (PageId slot = 0; slot < kNumMetaSlots; ++slot) {
     Status s = file_->ReadPage(slot, &page);
     if (!s.ok()) {
       if (s.IsIOError()) return s;  // Device broken, not slot damage.
       ++meta_slot_errors_;
+      note_slot(slot, s.message());
       continue;
     }
     if (page.Read<uint32_t>(0) == 0) {
       // An all-zero slot is one never committed to (a fresh file's slot 0,
       // or the older slot of an index committed exactly once) — empty, not
       // damaged.
+      note_slot(slot, "empty (never committed)");
       continue;
     }
     if (page.Read<uint32_t>(0) != kMetaMagic ||
         page.Read<uint32_t>(4) != kMetaVersion ||
         page.Read<uint32_t>(8) != static_cast<uint32_t>(kDims)) {
       ++meta_slot_errors_;
+      note_slot(slot, "bad magic/version/dims");
       continue;
     }
     const uint64_t epoch = page.Read<uint64_t>(16);
     if (epoch == 0 || (epoch & 1) != slot) {
       ++meta_slot_errors_;
+      note_slot(slot, "epoch " + std::to_string(epoch) +
+                          " fails slot-parity check");
       continue;
     }
     if (epoch > best_epoch) {
@@ -250,9 +266,9 @@ Status Tree<kDims>::LoadMeta() {
     }
   }
   if (best_slot < 0) {
-    return Status::Corruption("no valid meta slot (" +
-                              std::to_string(meta_slot_errors_) +
-                              " damaged)");
+    return Status::Corruption(
+        "no valid meta slot (" + slot_findings +
+        "); run `rexp_fsck --salvage` to rebuild from surviving leaf pages");
   }
 
   uint32_t off = 24;
@@ -1925,6 +1941,10 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->AddCounter(prefix + "device.write_errors", &dev.write_errors);
   registry->AddCounter(prefix + "device.checksum_failures",
                        &dev.checksum_failures);
+  registry->AddCounter(prefix + "device.read_retries", &dev.read_retries);
+  registry->AddCounter(prefix + "device.write_retries", &dev.write_retries);
+  registry->AddCounter(prefix + "device.read_giveups", &dev.read_giveups);
+  registry->AddCounter(prefix + "device.write_giveups", &dev.write_giveups);
   registry->AddHistogram(prefix + "device.read_latency_us",
                          &dev.read_latency_us);
   registry->AddHistogram(prefix + "device.write_latency_us",

@@ -1,0 +1,621 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "verify/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/float_round.h"
+#include "storage/page.h"
+#include "tree/meta_format.h"
+#include "tree/node.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace verify {
+
+namespace {
+
+constexpr Time kNoLiveContent = -std::numeric_limits<Time>::infinity();
+
+bool IsFloatExact(double x) { return ToFloatExactly(x) == x; }
+
+// The canonical-record contract the verifier checks at the leaves
+// (degenerate, finite, float-exact, valid expiration). Records failing it
+// cannot have been produced by MakeMovingPoint and are dropped by repair.
+template <int kDims>
+bool IsCanonicalLeafRecord(const Tpbr<kDims>& r) {
+  for (int d = 0; d < kDims; ++d) {
+    if (!(r.lo[d] == r.hi[d]) || !(r.vlo[d] == r.vhi[d])) return false;
+    if (!std::isfinite(r.lo[d]) || !std::isfinite(r.vlo[d])) return false;
+    if (!IsFloatExact(r.lo[d]) || !IsFloatExact(r.vlo[d])) return false;
+  }
+  if (std::isnan(r.t_exp) ||
+      r.t_exp == -std::numeric_limits<Time>::infinity()) {
+    return false;
+  }
+  if (IsFiniteTime(r.t_exp) && !IsFloatExact(r.t_exp)) return false;
+  return true;
+}
+
+// Conservative hull of a set of entry regions in reference-time-0
+// coordinates: componentwise min/max of positions and velocities, so the
+// hull contains every input region for all t >= 0 (the codec additionally
+// rounds the encoded bounds outward). The hull's expiry is the max input
+// expiry.
+template <int kDims>
+Tpbr<kDims> HullOf(const std::vector<NodeEntry<kDims>>& entries) {
+  REXP_CHECK(!entries.empty());
+  Tpbr<kDims> h = entries[0].region;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    const Tpbr<kDims>& r = entries[i].region;
+    for (int d = 0; d < kDims; ++d) {
+      h.lo[d] = std::min(h.lo[d], r.lo[d]);
+      h.hi[d] = std::max(h.hi[d], r.hi[d]);
+      h.vlo[d] = std::min(h.vlo[d], r.vlo[d]);
+      h.vhi[d] = std::max(h.vhi[d], r.vhi[d]);
+    }
+    h.t_exp = std::max(h.t_exp, r.t_exp);
+  }
+  return h;
+}
+
+// The committed meta state repair starts from, parsed exactly as
+// Tree::LoadMeta / TreeVerifier::VerifyFile do. `ok == false` means no
+// slot yields an internally consistent state — salvage territory.
+struct ParsedMeta {
+  bool ok = false;
+  int slot = -1;
+  uint64_t epoch = 0;
+  PageId root = kInvalidPageId;
+  int height = 0;
+  uint64_t committed = 0;
+  uint64_t underfull = 0;
+  double ui = 60.0;
+  std::vector<PageId> free_list;
+  uint64_t leaked = 0;
+};
+
+template <int kDims>
+ParsedMeta ParseMeta(PageFile* file, const TreeConfig& config) {
+  ParsedMeta m;
+  if (file->capacity_pages() < kNumMetaSlots) return m;
+  Page page(config.page_size);
+  Page best(config.page_size);
+  for (PageId slot = 0; slot < kNumMetaSlots; ++slot) {
+    if (!file->ReadPage(slot, &page).ok()) continue;
+    if (page.Read<uint32_t>(kMetaMagicFieldOffset) != kMetaMagic ||
+        page.Read<uint32_t>(kMetaVersionFieldOffset) != kMetaVersion ||
+        page.Read<uint32_t>(kMetaDimsFieldOffset) !=
+            static_cast<uint32_t>(kDims)) {
+      continue;
+    }
+    const uint64_t epoch = page.Read<uint64_t>(kMetaEpochFieldOffset);
+    if (epoch == 0 || (epoch & 1) != slot) continue;
+    if (epoch > m.epoch) {
+      m.epoch = epoch;
+      m.slot = static_cast<int>(slot);
+      best = page;
+    }
+  }
+  if (m.slot < 0) return m;
+  m.root = best.Read<uint32_t>(kMetaRootFieldOffset);
+  m.height = static_cast<int>(best.Read<uint32_t>(kMetaHeightFieldOffset));
+  m.committed = best.Read<uint64_t>(kMetaCapacityFieldOffset);
+  m.underfull = best.Read<uint64_t>(kMetaUnderfullFieldOffset);
+  const double ui = best.Read<double>(kMetaUiFieldOffset);
+  if (ui > 0) m.ui = ui;
+  if (m.height < 0 || m.height > kMetaMaxLevels ||
+      (m.root == kInvalidPageId) != (m.height == 0) ||
+      m.committed < kNumMetaSlots ||
+      m.committed > file->capacity_pages() ||
+      (m.root != kInvalidPageId &&
+       (m.root < kNumMetaSlots || m.root >= m.committed))) {
+    return m;  // ok stays false: internally inconsistent.
+  }
+  const uint32_t persisted = best.Read<uint32_t>(kMetaFreeCountFieldOffset);
+  if (persisted <= (config.page_size - kMetaFreeListOffset) / 4) {
+    m.free_list.reserve(persisted);
+    for (uint32_t i = 0; i < persisted; ++i) {
+      m.free_list.push_back(
+          best.Read<uint32_t>(kMetaFreeListOffset + 4 * i));
+    }
+    m.leaked = best.Read<uint64_t>(kMetaLeakedFieldOffset);
+  }
+  m.ok = true;
+  return m;
+}
+
+template <int kDims>
+struct FixCtx {
+  PageFile* file = nullptr;
+  const TreeConfig* config = nullptr;
+  const NodeCodec<kDims>* codec = nullptr;
+  const RepairOptions* options = nullptr;
+  RepairReport* report = nullptr;
+  Time now = 0;
+  Time never_expires_horizon = 0;
+  uint64_t committed = 0;  // Child-pointer limit (the committed extent).
+  PageId root = kInvalidPageId;
+  std::unordered_set<PageId> reachable;
+  std::vector<uint64_t> level_counts;
+  uint64_t underfull = 0;
+  Status device_error = Status::OK();  // Hard kIOError to propagate.
+};
+
+template <int kDims>
+struct SubtreeFix {
+  bool ok = false;       // False: structural damage, repair must refuse.
+  bool empty = false;    // No entries survive; parent excises the child.
+  bool escaped = false;  // A surviving entry escapes the parent's bound.
+  size_t entries = 0;    // Entries surviving in this node.
+  Tpbr<kDims> hull;      // Conservative hull of the surviving entries.
+  Time live_expiry = kNoLiveContent;
+};
+
+// Mirrors the verifier's sampled containment check: does `region` escape
+// `bound` at any sampled time across its live lifetime?
+template <int kDims>
+bool EscapesBound(const Tpbr<kDims>& bound, const Tpbr<kDims>& region,
+                  Time true_expiry, const FixCtx<kDims>& ctx) {
+  const Time now = ctx.now;
+  Time to = true_expiry;
+  if (!IsFiniteTime(to) || !ctx.config->expire_entries) {
+    to = ctx.never_expires_horizon;
+  }
+  if (to < now) to = now;
+  const int samples = std::max(0, ctx.options->verify.horizon_samples);
+  const double eps = ctx.options->verify.eps;
+  for (int s = 0; s <= samples + 1; ++s) {
+    const Time t = now + (to - now) * static_cast<double>(s) /
+                             static_cast<double>(samples + 1);
+    for (int d = 0; d < kDims; ++d) {
+      if (bound.LoAt(d, t) > region.LoAt(d, t) + eps ||
+          bound.HiAt(d, t) < region.HiAt(d, t) - eps) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Walks and fixes the subtree rooted at `id` bottom-up. Leaf pages drop
+// expired and non-canonical records; internal pages excise entries to
+// emptied subtrees and replace stored bounds that violate containment or
+// expiry monotonicity with the conservative hull of the child's actual
+// (post-fix) content. Returns ok == false on structural damage repair
+// must not guess through.
+template <int kDims>
+SubtreeFix<kDims> FixSubtree(FixCtx<kDims>* ctx, PageId id, int level,
+                             const Tpbr<kDims>* parent_bound) {
+  SubtreeFix<kDims> out;
+  RepairReport* report = ctx->report;
+  Page page(ctx->file->page_size());
+  Status read = ctx->file->ReadPage(id, &page);
+  if (!read.ok()) {
+    if (read.IsIOError()) ctx->device_error = read;
+    report->actions.push_back("page " + std::to_string(id) +
+                              " unreadable (" + read.message() +
+                              "); in-place repair cannot recover it");
+    return out;
+  }
+  const int node_level = page.Read<uint16_t>(0);
+  const int count = page.Read<uint16_t>(2);
+  const int cap = ctx->codec->Capacity(level);
+  if (node_level != level || count > cap) {
+    report->actions.push_back(
+        "page " + std::to_string(id) + " undecodable (level tag " +
+        std::to_string(node_level) + ", count " + std::to_string(count) +
+        "); in-place repair cannot recover it");
+    return out;
+  }
+  Node<kDims> node;
+  ctx->codec->Decode(page, &node);
+
+  const bool expire = ctx->config->expire_entries;
+  const Time now = ctx->now;
+  bool changed = false;
+  std::vector<NodeEntry<kDims>> kept;
+  kept.reserve(node.entries.size());
+  Time live_expiry = kNoLiveContent;
+
+  if (level == 0) {
+    uint64_t dropped_expired = 0;
+    uint64_t dropped_noncanonical = 0;
+    for (const NodeEntry<kDims>& e : node.entries) {
+      if (!IsCanonicalLeafRecord(e.region)) {
+        ++dropped_noncanonical;
+        continue;
+      }
+      if (expire && e.region.t_exp < now) {
+        ++dropped_expired;
+        continue;
+      }
+      if (parent_bound != nullptr &&
+          EscapesBound(*parent_bound, e.region, e.region.t_exp, *ctx)) {
+        out.escaped = true;
+      }
+      if (e.region.t_exp > live_expiry) live_expiry = e.region.t_exp;
+      kept.push_back(e);
+    }
+    if (dropped_expired + dropped_noncanonical > 0) {
+      changed = true;
+      report->records_dropped_expired += dropped_expired;
+      report->records_dropped_noncanonical += dropped_noncanonical;
+      report->actions.push_back(
+          "leaf page " + std::to_string(id) + ": dropped " +
+          std::to_string(dropped_expired) + " expired and " +
+          std::to_string(dropped_noncanonical) +
+          " non-canonical record(s)");
+    }
+  } else {
+    uint64_t recomputed = 0;
+    uint64_t excised = 0;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const NodeEntry<kDims>& e = node.entries[i];
+      if (e.id < kNumMetaSlots || e.id >= ctx->committed) {
+        report->actions.push_back(
+            "page " + std::to_string(id) + " entry " + std::to_string(i) +
+            " references page " + std::to_string(e.id) +
+            " outside the committed extent; in-place repair cannot "
+            "recover it");
+        return out;
+      }
+      if (!ctx->reachable.insert(e.id).second) {
+        report->actions.push_back(
+            "page " + std::to_string(e.id) +
+            " is reachable twice (cycle or shared subtree); in-place "
+            "repair cannot recover it");
+        return out;
+      }
+      SubtreeFix<kDims> child =
+          FixSubtree(ctx, e.id, level - 1, &e.region);
+      if (!child.ok) return out;
+      if (child.empty) {
+        ctx->reachable.erase(e.id);
+        ++excised;
+        changed = true;
+        continue;
+      }
+      bool region_numeric = !std::isnan(e.region.t_exp);
+      for (int d = 0; d < kDims; ++d) {
+        if (std::isnan(e.region.lo[d]) || std::isnan(e.region.hi[d]) ||
+            std::isnan(e.region.vlo[d]) || std::isnan(e.region.vhi[d])) {
+          region_numeric = false;
+        }
+      }
+      const bool expiry_violated =
+          expire && child.live_expiry >= now &&
+          !(e.region.t_exp >= child.live_expiry - 1e-6);
+      const bool needs_fix =
+          !region_numeric || expiry_violated || child.escaped;
+      NodeEntry<kDims> fixed = e;
+      if (needs_fix) {
+        fixed.region = child.hull;
+        ++recomputed;
+        changed = true;
+      }
+      if (parent_bound != nullptr &&
+          EscapesBound(*parent_bound, fixed.region, child.live_expiry,
+                       *ctx)) {
+        out.escaped = true;
+      }
+      if (child.live_expiry > live_expiry) live_expiry = child.live_expiry;
+      kept.push_back(fixed);
+    }
+    if (recomputed > 0) {
+      report->bounds_recomputed += recomputed;
+      report->actions.push_back("page " + std::to_string(id) +
+                                ": recomputed " + std::to_string(recomputed) +
+                                " child bound(s) as conservative hulls");
+    }
+    if (excised > 0) {
+      report->empty_subtrees_excised += excised;
+      report->actions.push_back("page " + std::to_string(id) + ": excised " +
+                                std::to_string(excised) +
+                                " entry(ies) to emptied subtrees");
+    }
+  }
+
+  out.ok = true;
+  if (kept.empty()) {
+    out.empty = true;
+    ctx->reachable.erase(id);
+    return out;
+  }
+  if (changed) {
+    ++report->pages_rewritten;
+    if (!ctx->options->dry_run) {
+      Node<kDims> fixed_node;
+      fixed_node.level = level;
+      fixed_node.entries = kept;
+      Page out_page(ctx->file->page_size());
+      ctx->codec->Encode(fixed_node, &out_page);
+      Status w = ctx->file->WritePage(id, out_page);
+      if (!w.ok()) {
+        ctx->device_error = w;
+        out.ok = false;
+        return out;
+      }
+    }
+  }
+  ctx->level_counts[static_cast<size_t>(level)] += kept.size();
+  const int min_entries =
+      std::max(2, static_cast<int>(static_cast<double>(cap) *
+                                   ctx->config->min_fill_fraction));
+  if (id != ctx->root && kept.size() < static_cast<size_t>(min_entries)) {
+    ++ctx->underfull;
+  }
+  out.entries = kept.size();
+  out.hull = HullOf(kept);
+  out.live_expiry = live_expiry;
+  return out;
+}
+
+// Serializes repaired metadata exactly as Tree::SerializeMeta does, from
+// the rebuilt bookkeeping.
+template <int kDims>
+void SerializeRepairedMeta(const TreeConfig& config, uint64_t epoch,
+                           PageId root, int height, uint64_t committed,
+                           uint64_t underfull, double ui,
+                           const std::vector<uint64_t>& level_counts,
+                           const std::vector<PageId>& free_ids,
+                           uint64_t prior_leaked, Page* page) {
+  page->Clear();
+  uint32_t off = 0;
+  page->Write<uint32_t>(off, kMetaMagic);
+  off += 4;
+  page->Write<uint32_t>(off, kMetaVersion);
+  off += 4;
+  page->Write<uint32_t>(off, static_cast<uint32_t>(kDims));
+  off += 4;
+  off += 4;  // Reserved.
+  page->Write<uint64_t>(off, epoch);
+  off += 8;
+  page->Write<uint32_t>(off, root);
+  off += 4;
+  page->Write<uint32_t>(off, static_cast<uint32_t>(height));
+  off += 4;
+  page->Write<uint64_t>(off, committed);
+  off += 8;
+  page->Write<uint64_t>(off, underfull);
+  off += 8;
+  page->Write<double>(off, ui);
+  off += 8;
+  for (int l = 0; l < kMetaMaxLevels; ++l) {
+    const uint64_t n = l < static_cast<int>(level_counts.size())
+                           ? level_counts[static_cast<size_t>(l)]
+                           : 0;
+    page->Write<uint64_t>(off, n);
+    off += 8;
+  }
+  const uint32_t max_ids = (config.page_size - kMetaFreeListOffset) / 4;
+  const uint32_t persisted =
+      static_cast<uint32_t>(std::min<size_t>(free_ids.size(), max_ids));
+  const uint64_t leaked = prior_leaked + (free_ids.size() - persisted);
+  page->Write<uint32_t>(off, persisted);
+  off += 4;
+  page->Write<uint64_t>(off, leaked);
+  off += 8;
+  REXP_CHECK(off == kMetaFreeListOffset);
+  for (uint32_t i = 0; i < persisted; ++i) {
+    page->Write<uint32_t>(off, free_ids[i]);
+    off += 4;
+  }
+}
+
+}  // namespace
+
+template <int kDims>
+StatusOr<RepairReport> TreeRepairer<kDims>::Repair(
+    PageFile* file, const TreeConfig& config, const RepairOptions& options) {
+  RepairReport report;
+  report.before =
+      TreeVerifier<kDims>::VerifyFile(file, config, options.verify);
+  report.after = report.before;
+  if (report.before.ok()) return report;  // Nothing to fix.
+
+  ParsedMeta meta = ParseMeta<kDims>(file, config);
+  if (!meta.ok) {
+    report.needs_salvage = true;
+    report.actions.push_back(
+        "no internally consistent meta slot; use salvage to rebuild from "
+        "surviving leaf pages");
+    return report;
+  }
+
+  NodeCodec<kDims> codec(config.page_size, config.StoresVelocities(),
+                         config.store_tpbr_expiration);
+  FixCtx<kDims> ctx;
+  ctx.file = file;
+  ctx.config = &config;
+  ctx.codec = &codec;
+  ctx.options = &options;
+  ctx.report = &report;
+  ctx.now = options.verify.now;
+  ctx.never_expires_horizon = ctx.now + 10 * meta.ui;
+  ctx.committed = meta.committed;
+  ctx.root = meta.root;
+  ctx.level_counts.assign(static_cast<size_t>(std::max(meta.height, 0)), 0);
+
+  PageId root = meta.root;
+  int height = meta.height;
+  if (root != kInvalidPageId) {
+    ctx.reachable.insert(root);
+    SubtreeFix<kDims> fix =
+        FixSubtree<kDims>(&ctx, root, height - 1, /*parent_bound=*/nullptr);
+    if (!ctx.device_error.ok()) return ctx.device_error;
+    if (!fix.ok) {
+      report.needs_salvage = true;
+      return report;
+    }
+    if (fix.empty) {
+      report.actions.push_back(
+          "every record expired or was dropped; the tree is now empty");
+      root = kInvalidPageId;
+      height = 0;
+    } else if (height > 1 && fix.entries == 1) {
+      // An internal root with a single surviving entry must collapse
+      // (MaybeShrinkRoot's invariant). Chains of single-entry internal
+      // nodes collapse iteratively off the rewritten pages; in a dry run
+      // only the first step is known without writing, which is enough
+      // for planning.
+      report.root_collapsed = true;
+      if (options.dry_run) {
+        report.actions.push_back("would collapse the single-entry root");
+      } else {
+        while (height > 1) {
+          Page page(file->page_size());
+          Status s = file->ReadPage(root, &page);
+          if (!s.ok()) {
+            if (s.IsIOError()) return s;
+            report.needs_salvage = true;
+            return report;
+          }
+          Node<kDims> node;
+          codec.Decode(page, &node);
+          if (node.entries.size() != 1) break;
+          ctx.reachable.erase(root);
+          ctx.level_counts[static_cast<size_t>(height - 1)] -= 1;
+          report.actions.push_back("collapsed single-entry root page " +
+                                   std::to_string(root));
+          root = node.entries[0].id;
+          --height;
+        }
+      }
+    }
+  }
+
+  // Rebuild page accounting from the reachability walk: every device page
+  // that is not a meta slot and not reachable is free. This reclaims
+  // orphans, drops stale free-list entries, and absorbs uncommitted
+  // growth past the old committed extent in one stroke.
+  const uint64_t device_capacity = file->capacity_pages();
+  std::vector<PageId> free_ids;
+  free_ids.reserve(static_cast<size_t>(device_capacity));
+  std::unordered_set<PageId> old_free(meta.free_list.begin(),
+                                      meta.free_list.end());
+  for (uint64_t id = kNumMetaSlots; id < device_capacity; ++id) {
+    const PageId pid = static_cast<PageId>(id);
+    if (ctx.reachable.count(pid) != 0) continue;
+    free_ids.push_back(pid);
+    if (old_free.count(pid) == 0) ++report.pages_reclaimed;
+  }
+  report.actions.push_back(
+      "rebuilt free list from the reachability walk: " +
+      std::to_string(free_ids.size()) + " free page(s), " +
+      std::to_string(report.pages_reclaimed) + " newly reclaimed");
+  report.actions.push_back(
+      "re-committing meta at epoch " + std::to_string(meta.epoch + 1) +
+      " (the in-memory direct-access table rebuilds on next open)");
+
+  report.meta_rewritten = true;
+  if (!options.dry_run) {
+    Page page(config.page_size);
+    SerializeRepairedMeta<kDims>(config, meta.epoch + 1, root, height,
+                                 device_capacity, ctx.underfull, meta.ui,
+                                 ctx.level_counts, free_ids, 0, &page);
+    REXP_RETURN_IF_ERROR(
+        file->WritePage(static_cast<PageId>((meta.epoch + 1) & 1), page));
+    REXP_RETURN_IF_ERROR(file->Sync());
+    report.after =
+        TreeVerifier<kDims>::VerifyFile(file, config, options.verify);
+  } else {
+    report.meta_rewritten = false;
+    report.pages_rewritten = 0;  // Planned only; nothing was written.
+  }
+  return report;
+}
+
+template <int kDims>
+StatusOr<SalvageReport> TreeRepairer<kDims>::Salvage(
+    PageFile* damaged, PageFile* fresh, const TreeConfig& config,
+    const SalvageOptions& options,
+    std::vector<QuarantinedPage>* quarantine) {
+  SalvageReport report;
+  if (!options.dry_run &&
+      (fresh == nullptr || fresh->capacity_pages() != 0)) {
+    return Status::InvalidArgument(
+        "salvage target must be an empty page file");
+  }
+
+  NodeCodec<kDims> codec(config.page_size, config.StoresVelocities(),
+                         config.store_tpbr_expiration);
+  // Newest-expiration-wins dedup across every physical copy found: stale
+  // copies of a record left behind by node relocation carry the same
+  // expiration and collapse onto the live one.
+  std::unordered_map<ObjectId, Tpbr<kDims>> survivors;
+  Page page(damaged->page_size());
+  for (uint64_t id = kNumMetaSlots; id < damaged->capacity_pages(); ++id) {
+    const PageId pid = static_cast<PageId>(id);
+    ++report.pages_scanned;
+    Status s = damaged->ReadPage(pid, &page);
+    if (!s.ok()) {
+      ++report.pages_quarantined;
+      if (quarantine != nullptr) {
+        QuarantinedPage q;
+        q.page = pid;
+        q.reason = s.ToString();
+        q.frame.assign(damaged->frame_size(), 0);
+        (void)damaged->ReadFrame(pid, q.frame.data());
+        quarantine->push_back(std::move(q));
+      }
+      continue;
+    }
+    const int level = page.Read<uint16_t>(0);
+    const int count = page.Read<uint16_t>(2);
+    if (level != 0 || count > codec.leaf_capacity()) {
+      continue;  // Internal node (no records) or not a tree page at all.
+    }
+    ++report.leaf_pages;
+    Node<kDims> node;
+    codec.Decode(page, &node);
+    for (const NodeEntry<kDims>& e : node.entries) {
+      ++report.records_seen;
+      if (!IsCanonicalLeafRecord(e.region)) {
+        ++report.records_dropped_noncanonical;
+        continue;
+      }
+      if (config.expire_entries && e.region.t_exp < options.now) {
+        ++report.records_dropped_expired;
+        continue;
+      }
+      auto [it, inserted] = survivors.emplace(e.id, e.region);
+      if (!inserted) {
+        ++report.duplicates_resolved;
+        if (e.region.t_exp > it->second.t_exp) it->second = e.region;
+      }
+    }
+  }
+  report.records_salvaged = survivors.size();
+  if (options.dry_run) return report;
+
+  std::vector<typename Tree<kDims>::BulkRecord> records;
+  records.reserve(survivors.size());
+  for (const auto& [oid, region] : survivors) {
+    records.push_back({oid, region});
+  }
+  // Deterministic load order regardless of hash-map iteration.
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.oid < b.oid; });
+  {
+    REXP_ASSIGN_OR_RETURN(auto tree, Tree<kDims>::Open(config, fresh));
+    tree->BulkLoad(std::move(records), options.now, options.fill);
+  }  // Destruction commits the fresh tree.
+  VerifyOptions verify = options.verify;
+  verify.now = options.now;
+  report.after = TreeVerifier<kDims>::VerifyFile(fresh, config, verify);
+  return report;
+}
+
+template class TreeRepairer<1>;
+template class TreeRepairer<2>;
+template class TreeRepairer<3>;
+
+}  // namespace verify
+}  // namespace rexp

@@ -1,0 +1,146 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Repair and salvage for persisted R^exp-tree indexes — the write side of
+// the verifier: where verify/verifier.h enumerates damage, TreeRepairer
+// fixes what is fixable and rebuilds what is not.
+//
+// Two modes, in escalation order:
+//
+//   * Repair — in-place fix of a structurally walkable tree. A
+//     reachability walk from the committed root drops expired and
+//     non-canonical leaf records, recomputes violated parent TPBRs as
+//     conservative hulls of their actual content (safe for all t >= 0;
+//     the page codec rounds bounds outward), excises entries to emptied
+//     subtrees, collapses a degenerate root, then rebuilds the free list,
+//     leak count, level bookkeeping, and underfull budget from the walk
+//     and re-commits a valid meta slot at epoch+1. The in-memory
+//     direct-access table needs no file-side repair: Tree::Open rebuilds
+//     it from a leaf walk on every open. Repair refuses (needs_salvage)
+//     when a reachable page is unreadable or structurally undecodable, or
+//     when no meta slot parses — fixing those in place would guess at
+//     data; that is Salvage's job.
+//
+//   * Salvage — last-resort rebuild. Scans *every* page of the damaged
+//     device for checksum-valid leaf nodes (committed, orphaned, or
+//     stale alike), quarantines unreadable pages into a caller-provided
+//     sidecar list instead of failing, dedupes the surviving records by
+//     object id (newest expiration wins), drops expired and
+//     non-canonical ones, and bulk-loads a fresh tree from the
+//     survivors. Because freed pages may hold stale leaf images, salvage
+//     can resurrect the last committed copy of a record that a later
+//     (lost) commit deleted — the documented price of recovering without
+//     trustworthy metadata (DESIGN.md §11).
+//
+// Both modes report what they did alongside a fresh verifier run over
+// the result, so callers (rexp_fsck --repair/--salvage) can gate on
+// "clean after".
+
+#ifndef REXP_VERIFY_REPAIR_H_
+#define REXP_VERIFY_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page_file.h"
+#include "tree/tree_config.h"
+#include "verify/verifier.h"
+
+namespace rexp {
+namespace verify {
+
+struct RepairOptions {
+  // Passed through to the verifier runs and used as the repair time:
+  // leaf records expired before verify.now are dropped.
+  VerifyOptions verify;
+  // Plan and report every action without writing a byte.
+  bool dry_run = false;
+};
+
+struct RepairReport {
+  Report before;  // Verifier findings that motivated the repair.
+  Report after;   // Re-verification of the repaired file (== before when
+                  // nothing was written: clean input, dry run, or refusal).
+  // Human-readable log of the actions applied (or planned, in dry-run).
+  std::vector<std::string> actions;
+  uint64_t records_dropped_expired = 0;
+  uint64_t records_dropped_noncanonical = 0;
+  uint64_t bounds_recomputed = 0;
+  uint64_t empty_subtrees_excised = 0;
+  uint64_t pages_rewritten = 0;
+  uint64_t pages_reclaimed = 0;  // Orphans returned to the rebuilt free list.
+  bool root_collapsed = false;
+  bool meta_rewritten = false;
+  // Structural damage in-place repair cannot fix without guessing at
+  // data (unreadable reachable page, undecodable node, no valid meta).
+  bool needs_salvage = false;
+
+  bool changed() const { return meta_rewritten || pages_rewritten > 0; }
+  // Repair succeeded: nothing structurally unsalvageable and the file
+  // verifies clean afterwards.
+  bool ok() const { return !needs_salvage && after.ok(); }
+};
+
+struct SalvageOptions {
+  // Salvage time: records expired before `now` are not worth saving.
+  Time now = 0;
+  // Bulk-load fill factor for the rebuilt tree.
+  double fill = 0.7;
+  // Scan and count without building the fresh tree (the `after` report
+  // stays empty).
+  bool dry_run = false;
+  // Verifier options for the post-build check of the fresh tree.
+  VerifyOptions verify;
+};
+
+// A page the salvage scan could not validate, captured raw so nothing is
+// silently discarded. rexp_fsck serializes these into the quarantine
+// sidecar file (format documented in DESIGN.md §11).
+struct QuarantinedPage {
+  PageId page = kInvalidPageId;
+  std::string reason;
+  std::vector<uint8_t> frame;  // Raw device frame (header + payload).
+};
+
+struct SalvageReport {
+  uint64_t pages_scanned = 0;
+  uint64_t leaf_pages = 0;
+  uint64_t pages_quarantined = 0;
+  uint64_t records_seen = 0;
+  uint64_t records_salvaged = 0;  // Unique objects loaded into the new tree.
+  uint64_t records_dropped_expired = 0;
+  uint64_t records_dropped_noncanonical = 0;
+  uint64_t duplicates_resolved = 0;  // Extra physical copies deduped away.
+  Report after;  // Verification of the rebuilt tree (empty in dry-run).
+
+  bool ok() const { return after.ok(); }
+};
+
+template <int kDims>
+class TreeRepairer {
+ public:
+  // In-place repair of the index in `file` (typically a DiskPageFile
+  // opened with keep=true). `config` must match the index's creation
+  // configuration. Returns a non-OK Status only for hard device failures
+  // (kIOError) mid-repair; everything else — including unrepairable
+  // corruption — lands in the report (needs_salvage).
+  static StatusOr<RepairReport> Repair(PageFile* file,
+                                       const TreeConfig& config,
+                                       const RepairOptions& options);
+
+  // Scans `damaged` and bulk-loads the surviving records into `fresh`,
+  // which must be an empty page file. Unreadable pages are appended to
+  // `quarantine` (may be null to discard them). Returns a non-OK Status
+  // for hard device failures on `fresh` or a non-empty `fresh`.
+  static StatusOr<SalvageReport> Salvage(PageFile* damaged, PageFile* fresh,
+                                         const TreeConfig& config,
+                                         const SalvageOptions& options,
+                                         std::vector<QuarantinedPage>* quarantine);
+};
+
+}  // namespace verify
+}  // namespace rexp
+
+#endif  // REXP_VERIFY_REPAIR_H_

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/float_round.h"
+#include "obs/json_writer.h"
 #include "tree/meta_format.h"
 
 namespace rexp {
@@ -75,6 +76,24 @@ std::string Report::ToString() const {
          " further finding(s) suppressed\n";
   }
   return s;
+}
+
+void WriteReportJson(const Report& report, obs::JsonWriter* w) {
+  w->KV("ok", report.ok());
+  w->KV("findings_suppressed",
+        static_cast<uint64_t>(report.findings_suppressed));
+  w->Key("findings").BeginArray();
+  for (const Finding& f : report.findings) {
+    w->BeginObject();
+    w->KV("check", CheckIdName(f.check));
+    if (f.page != kInvalidPageId) {
+      w->KV("page", static_cast<uint64_t>(f.page));
+    }
+    if (f.level >= 0) w->KV("level", static_cast<int64_t>(f.level));
+    w->KV("detail", f.detail);
+    w->EndObject();
+  }
+  w->EndArray();
 }
 
 namespace {

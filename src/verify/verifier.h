@@ -40,6 +40,11 @@
 #include "tree/tree_config.h"
 
 namespace rexp {
+
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+
 namespace verify {
 
 // One invariant class per enumerator; tests seed corruption per class and
@@ -103,6 +108,13 @@ struct Report {
   }
   std::string ToString() const;
 };
+
+// Appends the shared finding-report fields to an open JSON object in `w`:
+// "ok" and a "findings" array of {check, page?, level?, detail} objects,
+// plus "findings_suppressed". This is the one finding schema every tool
+// (rexp_fsck, inspect_index --verify) emits, so CI scripts can consume
+// either interchangeably.
+void WriteReportJson(const Report& report, obs::JsonWriter* w);
 
 // A live tree's direct-access-table entry, snapshotted for the
 // DAT-vs-walk cross-check (tree/dat.h documents the invariants).

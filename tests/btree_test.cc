@@ -160,5 +160,85 @@ TEST(BTree, IoIsCounted) {
   EXPECT_GT(tree.io_stats().Total(), 0u);
 }
 
+TEST(BTree, VerifyIsCleanOnHealthyTree) {
+  MemoryPageFile file(256);
+  BTree tree(&file, 8, 0);
+  Rng rng(17);
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.Insert(Key{static_cast<float>(rng.Uniform(0, 100)), i}, nullptr);
+  }
+  verify::Report report = tree.Verify();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.walk_complete);
+  // All 500 leaf keys plus the internal routing entries above them.
+  EXPECT_GE(report.entries_checked, 500u);
+}
+
+// Verify must surface logical corruption as a typed finding — the same
+// schema rexp_fsck emits — instead of silently decoding it. The mutation
+// goes through WritePage, which re-seals the frame checksum, so only the
+// structural check can catch it.
+TEST(BTree, VerifyReportsUnsortedKeysAsFinding) {
+  MemoryPageFile file(256);
+  BTree tree(&file, 8, 0);
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.Insert(Key{static_cast<float>(i), i}, nullptr);
+  }
+  ASSERT_TRUE(tree.Verify().ok());  // Also flushes dirty buffers.
+
+  // Find a leaf page (level tag 0) with at least two keys and swap the
+  // first pair to break the sort order.
+  Page page(256);
+  bool corrupted = false;
+  for (PageId id = 0; id < file.capacity_pages() && !corrupted; ++id) {
+    if (!file.ReadPage(id, &page).ok()) continue;
+    if (page.Read<uint16_t>(0) != 0 || page.Read<uint16_t>(2) < 2) {
+      continue;
+    }
+    const float t0 = page.Read<float>(4);
+    const uint32_t id0 = page.Read<uint32_t>(8);
+    page.Write<float>(4, page.Read<float>(12));
+    page.Write<uint32_t>(8, page.Read<uint32_t>(16));
+    page.Write<float>(12, t0);
+    page.Write<uint32_t>(16, id0);
+    ASSERT_TRUE(file.WritePage(id, page).ok());
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted) << "no leaf with two keys found";
+
+  verify::Report report = tree.Verify();
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const verify::Finding& f : report.findings) {
+    if (f.check == verify::CheckId::kNodeStructure) found = true;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+// Raw rot under the checksum seal is caught as kPageChecksum and the
+// walk is reported incomplete rather than aborted.
+TEST(BTree, VerifyReportsRotAsPageChecksum) {
+  MemoryPageFile file(256);
+  BTree tree(&file, 8, 0);
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.Insert(Key{static_cast<float>(i), i}, nullptr);
+  }
+  ASSERT_TRUE(tree.Verify().ok());
+  // Garble one frame below the checksum layer.
+  std::vector<uint8_t> frame(file.frame_size());
+  ASSERT_TRUE(file.ReadFrame(3, frame.data()).ok());
+  frame[file.frame_size() / 2] ^= 0x20;
+  ASSERT_TRUE(file.WriteFrame(3, frame.data()).ok());
+
+  verify::Report report = tree.Verify();
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const verify::Finding& f : report.findings) {
+    if (f.check == verify::CheckId::kPageChecksum) found = true;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+  EXPECT_FALSE(report.walk_complete);
+}
+
 }  // namespace
 }  // namespace rexp

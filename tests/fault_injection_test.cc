@@ -183,6 +183,153 @@ TEST(FaultInjection, WriteLogCapturesFramesAndGrows) {
   EXPECT_EQ(std::memcmp(got.data(), MakePage(2).data(), kPageSize), 0);
 }
 
+// --- transient faults and the retry layer --------------------------------
+
+TEST(FaultInjection, TransientReadErrorsFailFastWithoutRetryPolicy) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 23;
+  options.transient_read_error_p = 1.0;
+  options.max_transient_burst = 2;
+  FaultInjectionPageFile file(&inner, options);
+  PageId id = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(id, MakePage(1)).ok());
+  Page readback(kPageSize);
+  Status s = file.ReadPage(id, &readback);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(file.device_stats().read_retries.load(), 0u);
+}
+
+TEST(FaultInjection, TransientReadErrorsRecoverUnderRetry) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 23;
+  options.transient_read_error_p = 1.0;
+  options.max_transient_burst = 2;
+  FaultInjectionPageFile file(&inner, options);
+  file.set_retry_policy({/*max_retries=*/3, /*backoff_initial_us=*/0,
+                         /*backoff_multiplier=*/1.0, /*backoff_max_us=*/0});
+  PageId id = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(id, MakePage(1)).ok());
+  Page readback(kPageSize);
+  // Every flaky read fails twice (the burst cap) and then succeeds; the
+  // retry budget of 3 converts the hard failure into a success.
+  ASSERT_TRUE(file.ReadPage(id, &readback).ok());
+  EXPECT_EQ(std::memcmp(readback.data(), MakePage(1).data(), kPageSize), 0);
+  EXPECT_GE(file.device_stats().read_retries.load(), 2u);
+  EXPECT_EQ(file.device_stats().read_giveups.load(), 0u);
+  EXPECT_GE(file.counters().transient_read_errors, 2u);
+}
+
+TEST(FaultInjection, TransientWriteErrorsRecoverUnderRetry) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 29;
+  options.transient_write_error_p = 1.0;
+  options.max_transient_burst = 1;
+  FaultInjectionPageFile file(&inner, options);
+  file.set_retry_policy({/*max_retries=*/2, /*backoff_initial_us=*/0,
+                         /*backoff_multiplier=*/1.0, /*backoff_max_us=*/0});
+  PageId id = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(id, MakePage(5)).ok());
+  Page readback(kPageSize);
+  ASSERT_TRUE(file.ReadPage(id, &readback).ok());
+  EXPECT_EQ(std::memcmp(readback.data(), MakePage(5).data(), kPageSize), 0);
+  EXPECT_GE(file.device_stats().write_retries.load(), 1u);
+  EXPECT_EQ(file.device_stats().write_giveups.load(), 0u);
+  EXPECT_GE(file.counters().transient_write_errors, 1u);
+}
+
+TEST(FaultInjection, RetryGivesUpWhenBurstOutlastsBudget) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 31;
+  options.transient_read_error_p = 1.0;
+  options.max_transient_burst = 5;  // Outlasts the 2-retry budget.
+  FaultInjectionPageFile file(&inner, options);
+  file.set_retry_policy({/*max_retries=*/2, /*backoff_initial_us=*/0,
+                         /*backoff_multiplier=*/1.0, /*backoff_max_us=*/0});
+  PageId id = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(id, MakePage(9)).ok());
+  Page readback(kPageSize);
+  Status s = file.ReadPage(id, &readback);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(file.device_stats().read_retries.load(), 2u);
+  EXPECT_EQ(file.device_stats().read_giveups.load(), 1u);
+}
+
+TEST(FaultInjection, RetryRereadsThroughTransientCorruption) {
+  // A bit flip injected on the read path garbles the transferred frame,
+  // not the stored one — exactly the transient corruption a reread is
+  // meant to absorb. Reads retry on kCorruption for this reason.
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 37;
+  options.read_bit_flip_p = 1.0;
+  options.max_transient_burst = 2;
+  FaultInjectionPageFile file(&inner, options);
+  PageId id = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(id, MakePage(4)).ok());
+  Page readback(kPageSize);
+  Status fail = file.ReadPage(id, &readback);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_TRUE(fail.IsCorruption()) << fail.ToString();
+  file.set_retry_policy({/*max_retries=*/2, /*backoff_initial_us=*/0,
+                         /*backoff_multiplier=*/1.0, /*backoff_max_us=*/0});
+  ASSERT_TRUE(file.ReadPage(id, &readback).ok());
+  EXPECT_EQ(std::memcmp(readback.data(), MakePage(4).data(), kPageSize), 0);
+  EXPECT_GE(file.device_stats().read_retries.load(), 1u);
+}
+
+// --- misdirected writes --------------------------------------------------
+
+TEST(FaultInjection, MisdirectedWriteHitsWrongPageAndIsDetected) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 41;
+  options.misdirect_write_p = 1.0;
+  options.record_write_log = true;
+  FaultInjectionPageFile file(&inner, options);
+  PageId a = file.Allocate().value();
+  PageId b = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(a, MakePage(1)).ok());
+  ASSERT_TRUE(file.WritePage(b, MakePage(2)).ok());
+  // With only two data pages, every misdirected write lands on the other
+  // one, so its sealed frame (stamped with the intended id) sits under
+  // the wrong page id.
+  EXPECT_EQ(file.counters().misdirected_writes, 2u);
+  EXPECT_EQ(FaultInjectionPageFile::MisdirectedWritesInLog(file.write_log()),
+            2u);
+  // The victim page's stamp disagrees with its location: reads must
+  // refuse the frame rather than hand back another page's data.
+  Page readback(kPageSize);
+  Status sa = file.ReadPage(a, &readback);
+  Status sb = file.ReadPage(b, &readback);
+  EXPECT_TRUE(!sa.ok() || !sb.ok())
+      << "both pages read back clean despite misdirected writes";
+  for (const Status& s : {sa, sb}) {
+    if (!s.ok()) EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  }
+}
+
+TEST(FaultInjection, WriteLogAssertionIsQuietWithoutMisdirection) {
+  MemoryPageFile inner(kPageSize);
+  FaultInjectionPageFile::Options options;
+  options.seed = 43;
+  options.record_write_log = true;
+  FaultInjectionPageFile file(&inner, options);
+  PageId a = file.Allocate().value();
+  PageId b = file.Allocate().value();
+  ASSERT_TRUE(file.WritePage(a, MakePage(1)).ok());
+  ASSERT_TRUE(file.WritePage(b, MakePage(2)).ok());
+  ASSERT_TRUE(file.WritePage(a, MakePage(3)).ok());
+  EXPECT_EQ(file.counters().misdirected_writes, 0u);
+  EXPECT_EQ(FaultInjectionPageFile::MisdirectedWritesInLog(file.write_log()),
+            0u);
+}
+
 TEST(FaultInjection, CleanInjectorIsTransparent) {
   MemoryPageFile inner(kPageSize);
   FaultInjectionPageFile::Options options;  // All faults off.

@@ -12,7 +12,10 @@
 // of the human-readable text; --metrics emits only the registry snapshot.
 // --verify additionally runs the full invariant catalog (the same checks
 // as rexp_fsck: TPBR conservativeness, expiry monotonicity, occupancy,
-// accounting) and fails with exit status 1 on any finding.
+// accounting) and fails with exit status 1 on any finding. The contract
+// matches rexp_fsck's check-only mode: exit 0 when clean, 1 on findings
+// (or an unopenable file), 2 on usage errors, and --json emits the same
+// {check, page?, level?, detail} finding objects under "findings".
 //
 // The configuration flags must match the ones the index was created with
 // (defaults: the standard R^exp-tree configuration). Build an index to
@@ -134,18 +137,10 @@ int main(int argc, char** argv) {
     w.KV("verify_ok", verify.ok());
     if (!verify.ok()) w.KV("verify_error", verify.ToString());
     if (full_verify) {
-      w.KV("invariants_ok", report.ok());
-      w.Key("invariant_findings").BeginArray();
-      for (const verify::Finding& f : report.findings) {
-        w.BeginObject();
-        w.KV("check", std::string(verify::CheckIdName(f.check)));
-        if (f.page != kInvalidPageId) {
-          w.KV("page", static_cast<uint64_t>(f.page));
-        }
-        w.KV("detail", f.detail);
-        w.EndObject();
-      }
-      w.EndArray();
+      // The same finding schema rexp_fsck emits ("ok" plus a "findings"
+      // array of {check, page?, level?, detail}), so CI scripts can
+      // consume either tool interchangeably.
+      verify::WriteReportJson(report, &w);
     }
     if (verify.ok()) {
       TreeStats<2> stats = CollectStats(tree.get(), now);
