@@ -13,13 +13,19 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <string>
+#include <utility>
 
 #include <benchmark/benchmark.h>
 
 #include "btree/btree.h"
 #include "common/random.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "storage/page_file.h"
 #include "tests/test_util.h"
 #include "tree/tree.h"
@@ -101,6 +107,56 @@ void BM_TreeInsertTelemetry(benchmark::State& state, bool enabled) {
 }
 BENCHMARK_CAPTURE(BM_TreeInsertTelemetry, on, true);
 BENCHMARK_CAPTURE(BM_TreeInsertTelemetry, off, false);
+
+// Full live-introspection overhead on the insert path: the continuous
+// profiler sampling the registry at 100 ms plus a span tracer at the
+// profiling sample rate (every 128th operation traced in full), versus
+// the same workload with no monitor and no tracer. The acceptance bar
+// for the "on" configuration is <= 2% over "off" — introspection must be
+// cheap enough to leave on in production.
+void BM_TreeInsertIntrospection(benchmark::State& state, bool enabled) {
+  Rng rng(1);
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::Monitor> monitor;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::string trace_path;
+  if (enabled) {
+    tree.RegisterMetrics(&registry, "tree.");
+    obs::Monitor::Options opt;
+    opt.interval_s = 0.1;
+    const char* tmp = std::getenv("TMPDIR");
+    opt.dir = (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
+    opt.name = "bench_introspection";
+    monitor = std::make_unique<obs::Monitor>(&registry, opt);
+    if (!monitor->Start().ok()) state.SkipWithError("monitor failed");
+    trace_path = opt.dir + "/bench_introspection_trace.jsonl";
+    auto opened = obs::Tracer::OpenFile(trace_path);
+    if (!opened.ok()) state.SkipWithError("tracer failed");
+    tracer = std::move(opened).value();
+    tracer->set_span_sample(128);
+    tree.set_tracer(tracer.get());
+  }
+
+  ObjectId oid = 0;
+  Time now = 0;
+  for (auto _ : state) {
+    now += 0.01;
+    tree.Insert(oid++, RandomPoint<2>(&rng, now, 120.0), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (enabled) {
+    tree.set_tracer(nullptr);
+    monitor->Stop();
+    std::remove(monitor->path().c_str());
+    tracer.reset();
+    std::remove(trace_path.c_str());
+  }
+}
+BENCHMARK_CAPTURE(BM_TreeInsertIntrospection, on, true);
+BENCHMARK_CAPTURE(BM_TreeInsertIntrospection, off, false);
 
 void BM_TreeSearch(benchmark::State& state) {
   Rng rng(2);

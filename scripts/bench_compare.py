@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json against committed baselines.
+
+Usage:
+    python3 scripts/bench_compare.py --baselines bench/baselines \\
+        [--threshold 0.10] [--strict] fresh1.json [fresh2.json ...]
+
+Each fresh artifact is matched to a baseline by file name. Both documents
+are flattened to dotted numeric paths and every path present in the
+baseline is compared:
+
+  * Deterministic metrics (I/O counts, page counts, record/entry counts,
+    result sizes, fractions) must match the baseline within --threshold
+    relative tolerance (default 10%, absolute slack 1e-9 for zeros).
+    These are functions of the seeded workload, not of machine speed, so
+    deviation means behavior changed. Any violation fails the gate.
+  * Timing metrics (anything matching seconds/_us/per_sec/latency/
+    speedup/wall) vary with the runner and only warn — unless --strict,
+    where they are held to 2x in either direction (for dedicated perf
+    hardware).
+  * Embedded telemetry snapshots ("metrics" subtrees), hardware facts,
+    and unclassified paths are ignored; paths new in the fresh artifact
+    are additive and fine; paths missing from the fresh artifact fail
+    (schema regressions hide behavior regressions).
+
+A "scale" mismatch between fresh and baseline fails immediately: at a
+different REXP_SCALE every count differs for honest reasons and the
+comparison would be noise. Exit status: 0 clean, 1 regression, 2 usage.
+No third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+TIMING_PAT = re.compile(
+    r"(seconds|_us\b|per_sec|latency|speedup|wall|elapsed)", re.I)
+DETERMINISTIC_PAT = re.compile(
+    r"(io\b|_io|pages|records|entries|result|drops|fraction|queries"
+    r"|update_ops|objects|salvaged|leaf|height|rate\b|splits|count)", re.I)
+IGNORED_PAT = re.compile(
+    r"(^|\.)(metrics|hardware_threads|pid|timestamp|scale|bench|v)(\.|$)")
+
+
+def flatten(doc, prefix=""):
+    """Yields (dotted_path, number) for every numeric scalar in doc."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(doc, bool):
+        return  # Booleans are not metrics.
+    elif isinstance(doc, (int, float)):
+        yield prefix.rstrip("."), float(doc)
+
+
+def flatten_doc(doc):
+    out = {}
+    for path, value in flatten(doc):
+        out[path] = value
+    return out
+
+
+def classify(path):
+    if IGNORED_PAT.search(path):
+        return "ignored"
+    if TIMING_PAT.search(path):
+        return "timing"
+    if DETERMINISTIC_PAT.search(path):
+        return "deterministic"
+    return "ignored"
+
+
+def rel_delta(fresh, base):
+    if base == 0:
+        return 0.0 if abs(fresh) < 1e-9 else float("inf")
+    return abs(fresh - base) / abs(base)
+
+
+def compare_file(fresh_path, base_path, threshold, strict):
+    with open(fresh_path) as f:
+        fresh_doc = json.load(f)
+    with open(base_path) as f:
+        base_doc = json.load(f)
+
+    failures = []
+    warnings = []
+
+    if fresh_doc.get("scale") != base_doc.get("scale"):
+        failures.append(
+            f"scale mismatch: fresh {fresh_doc.get('scale')} vs baseline "
+            f"{base_doc.get('scale')} — regenerate the baseline at the "
+            f"gate's scale")
+        return failures, warnings, 0
+
+    fresh = flatten_doc(fresh_doc)
+    base = flatten_doc(base_doc)
+
+    compared = 0
+    for path, base_value in sorted(base.items()):
+        kind = classify(path)
+        if kind == "ignored":
+            continue
+        if path not in fresh:
+            failures.append(f"{path}: present in baseline, missing in fresh")
+            continue
+        fresh_value = fresh[path]
+        delta = rel_delta(fresh_value, base_value)
+        compared += 1
+        if kind == "deterministic":
+            if delta > threshold:
+                failures.append(
+                    f"{path}: {fresh_value:g} vs baseline {base_value:g} "
+                    f"({delta:+.1%} > {threshold:.0%})")
+        else:  # timing
+            if strict and delta > 1.0:
+                failures.append(
+                    f"{path} [timing/strict]: {fresh_value:g} vs baseline "
+                    f"{base_value:g} ({delta:+.1%})")
+            elif delta > threshold:
+                warnings.append(
+                    f"{path} [timing]: {fresh_value:g} vs baseline "
+                    f"{base_value:g} ({delta:+.1%})")
+    return failures, warnings, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json artifacts against baselines.")
+    parser.add_argument("fresh", nargs="+", help="fresh BENCH_*.json files")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline artifacts")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative tolerance for deterministic metrics")
+    parser.add_argument("--strict", action="store_true",
+                        help="hold timing metrics to 2x as well")
+    args = parser.parse_args()
+
+    any_failures = False
+    total_compared = 0
+    for fresh_path in args.fresh:
+        name = os.path.basename(fresh_path)
+        base_path = os.path.join(args.baselines, name)
+        if not os.path.isfile(base_path):
+            print(f"{name}: no baseline at {base_path} — skipped "
+                  f"(commit one to gate this benchmark)")
+            continue
+        failures, warnings, compared = compare_file(
+            fresh_path, base_path, args.threshold, args.strict)
+        total_compared += compared
+        for w in warnings:
+            print(f"{name}: WARN {w}")
+        for f in failures:
+            print(f"{name}: FAIL {f}")
+        if failures:
+            any_failures = True
+        else:
+            print(f"{name}: OK ({compared} metrics within "
+                  f"{args.threshold:.0%}, {len(warnings)} timing warnings)")
+
+    if total_compared == 0 and not any_failures:
+        print("nothing compared — no matching baselines?", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(1 if any_failures else 0)
+
+
+if __name__ == "__main__":
+    main()

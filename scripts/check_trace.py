@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate a schema-v2 trace stream written by obs::Tracer.
+
+Usage:
+    python3 scripts/check_trace.py trace.jsonl [more.jsonl ...]
+
+Checks, per file:
+  * every line parses as a JSON object (a torn *final* line — a writer
+    killed mid-append — is tolerated and reported, anywhere else fails);
+  * the stream is a sequence of segments, each opened by a
+    {"seq":0,"type":"trace_meta","v":2} header (append mode produces one
+    segment per process);
+  * within a segment, "seq" increments by exactly 1;
+  * span structure balances: every "ph":"B" pushes its "span" id, every
+    "ph":"E" pops the innermost and carries "dur_us"; "parent" on a "B"
+    names the enclosing open span; a point event's "span" names the
+    innermost open span;
+  * all non-structural field values are numbers.
+
+Exit status: 0 when every file validates, 1 otherwise. No third-party
+dependencies.
+"""
+
+import json
+import sys
+
+STRUCTURAL = {"seq", "type", "ph", "span", "parent", "v"}
+
+
+def fail(path, lineno, msg):
+    print(f"{path}:{lineno}: {msg}")
+    return False
+
+
+def check_file(path):
+    ok = True
+    try:
+        with open(path) as f:
+            lines = f.read().split("\n")
+    except OSError as e:
+        return fail(path, 0, f"cannot read: {e}")
+    if lines and lines[-1] == "":
+        lines.pop()  # Trailing newline.
+
+    in_segment = False
+    expected_seq = 0
+    span_stack = []  # Open span ids, innermost last.
+    events = 0
+
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                print(f"{path}:{lineno}: note: torn final line tolerated "
+                      f"(writer died mid-append)")
+                break
+            ok = fail(path, lineno, f"unparseable line: {line[:80]!r}")
+            continue
+        if not isinstance(event, dict):
+            ok = fail(path, lineno, "line is not a JSON object")
+            continue
+        events += 1
+
+        etype = event.get("type")
+        seq = event.get("seq")
+        if etype == "trace_meta":
+            if event.get("v") != 2:
+                ok = fail(path, lineno,
+                          f"trace_meta version {event.get('v')}, expected 2")
+            if seq != 0:
+                ok = fail(path, lineno, f"trace_meta seq {seq}, expected 0")
+            if span_stack:
+                ok = fail(path, lineno,
+                          f"new segment with {len(span_stack)} span(s) "
+                          f"still open")
+            in_segment = True
+            expected_seq = 1
+            span_stack = []
+            continue
+        if not in_segment:
+            ok = fail(path, lineno, "event before any trace_meta header")
+            in_segment = True  # Report once, keep checking.
+        if seq != expected_seq:
+            ok = fail(path, lineno, f"seq {seq}, expected {expected_seq}")
+            expected_seq = seq if isinstance(seq, int) else expected_seq
+        expected_seq += 1
+
+        ph = event.get("ph")
+        span = event.get("span")
+        if ph == "B":
+            if not isinstance(span, int) or span <= 0:
+                ok = fail(path, lineno, f"'B' event with span {span!r}")
+                continue
+            parent = event.get("parent")
+            if span_stack:
+                if parent != span_stack[-1]:
+                    ok = fail(path, lineno,
+                              f"'B' parent {parent!r}, expected innermost "
+                              f"open span {span_stack[-1]}")
+            elif parent is not None:
+                ok = fail(path, lineno,
+                          f"top-level 'B' with parent {parent!r}")
+            span_stack.append(span)
+        elif ph == "E":
+            if not span_stack:
+                ok = fail(path, lineno, "'E' event with no open span")
+            elif span != span_stack[-1]:
+                ok = fail(path, lineno,
+                          f"'E' span {span!r}, expected {span_stack[-1]}")
+            else:
+                span_stack.pop()
+            if not isinstance(event.get("dur_us"), (int, float)):
+                ok = fail(path, lineno, "'E' event missing numeric dur_us")
+        elif ph is not None:
+            ok = fail(path, lineno, f"unknown ph {ph!r}")
+        else:
+            # Point event: span attribution must name the innermost open
+            # span (events outside any span carry no span field).
+            if span is not None and (not span_stack or
+                                     span != span_stack[-1]):
+                ok = fail(path, lineno,
+                          f"point event span {span!r}, open stack "
+                          f"{span_stack}")
+
+        for key, value in event.items():
+            if key in STRUCTURAL or key == "dur_us":
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                ok = fail(path, lineno,
+                          f"field {key!r} is {type(value).__name__}, "
+                          f"expected number")
+
+    if span_stack:
+        print(f"{path}: note: {len(span_stack)} span(s) open at EOF "
+              f"(writer killed mid-operation) — tolerated")
+    if events == 0:
+        ok = fail(path, 0, "empty trace")
+    if ok:
+        print(f"{path}: OK ({events} events)")
+    return ok
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    ok = True
+    for path in sys.argv[1:]:
+        ok = check_file(path) and ok
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

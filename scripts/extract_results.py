@@ -7,7 +7,10 @@ Usage:
 Each input may be:
   * a ``BENCH_*.json`` file written by a figure binary (the preferred,
     machine-readable path — tables come from the ``tables`` array, and a
-    ``<bench>_runs.csv`` with the per-run metrics is written as well), or
+    ``<bench>_runs.csv`` with the per-run metrics is written as well),
+  * a ``monitor_*.jsonl`` time series written by obs::Monitor, flattened
+    into one CSV row per sample (rates, gauges, and per-interval
+    histogram percentiles become columns), or
   * a text file of captured benchmark stdout, from which the fixed-width
     TablePrinter blocks are parsed (the legacy path).
 
@@ -105,6 +108,49 @@ def extract_json(path, out_dir):
     return count
 
 
+def flatten_sample(sample):
+    """One monitor sample -> {column: value} (stable, dotted names)."""
+    row = {}
+    for key in ("seq", "wall_ms", "dt_s"):
+        if key in sample:
+            row[key] = sample[key]
+    for section in ("rates", "gauges", "counters"):
+        for name, value in sample.get(section, {}).items():
+            row[f"{section}.{name}"] = value
+    for name, hist in sample.get("hist", {}).items():
+        for stat, value in hist.items():
+            row[f"hist.{name}.{stat}"] = value
+    return row
+
+
+def extract_jsonl(path, out_dir):
+    """Extracts an obs::Monitor time series into one CSV."""
+    rows = []
+    fields = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                sample = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # Torn final line of a killed writer.
+            if sample.get("type") != "sample":
+                continue
+            row = flatten_sample(sample)
+            for k in row:
+                if k not in fields:
+                    fields.append(k)
+            rows.append(row)
+    if not rows:
+        return 0
+    name = os.path.splitext(os.path.basename(path))[0]
+    write_csv(out_dir, f"{name}_timeseries", fields,
+              [[r.get(k, "") for k in fields] for r in rows])
+    return 1
+
+
 def extract_text(path, out_dir):
     """Extracts TablePrinter blocks from captured benchmark stdout."""
     with open(path) as f:
@@ -126,7 +172,9 @@ def main():
     os.makedirs(out_dir, exist_ok=True)
     count = 0
     for src in args:
-        if src.endswith(".json"):
+        if src.endswith(".jsonl"):
+            count += extract_jsonl(src, out_dir)
+        elif src.endswith(".json"):
             count += extract_json(src, out_dir)
         else:
             count += extract_text(src, out_dir)

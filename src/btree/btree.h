@@ -68,8 +68,9 @@ class BTree {
   void ResetIoStats() { buffer_.ResetStats(); }
 
   // Registers the queue's telemetry — buffer-pool and device counters
-  // plus size/height gauges — under `prefix` (e.g. "queue."). The tree
-  // and its page file must outlive the registry's snapshots.
+  // plus size/height gauges — under `prefix` (e.g. "queue."). Bindings
+  // are owner-scoped: they unregister automatically when the queue is
+  // destroyed (or when RegisterMetrics is called again).
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const;
 
@@ -133,6 +134,9 @@ class BTree {
   PageId root_;
   int height_;  // Number of levels.
   uint64_t size_ = 0;
+  // Last member: unbinds this queue's metrics before anything above is
+  // torn down, so a registry snapshot never reads a dying component.
+  mutable obs::ScopedRegistration metrics_registration_;
 };
 
 }  // namespace rexp

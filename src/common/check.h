@@ -7,15 +7,31 @@
 #ifndef REXP_COMMON_CHECK_H_
 #define REXP_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace rexp::internal {
 
+// Invoked (once) on check failure before abort. Lets the observability
+// layer dump its flight recorder on the invariant-violation path without
+// this header depending on it. The hook must be safe to call from any
+// thread and must not itself REXP_CHECK.
+using CheckFailureHook = void (*)();
+inline std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "REXP_CHECK failed at %s:%d: %s\n", file, line, expr);
   std::fflush(stderr);
+  if (CheckFailureHook hook =
+          g_check_failure_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
 }
 

@@ -155,6 +155,10 @@ inline void CheckOkImpl(const Status& status, const char* file, int line,
   std::fprintf(stderr, "REXP_CHECK_OK failed at %s:%d: %s -> %s\n", file,
                line, expr, status.ToString().c_str());
   std::fflush(stderr);
+  if (CheckFailureHook hook =
+          g_check_failure_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
 }
 

@@ -108,12 +108,19 @@ RunResult RunExperiment(const WorkloadSpec& spec,
 
   // REXP_TRACE=<path>: append this run's per-operation JSONL trace to the
   // named file (one stream across all runs of a benchmark process).
+  // REXP_TRACE_SAMPLE=<n>: keep every n-th top-level span group (point
+  // events and suppressed groups cost nothing); default 1 = keep all.
   std::unique_ptr<obs::Tracer> tracer;
   if (const char* trace_path = std::getenv("REXP_TRACE");
       trace_path != nullptr && trace_path[0] != '\0') {
     auto opened = obs::Tracer::OpenFile(trace_path, /*append=*/true);
     if (opened.ok()) {
       tracer = std::move(opened).value();
+      if (const char* sample = std::getenv("REXP_TRACE_SAMPLE");
+          sample != nullptr && sample[0] != '\0') {
+        long n = std::strtol(sample, nullptr, 10);
+        if (n > 0) tracer->set_span_sample(static_cast<uint64_t>(n));
+      }
       driver.SetTracer(tracer.get());
     } else {
       std::fprintf(stderr, "REXP_TRACE: %s\n",

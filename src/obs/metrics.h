@@ -228,6 +228,17 @@ class LatencyTimer {
   LatencyTimer(const LatencyTimer&) = delete;
   LatencyTimer& operator=(const LatencyTimer&) = delete;
 
+  // Microseconds elapsed so far; 0 when telemetry was disabled at
+  // construction (no clock was read). Lets callers reuse the one timer
+  // for secondary sinks (the flight recorder) without a second clock pair.
+  double ElapsedUs() const {
+    if (h_ == nullptr) return 0;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    return static_cast<double>(ns) * 1e-3;
+  }
+
   ~LatencyTimer() {
     if (h_ == nullptr) return;
     auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(

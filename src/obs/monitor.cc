@@ -1,0 +1,233 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace rexp::obs {
+
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi =
+        b < bounds.size() ? bounds[b] : (bounds.empty() ? 0.0 : bounds.back());
+    seen += counts[b];
+    if (static_cast<double>(seen) >= rank) {
+      const double frac = 1.0 - (static_cast<double>(seen) - rank) /
+                                    static_cast<double>(counts[b]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Monitor::Monitor(const MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  REXP_CHECK(registry_ != nullptr);
+  if (options_.interval_s <= 0) options_.interval_s = 0.1;
+  if (options_.dir.empty()) {
+    const char* env = std::getenv("REXP_MONITOR_DIR");
+    options_.dir = (env != nullptr && env[0] != '\0') ? env : ".";
+  }
+}
+
+Monitor::~Monitor() { Stop(); }
+
+Status Monitor::OpenStream() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("monitor stream already open");
+  }
+  path_ = options_.dir + "/monitor_" + options_.name + "_" +
+          std::to_string(::getpid()) + ".jsonl";
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open monitor stream '" + path_ + "'");
+  }
+  file_ = f;
+
+  JsonWriter meta;
+  meta.BeginObject();
+  meta.KV("v", 1);
+  meta.Key("type").Value("monitor_meta");
+  meta.KV("pid", static_cast<int64_t>(::getpid()));
+  meta.KV("interval_s", options_.interval_s);
+  meta.Key("name").Value(options_.name);
+  meta.EndObject();
+  std::fputs(meta.str().c_str(), file_);
+  std::fputc('\n', file_);
+
+  epoch_ = std::chrono::steady_clock::now();
+  last_sample_ = epoch_;
+  seq_ = 0;
+  prev_counters_.clear();
+  prev_hists_.clear();
+  SampleLocked();  // seq-0 baseline.
+  return Status::OK();
+}
+
+Status Monitor::Start() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_) return Status::FailedPrecondition("monitor already running");
+  }
+  REXP_RETURN_IF_ERROR(OpenStream());
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Monitor::Stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_) {
+      running_ = false;
+      cv_.notify_all();
+      to_join = std::move(thread_);
+    }
+  }
+  if (to_join.joinable()) to_join.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    SampleLocked();  // Final sample so short runs still show activity.
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Monitor::SampleNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  SampleLocked();
+}
+
+void Monitor::AddJsonProvider(std::string key,
+                              std::function<std::string()> fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  providers_.emplace_back(std::move(key), std::move(fn));
+}
+
+void Monitor::Run() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.interval_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    // Timed wait doubles as the stop signal: Stop() notifies under mu_.
+    if (cv_.wait_for(lock, interval, [this] { return !running_; })) break;
+    if (file_ != nullptr) SampleLocked();
+  }
+}
+
+void Monitor::SampleLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - last_sample_).count();
+  const auto wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
+          .count();
+
+  std::vector<MetricSample> counters = registry_->Snapshot();
+  std::vector<HistogramSnapshot> hists = registry_->SnapshotHistograms();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("v", 1);
+  w.Key("type").Value("sample");
+  w.KV("seq", seq_);
+  w.KV("wall_ms", static_cast<int64_t>(wall_ms));
+  w.KV("dt_s", dt);
+
+  w.Key("counters").BeginObject();
+  for (const MetricSample& s : counters) {
+    if (s.is_counter) w.KV(s.name.c_str(), s.value);
+  }
+  w.EndObject();
+
+  // Rates: delta / dt per counter, matched by name against the previous
+  // sample (bindings can come and go between samples as components
+  // register/unregister). seq 0 has no previous sample -> empty.
+  w.Key("rates").BeginObject();
+  if (dt > 0 && !prev_counters_.empty()) {
+    for (const MetricSample& s : counters) {
+      if (!s.is_counter) continue;
+      for (const MetricSample& p : prev_counters_) {
+        if (p.is_counter && p.name == s.name) {
+          w.KV(s.name.c_str(), (s.value - p.value) / dt);
+          break;
+        }
+      }
+    }
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const MetricSample& s : counters) {
+    if (!s.is_counter) w.KV(s.name.c_str(), s.value);
+  }
+  w.EndObject();
+
+  // Interval histograms: percentiles over this interval's bucket deltas.
+  w.Key("hist").BeginObject();
+  for (const HistogramSnapshot& h : hists) {
+    const HistogramSnapshot* prev = nullptr;
+    for (const HistogramSnapshot& p : prev_hists_) {
+      if (p.name == h.name) {
+        prev = &p;
+        break;
+      }
+    }
+    std::vector<uint64_t> delta = h.bucket_counts;
+    uint64_t delta_count = h.count;
+    double delta_sum = h.sum;
+    if (prev != nullptr && prev->bucket_counts.size() == delta.size() &&
+        prev->count <= h.count) {
+      for (size_t i = 0; i < delta.size(); ++i) {
+        delta[i] -= std::min(prev->bucket_counts[i], delta[i]);
+      }
+      delta_count = h.count - prev->count;
+      delta_sum = h.sum - prev->sum;
+    }
+    if (delta_count == 0) continue;
+    w.Key(h.name.c_str()).BeginObject();
+    w.KV("count", delta_count);
+    w.KV("mean", delta_sum / static_cast<double>(delta_count));
+    w.KV("p50", PercentileFromBuckets(h.bounds, delta, 0.50));
+    w.KV("p90", PercentileFromBuckets(h.bounds, delta, 0.90));
+    w.KV("p99", PercentileFromBuckets(h.bounds, delta, 0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+
+  for (const auto& [key, fn] : providers_) {
+    w.Key(key.c_str()).RawValue(fn());
+  }
+  w.EndObject();
+
+  std::fputs(w.str().c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+
+  prev_counters_ = std::move(counters);
+  prev_hists_ = std::move(hists);
+  last_sample_ = now;
+  ++seq_;
+}
+
+}  // namespace rexp::obs

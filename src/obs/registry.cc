@@ -2,61 +2,107 @@
 
 #include "obs/registry.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "obs/json_writer.h"
 
 namespace rexp::obs {
 
-void MetricsRegistry::AddCounter(std::string name, const uint64_t* v) {
+void MetricsRegistry::Unregister(OwnerId owner) {
+  if (owner == kPermanentOwner) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto drop = [owner](auto& bindings) {
+    bindings.erase(
+        std::remove_if(bindings.begin(), bindings.end(),
+                       [owner](const auto& b) { return b.owner == owner; }),
+        bindings.end());
+  };
+  drop(counters_);
+  drop(gauges_);
+  drop(histograms_);
+}
+
+void MetricsRegistry::AddCounter(std::string name, const uint64_t* v,
+                                 OwnerId owner) {
   REXP_CHECK(v != nullptr);
-  counters_.emplace_back(std::move(name), [v] { return *v; });
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back({std::move(name), [v] { return *v; }, owner});
 }
 
 void MetricsRegistry::AddCounter(std::string name,
-                                 const std::atomic<uint64_t>* v) {
+                                 const std::atomic<uint64_t>* v,
+                                 OwnerId owner) {
   REXP_CHECK(v != nullptr);
-  counters_.emplace_back(
-      std::move(name), [v] { return v->load(std::memory_order_relaxed); });
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(
+      {std::move(name),
+       [v] { return v->load(std::memory_order_relaxed); }, owner});
 }
 
 void MetricsRegistry::AddCounter(std::string name,
-                                 std::function<uint64_t()> fn) {
-  counters_.emplace_back(std::move(name), std::move(fn));
+                                 std::function<uint64_t()> fn,
+                                 OwnerId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back({std::move(name), std::move(fn), owner});
 }
 
-void MetricsRegistry::AddGauge(std::string name,
-                               std::function<double()> fn) {
-  gauges_.emplace_back(std::move(name), std::move(fn));
+void MetricsRegistry::AddGauge(std::string name, std::function<double()> fn,
+                               OwnerId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.push_back({std::move(name), std::move(fn), owner});
 }
 
-void MetricsRegistry::AddHistogram(std::string name, const Histogram* h) {
+void MetricsRegistry::AddHistogram(std::string name, const Histogram* h,
+                                   OwnerId owner) {
   REXP_CHECK(h != nullptr);
-  histograms_.emplace_back(std::move(name), h);
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.push_back({std::move(name), h, owner});
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> samples;
   samples.reserve(counters_.size() + gauges_.size());
-  for (const auto& [name, fn] : counters_) {
-    samples.push_back(
-        MetricSample{name, static_cast<double>(fn()), /*is_counter=*/true});
+  for (const auto& b : counters_) {
+    samples.push_back(MetricSample{b.name, static_cast<double>(b.read()),
+                                   /*is_counter=*/true});
   }
-  for (const auto& [name, fn] : gauges_) {
-    samples.push_back(MetricSample{name, fn(), /*is_counter=*/false});
+  for (const auto& b : gauges_) {
+    samples.push_back(MetricSample{b.name, b.read(), /*is_counter=*/false});
   }
   return samples;
 }
 
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> snaps;
+  snaps.reserve(histograms_.size());
+  for (const auto& b : histograms_) {
+    HistogramSnapshot s;
+    s.name = b.name;
+    s.count = b.read->count();
+    s.sum = b.read->sum();
+    s.min = b.read->min();
+    s.max = b.read->max();
+    s.bounds = b.read->bounds();
+    s.bucket_counts = b.read->bucket_counts();
+    snaps.push_back(std::move(s));
+  }
+  return snaps;
+}
+
 bool MetricsRegistry::Lookup(const std::string& name, double* value) const {
-  for (const auto& [n, fn] : counters_) {
-    if (n == name) {
-      *value = static_cast<double>(fn());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : counters_) {
+    if (b.name == name) {
+      *value = static_cast<double>(b.read());
       return true;
     }
   }
-  for (const auto& [n, fn] : gauges_) {
-    if (n == name) {
-      *value = fn();
+  for (const auto& b : gauges_) {
+    if (b.name == name) {
+      *value = b.read();
       return true;
     }
   }
@@ -64,21 +110,23 @@ bool MetricsRegistry::Lookup(const std::string& name, double* value) const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
-  for (const auto& [name, fn] : counters_) {
-    w.Key(name.c_str()).Value(fn());
+  for (const auto& b : counters_) {
+    w.Key(b.name.c_str()).Value(b.read());
   }
   w.EndObject();
   w.Key("gauges").BeginObject();
-  for (const auto& [name, fn] : gauges_) {
-    w.Key(name.c_str()).Value(fn());
+  for (const auto& b : gauges_) {
+    w.Key(b.name.c_str()).Value(b.read());
   }
   w.EndObject();
   w.Key("histograms").BeginObject();
-  for (const auto& [name, h] : histograms_) {
-    w.Key(name.c_str()).BeginObject();
+  for (const auto& b : histograms_) {
+    const Histogram* h = b.read;
+    w.Key(b.name.c_str()).BeginObject();
     w.KV("count", h->count());
     w.KV("sum", h->sum());
     w.KV("min", h->min());
@@ -90,15 +138,15 @@ std::string MetricsRegistry::ToJson() const {
     w.Key("buckets").BeginArray();
     const auto& bounds = h->bounds();
     const auto& counts = h->bucket_counts();
-    for (size_t b = 0; b < counts.size(); ++b) {
+    for (size_t i = 0; i < counts.size(); ++i) {
       w.BeginObject();
-      if (b < bounds.size()) {
-        w.KV("le", bounds[b]);
+      if (i < bounds.size()) {
+        w.KV("le", bounds[i]);
       } else {
         // Overflow bucket: no finite upper bound.
         w.Key("le").RawValue("null");
       }
-      w.KV("count", counts[b]);
+      w.KV("count", counts[i]);
       w.EndObject();
     }
     w.EndArray();

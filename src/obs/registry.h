@@ -5,12 +5,21 @@
 // struct members (see metrics.h for the overhead model); registration
 // binds a *name* to a read callback (or histogram pointer) once, at setup
 // time, and Snapshot()/ToJson() walk the bindings on demand. Reading is a
-// cold path — snapshots are taken between measurement phases, never
-// inside index operations.
+// cold path — snapshots are taken between measurement phases or by the
+// background monitor thread, never inside index operations.
 //
 // Lifetime: the registry stores callbacks that dereference the
-// registered component; every registered component must outlive the
-// registry (or at least every Snapshot/ToJson call).
+// registered component, so a component must not be destroyed while its
+// bindings remain. Components therefore register under an owner id and
+// hold a ScopedRegistration, which removes every binding of that owner
+// when the component dies — in either destruction order: if the registry
+// dies first, the ScopedRegistration's weak token expires and its
+// destructor does nothing.
+//
+// Thread safety: all methods are safe to call concurrently — the monitor
+// samples from a background thread while components register and
+// unregister. Callbacks run under the registry mutex; they must not call
+// back into the registry.
 
 #ifndef REXP_OBS_REGISTRY_H_
 #define REXP_OBS_REGISTRY_H_
@@ -18,6 +27,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +37,13 @@
 
 namespace rexp::obs {
 
+class MetricsRegistry;
+
+// Identifies one component's bindings. 0 is the permanent owner: its
+// bindings are never unregistered (process-lifetime components).
+using OwnerId = uint64_t;
+constexpr OwnerId kPermanentOwner = 0;
+
 // One named scalar sample (counters and gauges) at snapshot time.
 struct MetricSample {
   std::string name;
@@ -33,30 +51,101 @@ struct MetricSample {
   bool is_counter = false;
 };
 
+// A consistent copy of one registered histogram — enough to diff bucket
+// counts across monitor intervals and re-derive percentiles from the
+// delta (Monitor does exactly that).
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (overflow last).
+};
+
+// RAII handle for one owner's bindings: unregisters them on destruction.
+// Safe against the registry being destroyed first — the handle holds a
+// weak token, not a raw pointer. Move-only; a default-constructed handle
+// is inert.
+class ScopedRegistration {
+ public:
+  ScopedRegistration() = default;
+  ScopedRegistration(ScopedRegistration&& other) noexcept {
+    *this = std::move(other);
+  }
+  ScopedRegistration& operator=(ScopedRegistration&& other) noexcept;
+
+  ScopedRegistration(const ScopedRegistration&) = delete;
+  ScopedRegistration& operator=(const ScopedRegistration&) = delete;
+
+  ~ScopedRegistration() { Reset(); }
+
+  // Unregisters now (if the registry is still alive) and becomes inert.
+  void Reset();
+
+  bool active() const { return !registry_.expired(); }
+  OwnerId owner() const { return owner_; }
+
+ private:
+  friend class MetricsRegistry;
+  ScopedRegistration(std::weak_ptr<MetricsRegistry*> registry, OwnerId owner)
+      : registry_(std::move(registry)), owner_(owner) {}
+
+  std::weak_ptr<MetricsRegistry*> registry_;
+  OwnerId owner_ = kPermanentOwner;
+};
+
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry()
+      : self_(std::make_shared<MetricsRegistry*>(this)) {}
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // Allocates a fresh owner id for a component about to register a batch
+  // of bindings.
+  OwnerId NewOwner() {
+    return next_owner_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Removes every binding registered under `owner`. No-op for
+  // kPermanentOwner or an owner with no bindings.
+  void Unregister(OwnerId owner);
+
+  // Wraps `owner` in a handle that unregisters on destruction.
+  ScopedRegistration MakeScoped(OwnerId owner) {
+    return ScopedRegistration(std::weak_ptr<MetricsRegistry*>(self_), owner);
+  }
+
   // Binds `name` to a live counter value. The pointer overloads are the
   // common case of a (plain or atomic) uint64_t member; the callback
   // overload covers derived counts.
-  void AddCounter(std::string name, const uint64_t* v);
-  void AddCounter(std::string name, const std::atomic<uint64_t>* v);
-  void AddCounter(std::string name, std::function<uint64_t()> fn);
+  void AddCounter(std::string name, const uint64_t* v,
+                  OwnerId owner = kPermanentOwner);
+  void AddCounter(std::string name, const std::atomic<uint64_t>* v,
+                  OwnerId owner = kPermanentOwner);
+  void AddCounter(std::string name, std::function<uint64_t()> fn,
+                  OwnerId owner = kPermanentOwner);
 
   // Binds `name` to a point-in-time measurement (heights, fractions,
   // horizon estimates, ...).
-  void AddGauge(std::string name, std::function<double()> fn);
+  void AddGauge(std::string name, std::function<double()> fn,
+                OwnerId owner = kPermanentOwner);
 
   // Binds `name` to a histogram owned by the component.
-  void AddHistogram(std::string name, const Histogram* h);
+  void AddHistogram(std::string name, const Histogram* h,
+                    OwnerId owner = kPermanentOwner);
 
   // Current values of all registered counters and gauges, in
   // registration order.
   std::vector<MetricSample> Snapshot() const;
+
+  // Consistent copies of all registered histograms, in registration
+  // order. The monitor diffs consecutive snapshots for per-interval
+  // percentiles.
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
 
   // Value of a registered scalar by exact name; false if absent. Test
   // and tooling convenience.
@@ -73,10 +162,40 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  std::vector<std::pair<std::string, std::function<uint64_t()>>> counters_;
-  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
-  std::vector<std::pair<std::string, const Histogram*>> histograms_;
+  template <typename Fn>
+  struct Binding {
+    std::string name;
+    Fn read;
+    OwnerId owner;
+  };
+
+  mutable std::mutex mu_;
+  std::atomic<OwnerId> next_owner_{1};
+  std::vector<Binding<std::function<uint64_t()>>> counters_;
+  std::vector<Binding<std::function<double()>>> gauges_;
+  std::vector<Binding<const Histogram*>> histograms_;
+  // Liveness token for ScopedRegistration; expires with the registry.
+  std::shared_ptr<MetricsRegistry*> self_;
 };
+
+inline ScopedRegistration& ScopedRegistration::operator=(
+    ScopedRegistration&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    registry_ = std::move(other.registry_);
+    owner_ = other.owner_;
+    other.registry_.reset();
+  }
+  return *this;
+}
+
+inline void ScopedRegistration::Reset() {
+  if (auto token = registry_.lock()) {
+    (*token)->Unregister(owner_);
+  }
+  registry_.reset();
+  owner_ = kPermanentOwner;
+}
 
 }  // namespace rexp::obs
 

@@ -2,6 +2,7 @@
 
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 
@@ -9,25 +10,124 @@
 
 namespace rexp::obs {
 
+namespace {
+
+// Live-tracer registry for the fatal-path flush (FlushAllTracers). The
+// mutex ordering is registry mutex -> tracer mutex (Flush); no code path
+// takes them in the other order.
+std::mutex& TracerListMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Tracer*>& TracerList() {
+  static std::vector<Tracer*> list;
+  return list;
+}
+
+}  // namespace
+
+void FlushAllTracers() {
+  std::lock_guard<std::mutex> lock(TracerListMutex());
+  for (Tracer* t : TracerList()) t->Flush();
+}
+
 StatusOr<std::unique_ptr<Tracer>> Tracer::OpenFile(const std::string& path,
                                                    bool append) {
   std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
   if (f == nullptr) {
     return Status::IOError("open trace file '" + path + "'");
   }
+  // Line buffering: each complete event line reaches the kernel as it is
+  // produced, so a crash truncates the stream at a line boundary instead
+  // of losing a whole stdio buffer (the crash-safety satellite of the
+  // versioned schema — scripts/check_trace.py tolerates a torn final
+  // line but nothing else).
+  std::setvbuf(f, nullptr, _IOLBF, 1 << 16);
   return std::make_unique<Tracer>(f, /*owns=*/true);
 }
 
 Tracer::Tracer(std::FILE* f, bool owns) : file_(f), owns_(owns) {
   REXP_CHECK(f != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(TracerListMutex());
+    TracerList().push_back(this);
+  }
+#ifndef REXP_NO_TELEMETRY
+  // Stream header: names the schema version so offline consumers can
+  // dispatch. Append mode re-emits it — a multi-run file simply carries
+  // one header per run.
+  std::lock_guard<std::mutex> lock(mu_);
+  BeginLineLocked("trace_meta");
+  AppendFieldLocked("v", kTraceSchemaVersion);
+  FinishLineLocked();
+#endif
 }
 
 Tracer::~Tracer() {
+  {
+    std::lock_guard<std::mutex> lock(TracerListMutex());
+    auto& list = TracerList();
+    list.erase(std::remove(list.begin(), list.end(), this), list.end());
+  }
   Flush();
   if (owns_) std::fclose(file_);
 }
 
-void Tracer::Flush() { std::fflush(file_); }
+void Tracer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
+
+void Tracer::set_span_sample(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  span_sample_ = n == 0 ? 1 : n;
+}
+
+void Tracer::BeginLineLocked(const char* type) {
+  line_.clear();
+  line_ += "{\"seq\":";
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), seq_++);
+  REXP_CHECK(ec == std::errc());
+  line_.append(buf, ptr);
+  line_ += ",\"type\":\"";
+  line_ += type;  // Event types are code literals; no escaping needed.
+  line_ += '"';
+}
+
+void Tracer::AppendFieldLocked(const char* key, double value) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  char buf[32];
+  if (!std::isfinite(value)) {
+    line_ += "null";
+  } else if (value == std::floor(value) &&
+             std::fabs(value) < 9.007199254740992e15) {  // 2^53: exact.
+    // Counts and ids render as integers.
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                   static_cast<int64_t>(value));
+    REXP_CHECK(ec == std::errc());
+    line_.append(buf, ptr);
+  } else {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    REXP_CHECK(ec == std::errc());
+    line_.append(buf, ptr);
+  }
+}
+
+void Tracer::AppendRawLocked(const char* key, const char* raw) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += raw;
+}
+
+void Tracer::FinishLineLocked() {
+  line_ += "}\n";
+  std::fwrite(line_.data(), 1, line_.size(), file_);
+}
 
 void Tracer::Emit(const char* type,
                   std::initializer_list<TraceField> fields) {
@@ -36,39 +136,69 @@ void Tracer::Emit(const char* type,
   (void)fields;
 #else
   std::lock_guard<std::mutex> lock(mu_);
-  line_.clear();
-  line_ += "{\"seq\":";
-  char buf[32];
-  auto append_u64 = [&](uint64_t v) {
-    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-    REXP_CHECK(ec == std::errc());
-    line_.append(buf, ptr);
-  };
-  append_u64(seq_++);
-  line_ += ",\"type\":\"";
-  line_ += type;  // Event types are code literals; no escaping needed.
-  line_ += '"';
-  for (const TraceField& f : fields) {
-    line_ += ",\"";
-    line_ += f.key;
-    line_ += "\":";
-    if (!std::isfinite(f.value)) {
-      line_ += "null";
-    } else if (f.value == std::floor(f.value) &&
-               std::fabs(f.value) < 9.007199254740992e15) {  // 2^53: exact.
-      // Counts and ids render as integers.
-      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
-                                     static_cast<int64_t>(f.value));
-      REXP_CHECK(ec == std::errc());
-      line_.append(buf, ptr);
-    } else {
-      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), f.value);
-      REXP_CHECK(ec == std::errc());
-      line_.append(buf, ptr);
-    }
+  if (!span_stack_.empty() && span_stack_.back().id == 0) return;
+  BeginLineLocked(type);
+  if (!span_stack_.empty()) {
+    AppendFieldLocked("span", static_cast<double>(span_stack_.back().id));
   }
-  line_ += "}\n";
-  std::fwrite(line_.data(), 1, line_.size(), file_);
+  for (const TraceField& f : fields) AppendFieldLocked(f.key, f.value);
+  FinishLineLocked();
+#endif
+}
+
+uint64_t Tracer::BeginSpan(const char* type,
+                           std::initializer_list<TraceField> fields) {
+#ifdef REXP_NO_TELEMETRY
+  (void)type;
+  (void)fields;
+  return 0;
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sampling decision at the top level; children inherit suppression.
+  bool suppressed;
+  if (span_stack_.empty()) {
+    suppressed = (top_level_spans_++ % span_sample_) != 0;
+  } else {
+    suppressed = span_stack_.back().id == 0;
+  }
+  if (suppressed) {
+    span_stack_.push_back(OpenSpan{0, type, {}});
+    return 0;
+  }
+  const uint64_t parent = span_stack_.empty() ? 0 : span_stack_.back().id;
+  const uint64_t id = next_span_id_++;
+  BeginLineLocked(type);
+  AppendRawLocked("ph", "\"B\"");
+  AppendFieldLocked("span", static_cast<double>(id));
+  if (parent != 0) AppendFieldLocked("parent", static_cast<double>(parent));
+  for (const TraceField& f : fields) AppendFieldLocked(f.key, f.value);
+  FinishLineLocked();
+  span_stack_.push_back(OpenSpan{id, type, std::chrono::steady_clock::now()});
+  return id;
+#endif
+}
+
+void Tracer::EndSpan(std::initializer_list<TraceField> fields) {
+#ifdef REXP_NO_TELEMETRY
+  (void)fields;
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  REXP_CHECK(!span_stack_.empty());
+  OpenSpan span = span_stack_.back();
+  span_stack_.pop_back();
+  if (span.id == 0) return;
+  const double dur_us =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - span.start)
+              .count()) *
+      1e-3;
+  BeginLineLocked(span.type);
+  AppendRawLocked("ph", "\"E\"");
+  AppendFieldLocked("span", static_cast<double>(span.id));
+  AppendFieldLocked("dur_us", dur_us);
+  for (const TraceField& f : fields) AppendFieldLocked(f.key, f.value);
+  FinishLineLocked();
 #endif
 }
 

@@ -3,34 +3,58 @@
 // Structured per-operation tracing: a JSONL event stream (one JSON object
 // per line) describing what the index did — ChooseSubtree descents,
 // splits, forced reinserts, lazy-purge removals, TPBR recomputations,
-// horizon retunes, and per-operation summaries with I/O deltas. Schema:
+// horizon retunes, and per-operation spans with I/O and latency
+// attribution. Schema (version 2):
 //
-//   {"seq": N, "type": "<event>", "<field>": <number>, ...}
+//   {"seq":0,"type":"trace_meta","v":2}            <- stream header
+//   {"seq":N,"type":"<op>","ph":"B","span":S,["parent":P,]...}
+//   {"seq":N,"type":"<event>",["span":S,]<field>:<number>,...}
+//   {"seq":N,"type":"<op>","ph":"E","span":S,"dur_us":X,...}
 //
-// `seq` is a monotone per-tracer event number (events of one logical
-// operation are consecutive; the operation-summary event — "insert",
-// "delete", "search", "nn" — closes the group). All field values are
-// numbers; field names per event type are documented in DESIGN.md
-// ("Observability").
+// `seq` is a monotone per-tracer event number. Spans nest: BeginSpan
+// pushes a new span (emitting the "B" event, with `parent` naming the
+// enclosing span when there is one) and EndSpan pops it (emitting the
+// matching "E" event with the span's wall time in `dur_us` plus any
+// caller fields, e.g. the operation's exact buffer I/O delta). Point
+// events emitted between the two carry `span` naming the innermost open
+// span, so one Insert's descent, split, and write-back children are
+// attributable to it. All other field values are numbers; field names
+// per event type are documented in DESIGN.md §7 and validated by
+// scripts/check_trace.py.
+//
+// Sampling: set_span_sample(n) keeps every n-th *top-level* span group
+// and drops the rest wholesale (begin, children, end) — the continuous-
+// profiling posture, where a sampled share of full operation traces is
+// enough and the hot path pays only a counter test on unsampled ops.
+// REXP_TRACE_SAMPLE=<n> configures the harness's tracer the same way.
 //
 // Cost model: a tree without a tracer attached pays one null-pointer test
-// per potential event. With a tracer attached, each event is formatted
-// and buffered through stdio — tracing is a debugging/analysis tool, not
-// a production default. With REXP_NO_TELEMETRY, Emit compiles to nothing.
+// per potential event. With a tracer attached, each sampled event is
+// formatted and written through a line-buffered stdio stream — every
+// complete line reaches the kernel immediately, so a crash loses at most
+// the line being formatted (the crash-safety contract the flight
+// recorder's fatal hook relies on; the hook additionally flushes all
+// live tracers via FlushAllTracers). With REXP_NO_TELEMETRY, Emit,
+// BeginSpan, and EndSpan compile to nothing.
 
 #ifndef REXP_OBS_TRACE_H_
 #define REXP_OBS_TRACE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
 namespace rexp::obs {
+
+// The trace schema version this tracer writes (the "v" of trace_meta).
+inline constexpr int kTraceSchemaVersion = 2;
 
 // One numeric field of a trace event.
 struct TraceField {
@@ -43,7 +67,7 @@ class Tracer {
   // Opens (creating or truncating) a JSONL file at `path`. With
   // `append`, an existing stream is extended instead — the mode the
   // REXP_TRACE environment hook uses so one file collects a whole
-  // benchmark run.
+  // benchmark run. The stream is line-buffered (crash-safe per line).
   static StatusOr<std::unique_ptr<Tracer>> OpenFile(const std::string& path,
                                                     bool append = false);
 
@@ -62,6 +86,21 @@ class Tracer {
   // because only the exclusive writer emits multi-event groups).
   void Emit(const char* type, std::initializer_list<TraceField> fields);
 
+  // Opens a span of type `type`, emitting its "B" event, and returns the
+  // span id (0 when the span was sampled out or telemetry is compiled
+  // out). Spans nest; the caller must balance every BeginSpan with one
+  // EndSpan. Span structure is only meaningful from the exclusive
+  // writer (see Emit).
+  uint64_t BeginSpan(const char* type,
+                     std::initializer_list<TraceField> fields = {});
+
+  // Closes the innermost open span, emitting its "E" event with the
+  // span's wall time as `dur_us` plus `fields` (I/O deltas etc.).
+  void EndSpan(std::initializer_list<TraceField> fields = {});
+
+  // Keeps every n-th top-level span group (n >= 1; default 1 = all).
+  void set_span_sample(uint64_t n);
+
   uint64_t events() const {
     std::lock_guard<std::mutex> lock(mu_);
     return seq_;
@@ -71,12 +110,33 @@ class Tracer {
   void Flush();
 
  private:
+  struct OpenSpan {
+    uint64_t id;  // 0: span suppressed by sampling.
+    const char* type;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  // Formatting helpers; caller holds mu_.
+  void BeginLineLocked(const char* type);
+  void AppendFieldLocked(const char* key, double value);
+  void AppendRawLocked(const char* key, const char* raw);
+  void FinishLineLocked();
+
   mutable std::mutex mu_;
   std::FILE* file_;
   bool owns_;
   uint64_t seq_ = 0;
+  uint64_t next_span_id_ = 1;
+  uint64_t top_level_spans_ = 0;
+  uint64_t span_sample_ = 1;
+  std::vector<OpenSpan> span_stack_;
   std::string line_;  // Reused formatting buffer (guarded by mu_).
 };
+
+// Flushes every live Tracer in the process. Called from the flight
+// recorder's fatal paths so a crash leaves complete trace files behind.
+// Not async-signal-safe; fatal hooks other than signal handlers only.
+void FlushAllTracers();
 
 }  // namespace rexp::obs
 

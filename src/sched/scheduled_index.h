@@ -103,13 +103,17 @@ class ScheduledIndex {
 
   // Registers both cost streams: the primary tree under
   // `prefix` + "tree." and the event queue under `prefix` + "queue.",
-  // plus the scheduler's own counter.
+  // plus the scheduler's own counter. All bindings are owner-scoped and
+  // removed automatically when the index is destroyed.
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const {
     tree_.RegisterMetrics(registry, prefix + "tree.");
     queue_.RegisterMetrics(registry, prefix + "queue.");
+    metrics_registration_.Reset();
+    const obs::OwnerId owner = registry->NewOwner();
     registry->AddCounter(prefix + "sched.deletions_fired",
-                         &scheduled_deletions_fired_);
+                         &scheduled_deletions_fired_, owner);
+    metrics_registration_ = registry->MakeScoped(owner);
   }
 
  private:
@@ -141,6 +145,8 @@ class ScheduledIndex {
   Tree<kDims> tree_;
   BTree queue_;
   uint64_t scheduled_deletions_fired_ = 0;
+  // Last member so the binding dies before the counter it reads.
+  mutable obs::ScopedRegistration metrics_registration_;
 };
 
 }  // namespace rexp

@@ -2,7 +2,10 @@
 
 #include "storage/buffer_manager.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "obs/json_writer.h"
 
 namespace rexp {
 
@@ -46,6 +49,7 @@ StatusOr<PageGuard> BufferManager::Fetch(PageId id, PageIntent intent) {
     if (it != frame_of_.end()) {
       ++stats_.hits;
       fi = it->second;
+      ++frames_[fi]->accesses;
     } else {
       ++stats_.misses;
       REXP_ASSIGN_OR_RETURN(fi, AcquireFrameLocked());
@@ -64,6 +68,7 @@ StatusOr<PageGuard> BufferManager::Fetch(PageId id, PageIntent intent) {
       f.id = id;
       f.dirty = false;
       f.pin_count = 0;
+      f.accesses = 1;
       ++f.generation;
       frame_of_[id] = fi;
     }
@@ -97,9 +102,10 @@ StatusOr<PageGuard> BufferManager::NewPage(PageId* id) {
       fi = *acquired;
       frames_[fi]->id = *id;
       frames_[fi]->pin_count = 0;
-      ++frames_[fi]->generation;
       frame_of_[*id] = fi;
+      ++frames_[fi]->generation;
     }
+    frames_[fi]->accesses = 1;
     Frame& f = *frames_[fi];
     f.page.Clear();
     f.dirty = true;
@@ -159,6 +165,7 @@ void BufferManager::FreePage(PageId id) {
     RemoveFromLruLocked(fi);
     f.id = kInvalidPageId;
     f.dirty = false;
+    f.accesses = 0;
     ++f.generation;
     frame_of_.erase(it);
     free_frames_.push_back(fi);
@@ -187,6 +194,41 @@ Status BufferManager::FlushDirty() {
     }
   }
   return first_error;
+}
+
+std::vector<BufferManager::FrameHeat> BufferManager::Heatmap(
+    size_t top_n) const {
+  std::vector<FrameHeat> heat;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    heat.reserve(frames_.size());
+    for (const auto& f : frames_) {
+      if (f->id == kInvalidPageId) continue;
+      heat.push_back(FrameHeat{f->id, f->accesses, f->pin_count, f->dirty});
+    }
+  }
+  std::sort(heat.begin(), heat.end(),
+            [](const FrameHeat& a, const FrameHeat& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.id < b.id;
+            });
+  if (heat.size() > top_n) heat.resize(top_n);
+  return heat;
+}
+
+std::string BufferManager::HeatmapJson(size_t top_n) const {
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const FrameHeat& h : Heatmap(top_n)) {
+    w.BeginObject();
+    w.KV("page", static_cast<uint64_t>(h.id));
+    w.KV("accesses", h.accesses);
+    w.KV("pins", static_cast<uint64_t>(h.pin_count));
+    w.KV("dirty", h.dirty);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
 }
 
 bool BufferManager::IsBuffered(PageId id) const {
@@ -231,6 +273,7 @@ StatusOr<uint32_t> BufferManager::AcquireFrameLocked() {
   RemoveFromLruLocked(fi);
   frame_of_.erase(f.id);
   f.id = kInvalidPageId;
+  f.accesses = 0;
   ++f.generation;
   return fi;
 }

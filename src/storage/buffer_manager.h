@@ -47,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -207,6 +208,26 @@ class BufferManager {
   // concurrently with live write guards.
   Status FlushDirty();
 
+  // One frame's heat for the hot-page view: how often the buffered page
+  // was fetched since it was bound to this frame (the counter resets when
+  // the frame is rebound, so heat reflects the page's current residency,
+  // not its whole history).
+  struct FrameHeat {
+    PageId id = kInvalidPageId;
+    uint64_t accesses = 0;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+  };
+
+  // The `top_n` hottest bound frames, most-accessed first (ties by page
+  // id). Thread-safe; takes the pool mutex.
+  std::vector<FrameHeat> Heatmap(size_t top_n) const;
+
+  // Heatmap(top_n) as a JSON array:
+  //   [{"page":N,"accesses":N,"pins":N,"dirty":B}, ...]
+  // The monitor splices this into its sample lines verbatim.
+  std::string HeatmapJson(size_t top_n) const;
+
   // True if `id` currently occupies a frame (test hook).
   bool IsBuffered(PageId id) const;
 
@@ -230,6 +251,8 @@ class BufferManager {
     PageId id = kInvalidPageId;
     bool dirty = false;
     uint32_t pin_count = 0;
+    // Fetches of the bound page since binding (Heatmap's heat measure).
+    uint64_t accesses = 0;
     // Bumped every time the frame is bound to a different page (or its
     // binding is dropped); guards snapshot it for stale detection.
     uint64_t generation = 0;

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/float_round.h"
+#include "obs/flight_recorder.h"
 #include "sched/thread_pool.h"
 #include "tpbr/integrals.h"
 #include "tpbr/intersect.h"
@@ -197,7 +198,32 @@ void Tree<kDims>::SerializeMeta(uint64_t epoch, Page* page) const {
 template <int kDims>
 Status Tree<kDims>::Commit() {
   std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
-  return CommitLocked();
+  const uint64_t io_before = buffer_.stats().Total();
+  if (tracer_ != nullptr) tracer_->BeginSpan("commit");
+  Status s = CommitLocked();
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan({{"ok", s.ok() ? 1.0 : 0.0},
+                      {"io", static_cast<double>(io)}});
+  }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kCommit, meta_epoch_, 0,
+                                     s.code(), io);
+  return s;
+}
+
+template <int kDims>
+void Tree<kDims>::WriteBackSpanned() {
+  const uint64_t before = buffer_.stats().Total();
+  if (tracer_ != nullptr) tracer_->BeginSpan("write_back");
+  if (config_.crash_consistent) {
+    REXP_CHECK_OK(CommitLocked());
+  } else {
+    REXP_CHECK_OK(buffer_.FlushDirty());
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(
+        {{"io", static_cast<double>(buffer_.stats().Total() - before)}});
+  }
 }
 
 template <int kDims>
@@ -356,6 +382,9 @@ template <int kDims>
 void Tree<kDims>::ReadNodeInto(PageId id, Node<kDims>* out) {
   PageGuard guard = buffer_.FetchOrDie(id);
   codec_.Decode(*guard, out);
+  const int lvl =
+      std::min(out->level, TreeOpStats::kMaxTrackedLevels - 1);
+  op_stats_.level_reads[lvl].fetch_add(1, std::memory_order_relaxed);
 }
 
 template <int kDims>
@@ -680,6 +709,11 @@ Node<kDims> Tree<kDims>::SplitNode(Node<kDims>* node, Time now) {
   const int min_entries =
       std::max(2, static_cast<int>(cap * config_.min_fill_fraction));
   REXP_CHECK(total > cap);
+  const uint64_t io_before = buffer_.stats().Total();
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan("split",
+                       {{"level", static_cast<double>(node->level)}});
+  }
   REXP_CHECK(total >= 2 * min_entries);
 
   const double h = horizon_.DecisionHorizon();
@@ -794,11 +828,11 @@ Node<kDims> Tree<kDims>::SplitNode(Node<kDims>* node, Time now) {
   node->entries.assign(best_split.begin(), best_split.begin() + best_k);
   ++op_stats_.splits;
   if (tracer_ != nullptr) {
-    tracer_->Emit("split",
-                  {{"level", static_cast<double>(node->level)},
-                   {"axis", static_cast<double>(best_axis)},
-                   {"left", static_cast<double>(node->entries.size())},
-                   {"right", static_cast<double>(right.entries.size())}});
+    tracer_->EndSpan(
+        {{"axis", static_cast<double>(best_axis)},
+         {"left", static_cast<double>(node->entries.size())},
+         {"right", static_cast<double>(right.entries.size())},
+         {"io", static_cast<double>(buffer_.stats().Total() - io_before)}});
   }
   return right;
 }
@@ -1101,6 +1135,10 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
   ++op_stats_.inserts;
   const uint64_t io_before = buffer_.stats().Total();
   obs::LatencyTimer timer(&op_stats_.insert_latency_us);
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan("insert",
+                       {{"oid", static_cast<double>(oid)}, {"now", now}});
+  }
   if (horizon_.RecordInsertion(
           now, level_counts_.empty() ? 0 : level_counts_[0])) {
     ++op_stats_.horizon_retunes;
@@ -1113,16 +1151,14 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
   }
   InsertPending(Pending{0, NodeEntry<kDims>{p, oid}}, now);
   DrainPending(now);
-  if (config_.crash_consistent) {
-    REXP_CHECK_OK(CommitLocked());
-  } else {
-    REXP_CHECK_OK(buffer_.FlushDirty());
-  }
+  WriteBackSpanned();
   const uint64_t io = buffer_.stats().Total() - io_before;
   op_stats_.insert_io.Record(static_cast<double>(io));
   if (tracer_ != nullptr) {
-    tracer_->Emit("insert", {{"now", now}, {"io", static_cast<double>(io)}});
+    tracer_->EndSpan({{"io", static_cast<double>(io)}});
   }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kInsert, oid,
+                                     timer.ElapsedUs(), StatusCode::kOk, io);
   ParanoidVerify(now);
 }
 
@@ -1195,6 +1231,10 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
   ++op_stats_.deletes;
   const uint64_t io_before = buffer_.stats().Total();
   obs::LatencyTimer timer(&op_stats_.delete_latency_us);
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan("delete",
+                       {{"oid", static_cast<double>(oid)}, {"now", now}});
+  }
   // Canonicalize the probe so it compares equal to what Insert stored even
   // when the caller kept the record in full double precision.
   const Tpbr<kDims> p = CanonicalRecord(point);
@@ -1214,18 +1254,16 @@ bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
   } else {
     ++op_stats_.delete_misses;
   }
-  if (config_.crash_consistent) {
-    REXP_CHECK_OK(CommitLocked());
-  } else {
-    REXP_CHECK_OK(buffer_.FlushDirty());
-  }
+  WriteBackSpanned();
   const uint64_t io = buffer_.stats().Total() - io_before;
   op_stats_.delete_io.Record(static_cast<double>(io));
   if (tracer_ != nullptr) {
-    tracer_->Emit("delete", {{"now", now},
-                             {"found", found ? 1.0 : 0.0},
-                             {"io", static_cast<double>(io)}});
+    tracer_->EndSpan({{"found", found ? 1.0 : 0.0},
+                      {"io", static_cast<double>(io)}});
   }
+  obs::GlobalFlightRecorder().Record(
+      obs::FlightOp::kDelete, oid, timer.ElapsedUs(),
+      found ? StatusCode::kOk : StatusCode::kNotFound, io);
   ParanoidVerify(now);
   return found;
 }
@@ -1474,23 +1512,25 @@ bool Tree<kDims>::Update(ObjectId oid, const Tpbr<kDims>& old_record,
   const uint64_t fast_before =
       op_stats_.update_fast.load(std::memory_order_relaxed);
   obs::LatencyTimer timer(&op_stats_.update_latency_us);
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan("update",
+                       {{"oid", static_cast<double>(oid)}, {"now", now}});
+  }
   bool found = UpdateLocked(oid, CanonicalRecord(old_record),
                             CanonicalRecord(new_record), now);
-  if (config_.crash_consistent) {
-    REXP_CHECK_OK(CommitLocked());
-  } else {
-    REXP_CHECK_OK(buffer_.FlushDirty());
-  }
+  WriteBackSpanned();
   const uint64_t io = buffer_.stats().Total() - io_before;
   op_stats_.update_io.Record(static_cast<double>(io));
   if (tracer_ != nullptr) {
     const bool fast =
         op_stats_.update_fast.load(std::memory_order_relaxed) != fast_before;
-    tracer_->Emit("update", {{"now", now},
-                             {"found", found ? 1.0 : 0.0},
-                             {"fast", fast ? 1.0 : 0.0},
-                             {"io", static_cast<double>(io)}});
+    tracer_->EndSpan({{"found", found ? 1.0 : 0.0},
+                      {"fast", fast ? 1.0 : 0.0},
+                      {"io", static_cast<double>(io)}});
   }
+  obs::GlobalFlightRecorder().Record(
+      obs::FlightOp::kUpdate, oid, timer.ElapsedUs(),
+      found ? StatusCode::kOk : StatusCode::kNotFound, io);
   ParanoidVerify(now);
   return found;
 }
@@ -1504,6 +1544,11 @@ std::vector<bool> Tree<kDims>::GroupUpdate(
   ++op_stats_.group_update_batches;
   const uint64_t io_before = buffer_.stats().Total();
   obs::LatencyTimer timer(&op_stats_.update_latency_us);
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan(
+        "group_update",
+        {{"batch", static_cast<double>(requests.size())}, {"now", now}});
+  }
 
   std::vector<UpdateRequest> reqs = requests;
   for (UpdateRequest& r : reqs) {
@@ -1603,19 +1648,15 @@ std::vector<bool> Tree<kDims>::GroupUpdate(
                      now);
   }
 
-  if (config_.crash_consistent) {
-    REXP_CHECK_OK(CommitLocked());
-  } else {
-    REXP_CHECK_OK(buffer_.FlushDirty());
-  }
+  WriteBackSpanned();
   const uint64_t io = buffer_.stats().Total() - io_before;
   op_stats_.update_io.Record(static_cast<double>(io));
   if (tracer_ != nullptr) {
-    tracer_->Emit("group_update",
-                  {{"now", now},
-                   {"batch", static_cast<double>(requests.size())},
-                   {"io", static_cast<double>(io)}});
+    tracer_->EndSpan({{"io", static_cast<double>(io)}});
   }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kGroupUpdate,
+                                     requests.size(), timer.ElapsedUs(),
+                                     StatusCode::kOk, io);
   ParanoidVerify(now);
   return results;
 }
@@ -1671,6 +1712,9 @@ void Tree<kDims>::Search(const Query<kDims>& query,
   op_stats_.nodes_visited_search += visited;
   const uint64_t io = buffer_.stats().Total() - io_before;
   op_stats_.search_io.Record(static_cast<double>(io));
+  // A flat summary event, not a span: searches run under shared epochs
+  // from many threads at once, and interleaved span groups would be
+  // unattributable. The exclusive-writer operations carry the spans.
   if (tracer_ != nullptr) {
     tracer_->Emit(
         "search",
@@ -1678,6 +1722,9 @@ void Tree<kDims>::Search(const Query<kDims>& query,
          {"results", static_cast<double>(out->size() - results_before)},
          {"io", static_cast<double>(io)}});
   }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kSearch,
+                                     out->size() - results_before,
+                                     timer.ElapsedUs(), StatusCode::kOk, io);
 }
 
 template <int kDims>
@@ -1807,6 +1854,12 @@ void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
   REXP_CHECK(root_ == kInvalidPageId && height_ == 0);
   REXP_CHECK(fill > config_.min_fill_fraction && fill <= 1.0);
   if (records.empty()) return;
+  const uint64_t io_before = buffer_.stats().Total();
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan(
+        "bulk_load",
+        {{"records", static_cast<double>(records.size())}, {"now", now}});
+  }
 
   std::vector<NodeEntry<kDims>> items;
   items.reserve(records.size());
@@ -1826,6 +1879,14 @@ void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
   height_ = level + 1;
   REXP_CHECK_OK(PinRoot(root_));
   REXP_CHECK_OK(CommitLocked());
+  const uint64_t io = buffer_.stats().Total() - io_before;
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan({{"height", static_cast<double>(height_)},
+                      {"io", static_cast<double>(io)}});
+  }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kBulkLoad,
+                                     level_counts_[0], 0, StatusCode::kOk,
+                                     io);
   ParanoidVerify(now);
 }
 
@@ -1860,6 +1921,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
   ++op_stats_.nn_searches;
   out->clear();
   if (root_ == kInvalidPageId || k <= 0) return;
+  const uint64_t io_before = buffer_.stats().Total();
   uint64_t visited = 0;
 
   // Best-first search (Hjaltason & Samet): a min-heap of pending nodes
@@ -1908,6 +1970,9 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                                 {"results",
                                  static_cast<double>(out->size())}});
   }
+  obs::GlobalFlightRecorder().Record(obs::FlightOp::kNn, out->size(), 0,
+                                     StatusCode::kOk,
+                                     buffer_.stats().Total() - io_before);
 }
 
 // ---------------------------------------------------------------------------
@@ -1916,117 +1981,172 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
 template <int kDims>
 void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
                                   const std::string& prefix) const {
+  // All bindings of this call share one owner so that destroying the
+  // tree (or re-registering) removes them atomically. The previous
+  // registration, if any, is dropped first: one live registration per
+  // tree keeps names from colliding with themselves.
+  metrics_registration_.Reset();
+  const obs::OwnerId owner = registry->NewOwner();
+
   // Buffer-pool accounting (the paper's I/O metric plus pool behavior).
   const IoStats& io = buffer_.stats();
-  registry->AddCounter(prefix + "buffer.reads", &io.reads);
-  registry->AddCounter(prefix + "buffer.writes", &io.writes);
-  registry->AddCounter(prefix + "buffer.hits", &io.hits);
-  registry->AddCounter(prefix + "buffer.misses", &io.misses);
+  registry->AddCounter(prefix + "buffer.reads", &io.reads, owner);
+  registry->AddCounter(prefix + "buffer.writes", &io.writes, owner);
+  registry->AddCounter(prefix + "buffer.hits", &io.hits, owner);
+  registry->AddCounter(prefix + "buffer.misses", &io.misses, owner);
   registry->AddCounter(prefix + "buffer.evictions_clean",
-                       &io.evictions_clean);
+                       &io.evictions_clean, owner);
   registry->AddCounter(prefix + "buffer.evictions_dirty",
-                       &io.evictions_dirty);
-  registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs);
-  registry->AddCounter(prefix + "buffer.pins", &io.pins);
-  registry->AddCounter(prefix + "buffer.unpins", &io.unpins);
-  registry->AddCounter(prefix + "buffer.flush_errors", &io.flush_errors);
+                       &io.evictions_dirty, owner);
+  registry->AddCounter(prefix + "buffer.write_backs", &io.write_backs,
+                       owner);
+  registry->AddCounter(prefix + "buffer.pins", &io.pins, owner);
+  registry->AddCounter(prefix + "buffer.unpins", &io.unpins, owner);
+  registry->AddCounter(prefix + "buffer.flush_errors", &io.flush_errors,
+                       owner);
   registry->AddGauge(prefix + "buffer.hit_rate",
-                     [&io] { return io.HitRate(); });
+                     [&io] { return io.HitRate(); }, owner);
+  registry->AddGauge(prefix + "buffer.pinned_frames", [this] {
+    return static_cast<double>(buffer_.PinnedFrames());
+  }, owner);
+  registry->AddGauge(prefix + "buffer.heat_max_accesses", [this] {
+    auto heat = buffer_.Heatmap(1);
+    return heat.empty() ? 0.0 : static_cast<double>(heat[0].accesses);
+  }, owner);
 
   // Device-level transfer and integrity counters.
   const DeviceStats& dev = file_->device_stats();
-  registry->AddCounter(prefix + "device.frame_reads", &dev.frame_reads);
-  registry->AddCounter(prefix + "device.frame_writes", &dev.frame_writes);
-  registry->AddCounter(prefix + "device.read_errors", &dev.read_errors);
-  registry->AddCounter(prefix + "device.write_errors", &dev.write_errors);
+  registry->AddCounter(prefix + "device.frame_reads", &dev.frame_reads,
+                       owner);
+  registry->AddCounter(prefix + "device.frame_writes", &dev.frame_writes,
+                       owner);
+  registry->AddCounter(prefix + "device.read_errors", &dev.read_errors,
+                       owner);
+  registry->AddCounter(prefix + "device.write_errors", &dev.write_errors,
+                       owner);
   registry->AddCounter(prefix + "device.checksum_failures",
-                       &dev.checksum_failures);
-  registry->AddCounter(prefix + "device.read_retries", &dev.read_retries);
-  registry->AddCounter(prefix + "device.write_retries", &dev.write_retries);
-  registry->AddCounter(prefix + "device.read_giveups", &dev.read_giveups);
-  registry->AddCounter(prefix + "device.write_giveups", &dev.write_giveups);
+                       &dev.checksum_failures, owner);
+  registry->AddCounter(prefix + "device.read_retries", &dev.read_retries,
+                       owner);
+  registry->AddCounter(prefix + "device.write_retries", &dev.write_retries,
+                       owner);
+  registry->AddCounter(prefix + "device.read_giveups", &dev.read_giveups,
+                       owner);
+  registry->AddCounter(prefix + "device.write_giveups", &dev.write_giveups,
+                       owner);
   registry->AddHistogram(prefix + "device.read_latency_us",
-                         &dev.read_latency_us);
+                         &dev.read_latency_us, owner);
   registry->AddHistogram(prefix + "device.write_latency_us",
-                         &dev.write_latency_us);
+                         &dev.write_latency_us, owner);
 
   // Tree operation counters.
   const TreeOpStats& ops = op_stats_;
-  registry->AddCounter(prefix + "ops.inserts", &ops.inserts);
-  registry->AddCounter(prefix + "ops.deletes", &ops.deletes);
-  registry->AddCounter(prefix + "ops.delete_misses", &ops.delete_misses);
-  registry->AddCounter(prefix + "ops.searches", &ops.searches);
-  registry->AddCounter(prefix + "ops.nn_searches", &ops.nn_searches);
-  registry->AddCounter(prefix + "ops.updates", &ops.updates);
-  registry->AddCounter(prefix + "ops.update_fast", &ops.update_fast);
+  registry->AddCounter(prefix + "ops.inserts", &ops.inserts, owner);
+  registry->AddCounter(prefix + "ops.deletes", &ops.deletes, owner);
+  registry->AddCounter(prefix + "ops.delete_misses", &ops.delete_misses,
+                       owner);
+  registry->AddCounter(prefix + "ops.searches", &ops.searches, owner);
+  registry->AddCounter(prefix + "ops.nn_searches", &ops.nn_searches, owner);
+  registry->AddCounter(prefix + "ops.updates", &ops.updates, owner);
+  registry->AddCounter(prefix + "ops.update_fast", &ops.update_fast, owner);
   registry->AddCounter(prefix + "ops.update_fast_propagations",
-                       &ops.update_fast_propagations);
-  registry->AddCounter(prefix + "ops.update_fallback", &ops.update_fallback);
+                       &ops.update_fast_propagations, owner);
+  registry->AddCounter(prefix + "ops.update_fallback", &ops.update_fallback,
+                       owner);
   registry->AddCounter(prefix + "ops.group_update_batches",
-                       &ops.group_update_batches);
-  registry->AddCounter(prefix + "ops.dat_hits", &ops.dat_hits);
-  registry->AddCounter(prefix + "ops.dat_misses", &ops.dat_misses);
-  registry->AddCounter(prefix + "ops.dat_rebuilds", &ops.dat_rebuilds);
+                       &ops.group_update_batches, owner);
+  registry->AddCounter(prefix + "ops.dat_hits", &ops.dat_hits, owner);
+  registry->AddCounter(prefix + "ops.dat_misses", &ops.dat_misses, owner);
+  registry->AddCounter(prefix + "ops.dat_rebuilds", &ops.dat_rebuilds,
+                       owner);
   registry->AddCounter(prefix + "ops.delete_bottom_up",
-                       &ops.delete_bottom_up);
+                       &ops.delete_bottom_up, owner);
   registry->AddCounter(prefix + "ops.choose_subtree_calls",
-                       &ops.choose_subtree_calls);
-  registry->AddCounter(prefix + "ops.splits", &ops.splits);
+                       &ops.choose_subtree_calls, owner);
+  registry->AddCounter(prefix + "ops.splits", &ops.splits, owner);
   registry->AddCounter(prefix + "ops.forced_reinserts",
-                       &ops.forced_reinserts);
+                       &ops.forced_reinserts, owner);
   registry->AddCounter(prefix + "ops.reinserted_entries",
-                       &ops.reinserted_entries);
+                       &ops.reinserted_entries, owner);
   registry->AddCounter(prefix + "ops.orphaned_entries",
-                       &ops.orphaned_entries);
-  registry->AddCounter(prefix + "ops.purged_entries", &ops.purged_entries);
+                       &ops.orphaned_entries, owner);
+  registry->AddCounter(prefix + "ops.purged_entries", &ops.purged_entries,
+                       owner);
   registry->AddCounter(prefix + "ops.purged_subtrees",
-                       &ops.purged_subtrees);
+                       &ops.purged_subtrees, owner);
   registry->AddCounter(prefix + "ops.nodes_visited_search",
-                       &ops.nodes_visited_search);
+                       &ops.nodes_visited_search, owner);
   registry->AddCounter(prefix + "ops.tpbr_recomputes",
-                       &ops.tpbr_recomputes);
+                       &ops.tpbr_recomputes, owner);
   registry->AddCounter(prefix + "ops.horizon_retunes",
-                       &ops.horizon_retunes);
-  registry->AddCounter(prefix + "ops.root_grows", &ops.root_grows);
-  registry->AddCounter(prefix + "ops.root_shrinks", &ops.root_shrinks);
-  registry->AddHistogram(prefix + "ops.insert_io", &ops.insert_io);
-  registry->AddHistogram(prefix + "ops.delete_io", &ops.delete_io);
-  registry->AddHistogram(prefix + "ops.search_io", &ops.search_io);
-  registry->AddHistogram(prefix + "ops.update_io", &ops.update_io);
+                       &ops.horizon_retunes, owner);
+  registry->AddCounter(prefix + "ops.root_grows", &ops.root_grows, owner);
+  registry->AddCounter(prefix + "ops.root_shrinks", &ops.root_shrinks,
+                       owner);
+  // Per-level node-read counters (level 0 = leaves); the top tracked
+  // level absorbs anything deeper.
+  for (int l = 0; l < TreeOpStats::kMaxTrackedLevels; ++l) {
+    registry->AddCounter(prefix + "ops.level_reads." + std::to_string(l),
+                         &ops.level_reads[l], owner);
+  }
+  registry->AddHistogram(prefix + "ops.insert_io", &ops.insert_io, owner);
+  registry->AddHistogram(prefix + "ops.delete_io", &ops.delete_io, owner);
+  registry->AddHistogram(prefix + "ops.search_io", &ops.search_io, owner);
+  registry->AddHistogram(prefix + "ops.update_io", &ops.update_io, owner);
   registry->AddHistogram(prefix + "ops.insert_latency_us",
-                         &ops.insert_latency_us);
+                         &ops.insert_latency_us, owner);
   registry->AddHistogram(prefix + "ops.delete_latency_us",
-                         &ops.delete_latency_us);
+                         &ops.delete_latency_us, owner);
   registry->AddHistogram(prefix + "ops.search_latency_us",
-                         &ops.search_latency_us);
+                         &ops.search_latency_us, owner);
   registry->AddHistogram(prefix + "ops.update_latency_us",
-                         &ops.update_latency_us);
+                         &ops.update_latency_us, owner);
 
-  // Structure and horizon-estimator gauges.
-  registry->AddGauge(prefix + "tree.height",
-                     [this] { return static_cast<double>(height_); });
+  // Structure and horizon-estimator gauges. These read fields that
+  // writers mutate under the exclusive epoch, so each callback takes the
+  // epoch shared — the monitor thread samples them racelessly.
+  registry->AddGauge(prefix + "tree.height", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    return static_cast<double>(height_);
+  }, owner);
   registry->AddGauge(prefix + "tree.pages", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
     return static_cast<double>(file_->allocated_pages());
-  });
+  }, owner);
   registry->AddGauge(prefix + "tree.leaf_entries", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
     return static_cast<double>(leaf_entries());
-  });
+  }, owner);
   registry->AddGauge(prefix + "tree.underfull_remnants", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
     return static_cast<double>(underfull_remnants_);
-  });
+  }, owner);
   registry->AddGauge(prefix + "tree.dat_entries", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
     return static_cast<double>(dat_.size());
-  });
+  }, owner);
   registry->AddGauge(prefix + "tree.meta_epoch", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
     return static_cast<double>(meta_epoch_);
-  });
-  registry->AddCounter(prefix + "horizon.retunes",
-                       [this] { return horizon_.retunes(); });
-  registry->AddGauge(prefix + "horizon.ui",
-                     [this] { return horizon_.ui(); });
-  registry->AddGauge(prefix + "horizon.w", [this] { return horizon_.w(); });
-  registry->AddGauge(prefix + "horizon.h",
-                     [this] { return horizon_.DecisionHorizon(); });
+  }, owner);
+  registry->AddCounter(prefix + "horizon.retunes", [this]() -> uint64_t {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    return horizon_.retunes();
+  }, owner);
+  registry->AddGauge(prefix + "horizon.ui", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    return horizon_.ui();
+  }, owner);
+  registry->AddGauge(prefix + "horizon.w", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    return horizon_.w();
+  }, owner);
+  registry->AddGauge(prefix + "horizon.h", [this] {
+    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    return horizon_.DecisionHorizon();
+  }, owner);
+
+  metrics_registration_ = registry->MakeScoped(owner);
 }
 
 template <int kDims>

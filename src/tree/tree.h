@@ -101,6 +101,14 @@ struct TreeOpStats {
   std::atomic<uint64_t> root_grows{0};
   std::atomic<uint64_t> root_shrinks{0};
 
+  // Node reads per tree level (index 0 = leaves; deeper levels clamp into
+  // the last slot). Every ReadNode bumps exactly one of these, so the
+  // distribution shows where an access pattern actually lands — e.g. a
+  // DAT-served update workload reads leaves almost exclusively while a
+  // descent-heavy one climbs the upper levels.
+  static constexpr int kMaxTrackedLevels = 12;
+  std::atomic<uint64_t> level_reads[kMaxTrackedLevels] = {};
+
   // Distribution of buffer-boundary I/Os and wall time per operation.
   obs::Histogram insert_io{obs::IoCountBounds()};
   obs::Histogram delete_io{obs::IoCountBounds()};
@@ -145,6 +153,9 @@ struct TreeOpStats {
                                          &root_shrinks};
     for (std::atomic<uint64_t>* c : counters) {
       c->store(0, std::memory_order_relaxed);
+    }
+    for (std::atomic<uint64_t>& c : level_reads) {
+      c.store(0, std::memory_order_relaxed);
     }
   }
 };
@@ -311,6 +322,10 @@ class Tree {
   const IoStats& io_stats() const { return buffer_.stats(); }
   void ResetIoStats() { buffer_.ResetStats(); }
 
+  // The tree's buffer pool (hot-frame heatmap, pin accounting). Safe to
+  // call concurrently with operations; the pool has its own mutex.
+  const BufferManager& buffer() const { return buffer_; }
+
   // Tree-level operation telemetry.
   const TreeOpStats& op_stats() const { return op_stats_; }
   void ResetOpStats() { op_stats_.Reset(); }
@@ -321,9 +336,15 @@ class Tree {
   obs::Tracer* tracer() const { return tracer_; }
 
   // Registers this tree's telemetry — operation counters and histograms,
-  // buffer-pool counters, device counters and latency histograms, and
-  // structure/horizon gauges — under `prefix` (e.g. "tree."). The tree
-  // and its page file must outlive the registry's snapshots.
+  // buffer-pool counters and heat gauges, device counters and latency
+  // histograms, per-level read counters, and structure/horizon gauges —
+  // under `prefix` (e.g. "tree."). The bindings are owner-scoped: they
+  // are removed automatically when the tree is destroyed (so a registry
+  // outliving the tree never snapshots a dangling pointer), and a tree
+  // holds at most one live registration — registering into a second
+  // registry unbinds the first. Gauges reading mutable tree structure
+  // take the epoch lock shared, so a background monitor may sample while
+  // writers run.
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const;
 
@@ -492,6 +513,11 @@ class Tree {
   // reentrant).
   Status CommitLocked();
 
+  // The end-of-operation flush (commit in crash-consistent mode), wrapped
+  // in a "write_back" child span attributing the write-out I/O to the
+  // enclosing operation span.
+  void WriteBackSpanned();
+
   // Single-writer / multi-reader epoch lock (DESIGN.md §8): structure-
   // modifying operations (Insert, BulkLoad, Delete, Commit, the invariant
   // checkers) hold it exclusive; Search and NearestNeighbors hold it
@@ -547,6 +573,13 @@ class Tree {
 
   // Mutations since open, driving the REXP_PARANOID sampling.
   uint64_t paranoid_mutations_ = 0;
+
+  // Registry bindings of the last RegisterMetrics call. Declared LAST so
+  // it is destroyed FIRST: the bindings (which dereference the members
+  // above) are removed before any of those members die. The destructor
+  // body (Commit) runs before member destruction, so a monitor sampling
+  // during teardown still reads live state under the epoch lock.
+  mutable obs::ScopedRegistration metrics_registration_;
 };
 
 using RexpTree1 = Tree<1>;

@@ -1,0 +1,384 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the live-introspection layer end to end: the continuous
+// profiler (obs::Monitor), the flight recorder ring and its dump format,
+// the buffer heatmap, per-level read counters, and the owner-scoped
+// registry bindings a Tree installs — including the stale-binding
+// regression (destroy a bound tree, then snapshot).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/registry.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+#include "tools/monitor_stream.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomPoint;
+using ::rexp::testing::RandomQuery;
+
+std::string ReadAll(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorderTest, RingWrapKeepsMostRecentEvents) {
+  obs::FlightRecorder recorder(64);
+  EXPECT_EQ(recorder.capacity(), 64u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    recorder.Record(obs::FlightOp::kUpdate, i, 1.5, StatusCode::kOk, 2);
+  }
+  std::string path =
+      ::testing::TempDir() + "/rexp_flight_wrap_test.json";
+  ASSERT_TRUE(recorder.DumpToFile(path, "unit_test").ok());
+  tools::JsonValue dump;
+  ASSERT_TRUE(tools::ParseJson(ReadAll(path), &dump)) << ReadAll(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(dump.Find("reason")->StringOr(""), "unit_test");
+  const tools::JsonValue* events = dump.Find("events");
+  ASSERT_NE(events, nullptr);
+#ifdef REXP_NO_TELEMETRY
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(events->array.empty());
+#else
+  EXPECT_EQ(recorder.recorded(), 200u);
+  EXPECT_EQ(dump.Find("dropped")->NumberOr(-1), 200.0 - 64.0);
+  ASSERT_EQ(events->array.size(), 64u);
+  // Oldest-first, and only the most recent capacity-many survive.
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const tools::JsonValue& e = events->array[i];
+    EXPECT_EQ(e.Find("seq")->NumberOr(-1),
+              static_cast<double>(136 + i));
+    EXPECT_EQ(e.Find("oid")->NumberOr(-1), static_cast<double>(136 + i));
+    EXPECT_EQ(e.Find("op")->StringOr(""), "update");
+    EXPECT_EQ(e.Find("io")->NumberOr(-1), 2.0);
+    EXPECT_EQ(e.Find("status")->NumberOr(-1), 0.0);
+  }
+#endif
+}
+
+TEST(FlightRecorderTest, WideValuesSaturateInsteadOfWrapping) {
+#ifndef REXP_NO_TELEMETRY
+  obs::FlightRecorder recorder(64);
+  // latency_us and io are stored as 32-bit; huge inputs must clamp to
+  // UINT32_MAX, not alias small values.
+  recorder.Record(obs::FlightOp::kBulkLoad, 1, 1e18, StatusCode::kOk,
+                  uint64_t{1} << 40);
+  std::string path =
+      ::testing::TempDir() + "/rexp_flight_saturate_test.json";
+  ASSERT_TRUE(recorder.DumpToFile(path, "saturate").ok());
+  tools::JsonValue dump;
+  ASSERT_TRUE(tools::ParseJson(ReadAll(path), &dump));
+  std::remove(path.c_str());
+  ASSERT_EQ(dump.Find("events")->array.size(), 1u);
+  const tools::JsonValue& e = dump.Find("events")->array[0];
+  EXPECT_EQ(e.Find("latency_us")->NumberOr(0), 4294967295.0);
+  EXPECT_EQ(e.Find("io")->NumberOr(0), 4294967295.0);
+  EXPECT_EQ(e.Find("op")->StringOr(""), "bulk_load");
+#endif
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsProduceParseableDump) {
+#ifndef REXP_NO_TELEMETRY
+  obs::FlightRecorder recorder(128);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        recorder.Record(obs::FlightOp::kSearch,
+                        static_cast<uint64_t>(t) * 10000 + i, 0.5,
+                        StatusCode::kOk, 1);
+      }
+    });
+  }
+  // Dump repeatedly while writers race: torn slots are dropped, never
+  // emitted as garbage, and the output always parses.
+  std::string path =
+      ::testing::TempDir() + "/rexp_flight_race_test.json";
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(recorder.DumpToFile(path, "race").ok());
+    tools::JsonValue dump;
+    ASSERT_TRUE(tools::ParseJson(ReadAll(path), &dump)) << round;
+    EXPECT_LE(dump.Find("events")->array.size(), 128u);
+  }
+  for (std::thread& w : writers) w.join();
+  ASSERT_TRUE(recorder.DumpToFile(path, "race").ok());
+  tools::JsonValue dump;
+  ASSERT_TRUE(tools::ParseJson(ReadAll(path), &dump));
+  EXPECT_EQ(recorder.recorded(), static_cast<uint64_t>(kThreads) * 2000);
+  EXPECT_EQ(dump.Find("events")->array.size(), 128u);
+  std::remove(path.c_str());
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Monitor
+
+TEST(MonitorTest, SampleNowEmitsRatesAndIntervalPercentiles) {
+#ifndef REXP_NO_TELEMETRY
+  uint64_t ops = 0;
+  obs::Histogram latency(obs::LatencyBoundsUs());
+  obs::MetricsRegistry registry;
+  registry.AddCounter("test.ops", &ops);
+  registry.AddGauge("test.height", [] { return 3.0; });
+  registry.AddHistogram("test.latency_us", &latency);
+
+  obs::Monitor::Options opt;
+  opt.dir = ::testing::TempDir();
+  opt.name = "unit";
+  obs::Monitor monitor(&registry, opt);
+  monitor.AddJsonProvider("extra", [] { return std::string("[1,2]"); });
+  ASSERT_TRUE(monitor.OpenStream().ok());
+
+  ops = 500;
+  for (int i = 0; i < 100; ++i) latency.Record(100.0 + i);
+  monitor.SampleNow();
+  monitor.Stop();
+
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  std::remove(monitor.path().c_str());
+  // meta + seq-0 baseline + our sample.
+  ASSERT_GE(lines.size(), 3u);
+  tools::JsonValue meta;
+  ASSERT_TRUE(tools::ParseJson(lines[0], &meta));
+  EXPECT_EQ(meta.Find("type")->StringOr(""), "monitor_meta");
+  EXPECT_EQ(meta.Find("v")->NumberOr(0), 1.0);
+
+  tools::JsonValue sample;
+  ASSERT_TRUE(tools::ParseJson(lines[2], &sample));
+  EXPECT_EQ(sample.Find("type")->StringOr(""), "sample");
+  // Cumulative counter value plus a positive per-interval rate.
+  EXPECT_EQ(sample.Find("counters")->Find("test.ops")->NumberOr(0), 500.0);
+  EXPECT_GT(sample.Find("rates")->Find("test.ops")->NumberOr(0), 0.0);
+  EXPECT_EQ(sample.Find("gauges")->Find("test.height")->NumberOr(0), 3.0);
+  // Interval histogram: the 100 samples recorded since the baseline.
+  const tools::JsonValue* hist = sample.Find("hist")->Find("test.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->NumberOr(0), 100.0);
+  double p50 = hist->Find("p50")->NumberOr(0);
+  double p99 = hist->Find("p99")->NumberOr(0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  // Raw-JSON provider output splices in verbatim.
+  const tools::JsonValue* extra = sample.Find("extra");
+  ASSERT_NE(extra, nullptr);
+  ASSERT_EQ(extra->array.size(), 2u);
+#endif
+}
+
+TEST(MonitorTest, HistogramQuietIntervalOmittedFromHist) {
+#ifndef REXP_NO_TELEMETRY
+  obs::Histogram latency(obs::LatencyBoundsUs());
+  latency.Record(5.0);  // Before the stream opens: baseline absorbs it.
+  obs::MetricsRegistry registry;
+  registry.AddHistogram("test.latency_us", &latency);
+  obs::Monitor::Options opt;
+  opt.dir = ::testing::TempDir();
+  opt.name = "quiet";
+  obs::Monitor monitor(&registry, opt);
+  ASSERT_TRUE(monitor.OpenStream().ok());
+  monitor.SampleNow();  // No new samples this interval.
+  monitor.Stop();
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  std::remove(monitor.path().c_str());
+  ASSERT_GE(lines.size(), 3u);
+  tools::JsonValue sample;
+  ASSERT_TRUE(tools::ParseJson(lines[2], &sample));
+  const tools::JsonValue* hist = sample.Find("hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("test.latency_us"), nullptr);
+#endif
+}
+
+TEST(MonitorTest, BackgroundThreadSamplesAtInterval) {
+  uint64_t ops = 0;
+  obs::MetricsRegistry registry;
+  registry.AddCounter("test.ops", &ops);
+  obs::Monitor::Options opt;
+  opt.interval_s = 0.01;
+  opt.dir = ::testing::TempDir();
+  opt.name = "thread";
+  obs::Monitor monitor(&registry, opt);
+  ASSERT_TRUE(monitor.Start().ok());
+  EXPECT_FALSE(monitor.Start().ok());  // Double-start refused.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  monitor.Stop();
+  monitor.Stop();  // Idempotent.
+  EXPECT_GE(monitor.samples(), 3u);
+  // Every line of the stream parses.
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  EXPECT_GE(lines.size(), monitor.samples());
+  for (const std::string& line : lines) {
+    tools::JsonValue v;
+    EXPECT_TRUE(tools::ParseJson(line, &v)) << line;
+  }
+  std::remove(monitor.path().c_str());
+}
+
+// ---------------------------------------------------------------------
+// Tree bindings, heatmap, and per-level read counters
+
+TEST(TreeIntrospectionTest, DestroyBoundTreeThenSnapshotIsSafe) {
+  obs::MetricsRegistry registry;
+  MemoryPageFile file(4096);
+  Rng rng(7);
+  {
+    auto tree = std::make_unique<Tree<2>>(TreeConfig::Rexp(), &file);
+    tree->RegisterMetrics(&registry, "tree.");
+    for (ObjectId oid = 0; oid < 100; ++oid) {
+      tree->Insert(oid, RandomPoint<2>(&rng, 0.0), 0.0);
+    }
+    EXPECT_FALSE(registry.Snapshot().empty());
+    double height = 0;
+    EXPECT_TRUE(registry.Lookup("tree.tree.height", &height));
+    EXPECT_GE(height, 0.0);
+    tree.reset();  // The regression: bindings must die with the tree.
+  }
+  EXPECT_TRUE(registry.Snapshot().empty());
+  EXPECT_TRUE(registry.SnapshotHistograms().empty());
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos) << json;
+}
+
+TEST(TreeIntrospectionTest, ReRegisteringMovesTheBindings) {
+  obs::MetricsRegistry first;
+  obs::MetricsRegistry second;
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  tree.RegisterMetrics(&first, "tree.");
+  EXPECT_FALSE(first.Snapshot().empty());
+  // A tree holds one live registration: rebinding unregisters the old.
+  tree.RegisterMetrics(&second, "tree.");
+  EXPECT_TRUE(first.Snapshot().empty());
+  EXPECT_FALSE(second.Snapshot().empty());
+}
+
+TEST(TreeIntrospectionTest, LevelReadCountersSplitByDepth) {
+  obs::MetricsRegistry registry;
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  tree.RegisterMetrics(&registry, "tree.");
+  Rng rng(11);
+  for (ObjectId oid = 0; oid < 2000; ++oid) {
+    tree.Insert(oid, RandomPoint<2>(&rng, 0.0), 0.0);
+  }
+  double height = 0;
+  ASSERT_TRUE(registry.Lookup("tree.tree.height", &height));
+  ASSERT_GE(height, 2.0) << "workload too small to split levels";
+  tree.ResetOpStats();
+  std::vector<ObjectId> hits;
+  for (int i = 0; i < 50; ++i) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+  }
+  // Both the leaf level (0) and an internal level saw reads, and the
+  // registry exposes them per level.
+  double leaf_reads = 0, internal_reads = 0;
+  ASSERT_TRUE(registry.Lookup("tree.ops.level_reads.0", &leaf_reads));
+  ASSERT_TRUE(registry.Lookup("tree.ops.level_reads.1", &internal_reads));
+  EXPECT_GT(leaf_reads, 0.0);
+  EXPECT_GT(internal_reads, 0.0);
+  // Searches fan out: leaves are read at least as often as their parents.
+  EXPECT_GE(leaf_reads, internal_reads);
+}
+
+TEST(TreeIntrospectionTest, HeatmapRanksHotPages) {
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  Rng rng(13);
+  for (ObjectId oid = 0; oid < 2000; ++oid) {
+    tree.Insert(oid, RandomPoint<2>(&rng, 0.0), 0.0);
+  }
+  std::vector<ObjectId> hits;
+  for (int i = 0; i < 20; ++i) {
+    hits.clear();
+    tree.Search(RandomQuery<2>(&rng, 0.0), &hits);
+  }
+  std::vector<BufferManager::FrameHeat> heat = tree.buffer().Heatmap(5);
+  ASSERT_FALSE(heat.empty());
+  EXPECT_LE(heat.size(), 5u);
+  for (size_t i = 1; i < heat.size(); ++i) {
+    EXPECT_GE(heat[i - 1].accesses, heat[i].accesses);
+  }
+  // The root is read by every descent; the hottest frame reflects that.
+  EXPECT_GT(heat[0].accesses, 0u);
+
+  tools::JsonValue parsed;
+  ASSERT_TRUE(tools::ParseJson(tree.buffer().HeatmapJson(5), &parsed));
+  ASSERT_EQ(parsed.array.size(), heat.size());
+  EXPECT_EQ(parsed.array[0].Find("page")->NumberOr(-1),
+            static_cast<double>(heat[0].id));
+  EXPECT_GE(parsed.array[0].Find("accesses")->NumberOr(-1), 0.0);
+}
+
+TEST(TreeIntrospectionTest, MonitorOverLiveTreeStreamsHeatmap) {
+  obs::MetricsRegistry registry;
+  MemoryPageFile file(4096);
+  Tree<2> tree(TreeConfig::Rexp(), &file);
+  tree.RegisterMetrics(&registry, "tree.");
+  obs::Monitor::Options opt;
+  opt.dir = ::testing::TempDir();
+  opt.name = "tree";
+  obs::Monitor monitor(&registry, opt);
+  monitor.AddJsonProvider("heatmap",
+                          [&tree] { return tree.buffer().HeatmapJson(4); });
+  ASSERT_TRUE(monitor.OpenStream().ok());
+  Rng rng(17);
+  for (ObjectId oid = 0; oid < 500; ++oid) {
+    tree.Insert(oid, RandomPoint<2>(&rng, 0.0), 0.0);
+  }
+  monitor.SampleNow();
+  monitor.Stop();
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  std::remove(monitor.path().c_str());
+  ASSERT_GE(lines.size(), 3u);
+  tools::JsonValue sample;
+  ASSERT_TRUE(tools::ParseJson(lines.back(), &sample));
+  EXPECT_EQ(
+      sample.Find("counters")->Find("tree.ops.inserts")->NumberOr(0),
+      500.0);
+  const tools::JsonValue* heatmap = sample.Find("heatmap");
+  ASSERT_NE(heatmap, nullptr);
+  ASSERT_FALSE(heatmap->array.empty());
+  EXPECT_GE(heatmap->array[0].Find("accesses")->NumberOr(-1), 0.0);
+}
+
+}  // namespace
+}  // namespace rexp

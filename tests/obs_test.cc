@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -285,6 +288,136 @@ TEST(MetricsRegistryTest, ToJsonShape) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(MetricsRegistryTest, UnregisterRemovesOnlyThatOwner) {
+  uint64_t a = 1, b = 2, c = 3;
+  Histogram h;
+  MetricsRegistry registry;
+  obs::OwnerId mine = registry.NewOwner();
+  obs::OwnerId theirs = registry.NewOwner();
+  EXPECT_NE(mine, theirs);
+  registry.AddCounter("permanent", &a);
+  registry.AddCounter("mine.count", &b, mine);
+  registry.AddGauge("mine.gauge", [] { return 1.0; }, mine);
+  registry.AddHistogram("mine.hist", &h, mine);
+  registry.AddCounter("theirs.count", &c, theirs);
+
+  registry.Unregister(mine);
+  auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "permanent");
+  EXPECT_EQ(samples[1].name, "theirs.count");
+  EXPECT_TRUE(registry.SnapshotHistograms().empty());
+  // Unregistering the permanent owner is a no-op.
+  registry.Unregister(obs::kPermanentOwner);
+  EXPECT_EQ(registry.Snapshot().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ScopedRegistrationUnregistersOnDestruction) {
+  uint64_t v = 9;
+  MetricsRegistry registry;
+  {
+    obs::OwnerId owner = registry.NewOwner();
+    registry.AddCounter("scoped.count", &v, owner);
+    obs::ScopedRegistration scoped = registry.MakeScoped(owner);
+    EXPECT_TRUE(scoped.active());
+    EXPECT_EQ(registry.Snapshot().size(), 1u);
+  }
+  // The binding died with the handle: snapshots no longer touch `v`.
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ScopedRegistrationSurvivesRegistryDeath) {
+  uint64_t v = 9;
+  obs::ScopedRegistration scoped;
+  {
+    MetricsRegistry registry;
+    obs::OwnerId owner = registry.NewOwner();
+    registry.AddCounter("scoped.count", &v, owner);
+    scoped = registry.MakeScoped(owner);
+  }
+  // Registry destroyed first: the weak token expired and Reset is a
+  // no-op rather than a use-after-free.
+  EXPECT_FALSE(scoped.active());
+  scoped.Reset();
+}
+
+// The stale-binding regression the owner scoping exists for: a component
+// registered, died, and a later snapshot must not dereference it.
+TEST(MetricsRegistryTest, SnapshotAfterBoundComponentDiesIsSafe) {
+  MetricsRegistry registry;
+  struct Component {
+    uint64_t hits = 0;
+    obs::ScopedRegistration registration;
+  };
+  auto component = std::make_unique<Component>();
+  obs::OwnerId owner = registry.NewOwner();
+  registry.AddCounter("component.hits", &component->hits, owner);
+  registry.AddGauge(
+      "component.load",
+      [raw = component.get()] { return static_cast<double>(raw->hits); },
+      owner);
+  component->registration = registry.MakeScoped(owner);
+  EXPECT_EQ(registry.Snapshot().size(), 2u);
+
+  component.reset();  // Dies before the registry.
+  EXPECT_TRUE(registry.Snapshot().empty());
+  double unused;
+  EXPECT_FALSE(registry.Lookup("component.hits", &unused));
+}
+
+// ---------------------------------------------------------------------
+// Histogram edge cases under concurrency and saturation
+
+TEST(HistogramTest, OverflowPercentileSaturatesAtObservedMax) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(std::vector<double>{1, 2, 4});
+  h.Record(1000);
+  h.Record(2000);
+  // All mass in the overflow bucket: interpolation has no resolution
+  // past the last finite bound, so every percentile saturates to the
+  // same value — clamped into the observed [min, max], never invented
+  // beyond it and never below the last bound.
+  double p50 = h.Percentile(0.5);
+  double p100 = h.Percentile(1.0);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LE(p100, 2000.0);
+  EXPECT_DOUBLE_EQ(p50, p100);
+  EXPECT_DOUBLE_EQ(h.max(), 2000.0);  // Exact moments still track.
+  EXPECT_DOUBLE_EQ(h.min(), 1000.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordWhileSnapshotting) {
+  REXP_SKIP_IF_NO_TELEMETRY();
+  Histogram h(obs::LatencyBoundsUs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>((t * kPerThread + i) % 100) + 0.5);
+      }
+    });
+  }
+  // Read continuously while the writers hammer: totals must always be
+  // internally consistent (bucket sum == count) and percentiles finite.
+  for (int reads = 0; reads < 200; ++reads) {
+    std::vector<uint64_t> buckets = h.bucket_counts();
+    uint64_t total = 0;
+    for (uint64_t c : buckets) total += c;
+    EXPECT_LE(total, static_cast<uint64_t>(kThreads) * kPerThread);
+    double p99 = h.Percentile(0.99);
+    EXPECT_TRUE(std::isfinite(p99));
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  std::vector<uint64_t> buckets = h.bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
 // ---------------------------------------------------------------------
 // Tracer
 
@@ -316,16 +449,18 @@ TEST(TracerTest, EmitsJsonlWithMonotoneSeq) {
     tracer->Emit("split", {{"level", 1.0}, {"axis", 0.0}});
     tracer->Emit("insert", {{"now", 2.5}, {"io", 3.0}});
 #ifndef REXP_NO_TELEMETRY
-    EXPECT_EQ(tracer->events(), 2u);
+    EXPECT_EQ(tracer->events(), 3u);  // trace_meta + 2 events.
 #endif
   }
   std::vector<std::string> lines = ReadLines(path);
 #ifdef REXP_NO_TELEMETRY
   EXPECT_TRUE(lines.empty());
 #else
-  ASSERT_EQ(lines.size(), 2u);
-  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"split\",\"level\":1,\"axis\":0}");
-  EXPECT_EQ(lines[1], "{\"seq\":1,\"type\":\"insert\",\"now\":2.5,\"io\":3}");
+  // A schema-v2 stream opens with the versioned header at seq 0.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"trace_meta\",\"v\":2}");
+  EXPECT_EQ(lines[1], "{\"seq\":1,\"type\":\"split\",\"level\":1,\"axis\":0}");
+  EXPECT_EQ(lines[2], "{\"seq\":2,\"type\":\"insert\",\"now\":2.5,\"io\":3}");
 #endif
   std::remove(path.c_str());
 }
@@ -342,10 +477,90 @@ TEST(TracerTest, AppendModeExtendsExistingStream) {
     auto t = std::move(Tracer::OpenFile(path, /*append=*/true).value());
     t->Emit("b", {});
   }
+  // Each process opens its own segment: header, events, header, events —
+  // with seq restarting at 0 per segment (what check_trace.py validates).
   std::vector<std::string> lines = ReadLines(path);
-  ASSERT_EQ(lines.size(), 2u);
-  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"a\"}");
-  EXPECT_EQ(lines[1], "{\"seq\":0,\"type\":\"b\"}");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "{\"seq\":0,\"type\":\"trace_meta\",\"v\":2}");
+  EXPECT_EQ(lines[1], "{\"seq\":1,\"type\":\"a\"}");
+  EXPECT_EQ(lines[2], "{\"seq\":0,\"type\":\"trace_meta\",\"v\":2}");
+  EXPECT_EQ(lines[3], "{\"seq\":1,\"type\":\"b\"}");
+  std::remove(path.c_str());
+#endif
+}
+
+TEST(TracerTest, SpansNestWithParentIdsAndDuration) {
+#ifndef REXP_NO_TELEMETRY
+  std::string path =
+      ::testing::TempDir() + "/rexp_obs_trace_span_test.jsonl";
+  {
+    auto t = std::move(Tracer::OpenFile(path).value());
+    uint64_t outer = t->BeginSpan("insert", {{"oid", 7.0}});
+    EXPECT_EQ(outer, 1u);
+    t->Emit("descend", {{"level", 2.0}});
+    uint64_t inner = t->BeginSpan("split", {{"level", 0.0}});
+    EXPECT_EQ(inner, 2u);
+    t->EndSpan({{"axis", 1.0}});
+    t->EndSpan({{"io", 4.0}});
+  }
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 6u);
+  // B events carry the span id; nested B names its parent.
+  EXPECT_EQ(lines[1],
+            "{\"seq\":1,\"type\":\"insert\",\"ph\":\"B\",\"span\":1,"
+            "\"oid\":7}");
+  // A point event inside a span is attributed to the innermost open one.
+  EXPECT_EQ(lines[2],
+            "{\"seq\":2,\"type\":\"descend\",\"span\":1,\"level\":2}");
+  EXPECT_EQ(lines[3],
+            "{\"seq\":3,\"type\":\"split\",\"ph\":\"B\",\"span\":2,"
+            "\"parent\":1,\"level\":0}");
+  // E events close innermost-first and carry a measured duration.
+  EXPECT_NE(lines[4].find("\"type\":\"split\",\"ph\":\"E\",\"span\":2,"
+                          "\"dur_us\":"),
+            std::string::npos)
+      << lines[4];
+  EXPECT_NE(lines[4].find("\"axis\":1"), std::string::npos) << lines[4];
+  EXPECT_NE(lines[5].find("\"type\":\"insert\",\"ph\":\"E\",\"span\":1,"
+                          "\"dur_us\":"),
+            std::string::npos)
+      << lines[5];
+  EXPECT_NE(lines[5].find("\"io\":4"), std::string::npos) << lines[5];
+  std::remove(path.c_str());
+#endif
+}
+
+TEST(TracerTest, SpanSamplingDropsWholeGroups) {
+#ifndef REXP_NO_TELEMETRY
+  std::string path =
+      ::testing::TempDir() + "/rexp_obs_trace_sample_test.jsonl";
+  {
+    auto t = std::move(Tracer::OpenFile(path).value());
+    t->set_span_sample(2);  // Keep top-level groups 0, 2; drop 1, 3.
+    for (int i = 0; i < 4; ++i) {
+      uint64_t id = t->BeginSpan("op", {{"i", static_cast<double>(i)}});
+      EXPECT_EQ(id != 0, i % 2 == 0) << i;
+      t->Emit("child", {{"i", static_cast<double>(i)}});
+      t->BeginSpan("nested");  // Children inherit suppression.
+      t->EndSpan();
+      t->EndSpan();
+    }
+  }
+  // header + 2 kept groups x (B op, child, B nested, E nested, E op).
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 11u);
+  int begins = 0, ends = 0, children = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"ph\":\"B\"") != std::string::npos) ++begins;
+    if (line.find("\"ph\":\"E\"") != std::string::npos) ++ends;
+    if (line.find("\"type\":\"child\"") != std::string::npos) ++children;
+    // Nothing from the suppressed groups leaks through.
+    EXPECT_EQ(line.find("\"i\":1"), std::string::npos) << line;
+    EXPECT_EQ(line.find("\"i\":3"), std::string::npos) << line;
+  }
+  EXPECT_EQ(begins, 4);  // 2 groups x (op + nested).
+  EXPECT_EQ(ends, 4);
+  EXPECT_EQ(children, 2);
   std::remove(path.c_str());
 #endif
 }

@@ -5,7 +5,13 @@
 // statistics, and the live/expired entry split at a given time.
 //
 //   $ ./inspect_index <index-file> [--now T] [--page-size N]
-//                     [--json] [--metrics] [--verify]
+//                     [--json] [--metrics] [--verify] [--watch [S]]
+//
+// --watch re-opens the file and re-renders the report every S seconds
+// (default 1) until interrupted, clearing the screen between rounds — a
+// poor man's rexp_top for the on-disk structure of an index another
+// process is writing. A transiently unopenable file (the writer mid-
+// commit) prints a waiting line instead of exiting.
 //
 // --json emits the whole report as one JSON object (structure, per-level
 // stats, horizon estimate, and the telemetry registry snapshot) instead
@@ -23,10 +29,12 @@
 // /tmp/rexp_fleet_index.bin while it runs) or your own code using
 // DiskPageFile.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "obs/json_writer.h"
 #include "obs/registry.h"
@@ -42,50 +50,13 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index-file> [--now T] [--page-size N] [--json] "
-               "[--metrics] [--verify]\n",
+               "[--metrics] [--verify] [--watch [S]]\n",
                argv0);
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage(argv[0]);
-  std::string path = argv[1];
-  Time now = 0;
-  uint32_t page_size = 4096;
-  bool json = false;
-  bool metrics_only = false;
-  bool full_verify = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics_only = true;
-    } else if (std::strcmp(argv[i], "--verify") == 0) {
-      full_verify = true;
-    } else if (std::strcmp(argv[i], "--now") == 0 ||
-               std::strcmp(argv[i], "--page-size") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag %s requires a value\n", argv[i]);
-        return Usage(argv[0]);
-      }
-      if (std::strcmp(argv[i], "--now") == 0) {
-        now = std::atof(argv[i + 1]);
-      } else {
-        page_size = static_cast<uint32_t>(std::atoi(argv[i + 1]));
-        if (page_size == 0) {
-          std::fprintf(stderr, "--page-size must be a positive integer\n");
-          return Usage(argv[0]);
-        }
-      }
-      ++i;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage(argv[0]);
-    }
-  }
-
+int RunOnce(const std::string& path, Time now, uint32_t page_size, bool json,
+            bool metrics_only, bool full_verify) {
   std::FILE* probe = std::fopen(path.c_str(), "rb");
   if (probe == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -205,4 +176,68 @@ int main(int argc, char** argv) {
                 report.ok() ? "OK\n" : report.ToString().c_str());
   }
   return sound ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  std::string path = argv[1];
+  Time now = 0;
+  uint32_t page_size = 4096;
+  bool json = false;
+  bool metrics_only = false;
+  bool full_verify = false;
+  bool watch = false;
+  double watch_interval = 1.0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_only = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      full_verify = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+      // Optional numeric refresh period.
+      if (i + 1 < argc) {
+        char* end = nullptr;
+        double s = std::strtod(argv[i + 1], &end);
+        if (end != argv[i + 1] && *end == '\0' && s > 0) {
+          watch_interval = s;
+          ++i;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--now") == 0 ||
+               std::strcmp(argv[i], "--page-size") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s requires a value\n", argv[i]);
+        return Usage(argv[0]);
+      }
+      if (std::strcmp(argv[i], "--now") == 0) {
+        now = std::atof(argv[i + 1]);
+      } else {
+        page_size = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+        if (page_size == 0) {
+          std::fprintf(stderr, "--page-size must be a positive integer\n");
+          return Usage(argv[0]);
+        }
+      }
+      ++i;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!watch) {
+    return RunOnce(path, now, page_size, json, metrics_only, full_verify);
+  }
+  while (true) {
+    std::printf("\033[H\033[2J");
+    RunOnce(path, now, page_size, json, metrics_only, full_verify);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(watch_interval));
+  }
 }

@@ -1,0 +1,287 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Shared support for tools that consume the observability streams: a
+// minimal JSON value/parser (sufficient for the monitor, trace, and
+// flight-recorder schemas — objects, arrays, strings, numbers, bools,
+// null) and a tail(1)-style follower for monitor JSONL files. Kept
+// header-only and dependency-free so every tool can include it without
+// touching the core library.
+
+#ifndef REXP_TOOLS_MONITOR_STREAM_H_
+#define REXP_TOOLS_MONITOR_STREAM_H_
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace rexp::tools {
+
+// A parsed JSON value. Object members keep insertion order (the monitor
+// writes counters in registration order; tools display them that way).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  // Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const char* key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  std::string StringOr(const std::string& fallback) const {
+    return kind == Kind::kString ? string : fallback;
+  }
+};
+
+namespace internal {
+
+class JsonParser {
+ public:
+  JsonParser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool Consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n || std::strncmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    char* num_end = nullptr;
+    double v = std::strtod(p_, &num_end);
+    if (num_end == p_ || num_end > end_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    p_ = num_end;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return false;
+      char esc = *p_++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Our writers only emit \u00XX control escapes; decode the
+          // low byte and ignore anything outside Latin-1.
+          if (end_ - p_ < 4) return false;
+          char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+          long code = std::strtol(hex, nullptr, 16);
+          if (code < 0x100) out->push_back(static_cast<char>(code));
+          p_ += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace internal
+
+inline bool ParseJson(const std::string& text, JsonValue* out) {
+  *out = JsonValue();
+  internal::JsonParser parser(text.data(), text.data() + text.size());
+  return parser.Parse(out);
+}
+
+// Newest (by mtime) monitor_*.jsonl under `dir`; empty when none exist.
+inline std::string NewestMonitorFile(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return std::string();
+  std::string best;
+  time_t best_mtime = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    const char* name = e->d_name;
+    size_t len = std::strlen(name);
+    if (std::strncmp(name, "monitor_", 8) != 0 || len < 14 ||
+        std::strcmp(name + len - 6, ".jsonl") != 0) {
+      continue;
+    }
+    std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;
+    if (best.empty() || st.st_mtime >= best_mtime) {
+      best = path;
+      best_mtime = st.st_mtime;
+    }
+  }
+  ::closedir(d);
+  return best;
+}
+
+// Follows a JSONL file like `tail -f`: each Poll reads whatever complete
+// lines were appended since the last call. A trailing line without a
+// newline (a writer mid-append, or the torn last line of a crashed
+// process) is buffered until its newline arrives, never half-parsed.
+class MonitorStream {
+ public:
+  explicit MonitorStream(std::string path) : path_(std::move(path)) {}
+
+  MonitorStream(const MonitorStream&) = delete;
+  MonitorStream& operator=(const MonitorStream&) = delete;
+
+  ~MonitorStream() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool Open() {
+    if (file_ != nullptr) return true;
+    file_ = std::fopen(path_.c_str(), "r");
+    return file_ != nullptr;
+  }
+
+  // Appends the new complete lines to `out`; returns how many.
+  size_t Poll(std::vector<std::string>* out) {
+    if (!Open()) return 0;
+    std::clearerr(file_);  // Reset EOF so appended data is visible.
+    size_t added = 0;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), file_) != nullptr) {
+      partial_ += buf;
+      if (!partial_.empty() && partial_.back() == '\n') {
+        partial_.pop_back();
+        if (!partial_.empty()) {
+          out->push_back(std::move(partial_));
+          ++added;
+        }
+        partial_.clear();
+      }
+    }
+    return added;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::string partial_;
+};
+
+}  // namespace rexp::tools
+
+#endif  // REXP_TOOLS_MONITOR_STREAM_H_

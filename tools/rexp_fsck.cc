@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "storage/page_file.h"
 #include "tree/tree_config.h"
@@ -476,6 +477,17 @@ int main(int argc, char** argv) {
     }
     if (!opt.quiet || !out.report.ok()) {
       std::printf("%s", out.report.ToString().c_str());
+    }
+  }
+  if (out.exit_code == kExitFindings ||
+      out.exit_code == kExitUnsalvageable) {
+    // Leave the recent-operation context beside the damage report. The
+    // ring is empty for a purely offline check, but when fsck runs inside
+    // a process that exercised the index (tests, embedded use) the dump
+    // shows what ran right before the corruption.
+    std::string dump = obs::DumpFlightRecorderNow("fsck_findings");
+    if (!dump.empty() && !opt.quiet) {
+      std::fprintf(stderr, "flight recorder dumped to %s\n", dump.c_str());
     }
   }
   return out.exit_code;
