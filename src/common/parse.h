@@ -1,0 +1,110 @@
+// Checked command-line value parsing shared by the tools.
+//
+// The CLI binaries historically used std::atoi/std::atof, which return 0
+// on garbage input with no error signal — `--page-size bogus` silently
+// became page_size 0 and either corrupted the run or produced a
+// misleading "must be positive" diagnostic. These helpers parse the
+// whole token strictly: leading/trailing junk, overflow, and non-finite
+// doubles all report failure so callers can exit with a usage error
+// instead of limping on with a zero.
+#ifndef REXP_COMMON_PARSE_H_
+#define REXP_COMMON_PARSE_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace rexp {
+
+// strto* skip leading whitespace; a CLI token with embedded spaces is a
+// quoting accident, so the checked parsers reject it outright.
+inline bool ParseLeadingSpace(const char* s) {
+  return std::isspace(static_cast<unsigned char>(*s)) != 0;
+}
+
+// Parses the entire string as a signed 64-bit decimal integer. Returns
+// false (leaving *out untouched) on empty input, leading/trailing
+// garbage, or overflow.
+inline bool ParseI64(const char* s, int64_t* out) {
+  if (s == nullptr || *s == '\0' || ParseLeadingSpace(s)) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+// Parses the entire string as an unsigned 64-bit decimal integer.
+// Rejects negative input explicitly (strtoull would wrap it around).
+inline bool ParseU64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || ParseLeadingSpace(s)) return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '-') return false;
+    if (*p != '+' && (*p < '0' || *p > '9')) break;  // strtoull rejects it
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+// Parses the entire string as a finite double.
+inline bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0' || ParseLeadingSpace(s)) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+// Convenience wrappers with range checks, matching the shapes the tools
+// actually need.
+
+inline bool ParseI32(const char* s, int32_t* out) {
+  int64_t v = 0;
+  if (!ParseI64(s, &v)) return false;
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+inline bool ParseU32(const char* s, uint32_t* out) {
+  uint64_t v = 0;
+  if (!ParseU64(s, &v)) return false;
+  if (v > std::numeric_limits<uint32_t>::max()) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+// Strictly positive variants for flags where zero is as nonsensical as
+// garbage (page sizes, intervals, object counts).
+inline bool ParsePositiveU32(const char* s, uint32_t* out) {
+  uint32_t v = 0;
+  if (!ParseU32(s, &v) || v == 0) return false;
+  *out = v;
+  return true;
+}
+
+inline bool ParsePositiveDouble(const char* s, double* out) {
+  double v = 0;
+  if (!ParseDouble(s, &v) || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace rexp
+
+#endif  // REXP_COMMON_PARSE_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "livetier/tiered_index.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sched/scheduled_index.h"
@@ -38,6 +39,12 @@ VariantSpec VariantSpec::TprScheduled() {
   return VariantSpec{"TPR-tree sched.del.", TreeConfig::Tpr(), true};
 }
 
+VariantSpec VariantSpec::RexpTiered() {
+  VariantSpec v{"Rexp-tree live-tier", TreeConfig::Rexp(), false};
+  v.tiered = true;
+  return v;
+}
+
 namespace {
 
 // Thin uniform driver over Tree and ScheduledIndex so the measurement loop
@@ -49,36 +56,68 @@ class Driver {
     if (variant.scheduled) {
       sched_ = std::make_unique<ScheduledIndex<2>>(variant.config, tree_file,
                                                    queue_file);
+    } else if (variant.tiered) {
+      tiered_ = std::make_unique<TieredIndex<2>>(variant.config, tree_file);
     } else {
       tree_ = std::make_unique<Tree<2>>(variant.config, tree_file);
     }
   }
 
-  // Executes scheduled deletions due before `now`; returns how many fired.
+  // Executes deferred maintenance due before `now` — scheduled deletions
+  // (returning how many fired, each an update op) or, for the tiered
+  // variant, a synchronous live-tier migration step once per logical
+  // second. Migration I/O is amortized cost of already-counted reports,
+  // so it adds I/O but no ops.
   uint64_t Pump(Time now) {
-    return sched_ ? sched_->PumpDue(now) : 0;
+    if (sched_) return sched_->PumpDue(now);
+    if (tiered_ && now - last_migrate_ >= 1.0) {
+      last_migrate_ = now;
+      tiered_->MigrateTick();
+    }
+    return 0;
   }
 
   void Insert(ObjectId oid, const Tpbr<2>& p, Time now) {
     if (sched_) {
       sched_->Insert(oid, p, now);
+    } else if (tiered_) {
+      tiered_->Insert(oid, p, now);
     } else {
       tree_->Insert(oid, p, now);
     }
   }
   bool Delete(ObjectId oid, const Tpbr<2>& p, Time now) {
     if (sched_) return sched_->Delete(oid, p, now);
+    if (tiered_) return tiered_->Delete(oid, p, now);
     return tree_->Delete(oid, p, now);
+  }
+  // A position re-report: old record out, new record in. The tiered
+  // variant absorbs it in memory in one call; the others express it as
+  // the paper's delete-then-insert pair.
+  void Update(ObjectId oid, const Tpbr<2>& old_record, const Tpbr<2>& p,
+              Time now) {
+    if (tiered_) {
+      tiered_->Update(oid, old_record, p, now);
+    } else {
+      Delete(oid, old_record, now);
+      Insert(oid, p, now);
+    }
   }
   void Search(const Query<2>& q, Time now, std::vector<ObjectId>* out) {
     if (sched_) {
       sched_->Search(q, now, out);
+    } else if (tiered_) {
+      tiered_->Search(q, out);
     } else {
       tree_->Search(q, out);
     }
   }
 
-  Tree<2>& tree() { return sched_ ? sched_->tree() : *tree_; }
+  Tree<2>& tree() {
+    if (sched_) return sched_->tree();
+    if (tiered_) return tiered_->tree();
+    return *tree_;
+  }
   uint64_t QueueIo() {
     return sched_ ? sched_->queue().io_stats().Total() : 0;
   }
@@ -88,6 +127,8 @@ class Driver {
   void RegisterMetrics(obs::MetricsRegistry* registry) const {
     if (sched_) {
       sched_->RegisterMetrics(registry, "");
+    } else if (tiered_) {
+      tiered_->RegisterMetrics(registry, "");
     } else {
       tree_->RegisterMetrics(registry, "tree.");
     }
@@ -96,6 +137,8 @@ class Driver {
  private:
   std::unique_ptr<Tree<2>> tree_;
   std::unique_ptr<ScheduledIndex<2>> sched_;
+  std::unique_ptr<TieredIndex<2>> tiered_;
+  Time last_migrate_ = 0;
 };
 
 }  // namespace
@@ -169,8 +212,7 @@ RunResult RunExperiment(const WorkloadSpec& spec,
         uint64_t before = tree_io();
         // The delete may fail if the record expired first (the paper's
         // semantics); the insert then simply introduces the new record.
-        driver.Delete(op.oid, op.old_record, now);
-        driver.Insert(op.oid, op.record, now);
+        driver.Update(op.oid, op.old_record, op.record, now);
         update_io_total += tree_io() - before;
         result.update_ops += 2;
         current_record[op.oid] = op.record;

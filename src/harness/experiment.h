@@ -22,12 +22,17 @@ struct VariantSpec {
   std::string name;
   TreeConfig config;
   bool scheduled = false;  // Pair the tree with the B-tree deletion queue.
+  bool tiered = false;     // Front the tree with the in-memory live tier.
 
   // The four variants of the paper's Figures 13–16.
   static VariantSpec Rexp();
   static VariantSpec Tpr();
   static VariantSpec RexpScheduled();
   static VariantSpec TprScheduled();
+  // The live-tier wrapper (src/livetier/): reports absorbed in memory,
+  // bulk-migrated into the tree. Migration runs synchronously inside the
+  // harness (deterministic), driven by the same logical clock.
+  static VariantSpec RexpTiered();
 };
 
 struct RunResult {

@@ -169,7 +169,11 @@ void Monitor::SampleLocked() {
       if (!s.is_counter) continue;
       for (const MetricSample& p : prev_counters_) {
         if (p.is_counter && p.name == s.name) {
-          w.KV(s.name.c_str(), (s.value - p.value) / dt);
+          // A counter below its previous sample was re-registered (its
+          // owner cycled) or reset; rating the difference would emit a
+          // huge negative spike. Rate it as if it restarted from zero.
+          const double d = s.value >= p.value ? s.value - p.value : s.value;
+          w.KV(s.name.c_str(), d / dt);
           break;
         }
       }
@@ -196,14 +200,27 @@ void Monitor::SampleLocked() {
     std::vector<uint64_t> delta = h.bucket_counts;
     uint64_t delta_count = h.count;
     double delta_sum = h.sum;
-    if (prev != nullptr && prev->bucket_counts.size() == delta.size() &&
-        prev->count <= h.count) {
-      for (size_t i = 0; i < delta.size(); ++i) {
-        delta[i] -= std::min(prev->bucket_counts[i], delta[i]);
+    if (prev != nullptr && prev->bucket_counts.size() == delta.size()) {
+      // A histogram Reset() between samples shows up as a cumulative
+      // count, sum, or bucket going backwards — possibly after regrowing
+      // past the previous count, so the count alone cannot be trusted.
+      // Subtracting across a reset would emit clamped-garbage buckets
+      // and a negative mean; treat the cumulative state as this
+      // interval's delta instead (the interval since the reset).
+      bool regressed = h.count < prev->count || h.sum < prev->sum;
+      for (size_t i = 0; !regressed && i < delta.size(); ++i) {
+        if (h.bucket_counts[i] < prev->bucket_counts[i]) regressed = true;
       }
-      delta_count = h.count - prev->count;
-      delta_sum = h.sum - prev->sum;
+      if (!regressed) {
+        for (size_t i = 0; i < delta.size(); ++i) {
+          delta[i] -= prev->bucket_counts[i];
+        }
+        delta_count = h.count - prev->count;
+        delta_sum = h.sum - prev->sum;
+      }
     }
+    // A quiet interval (or an all-zero histogram) contributes no "hist"
+    // entry at all rather than a zero-count object with NaN percentiles.
     if (delta_count == 0) continue;
     w.Key(h.name.c_str()).BeginObject();
     w.KV("count", delta_count);

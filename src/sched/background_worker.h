@@ -1,0 +1,97 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// A periodic background worker: one thread that invokes a callback every
+// `interval` (or immediately when kicked) until stopped. The live tier's
+// migrator runs on one of these; it is generic enough for any deferred-
+// maintenance loop that must coexist with the tree's single-writer epoch
+// protocol (the callback serializes against foreground writers through
+// whatever locks it takes — typically the tree's own epoch mutex).
+//
+// Guarantees:
+//   * Stop() joins the thread; the callback never runs after Stop()
+//     returns, so members the callback touches may be destroyed next.
+//   * Kick() wakes the loop early (coalesced: multiple kicks before the
+//     next run trigger one run).
+//   * The callback runs on the worker thread only — never inline in
+//     Start/Stop/Kick — so callers can hold their own locks around those.
+
+#ifndef REXP_SCHED_BACKGROUND_WORKER_H_
+#define REXP_SCHED_BACKGROUND_WORKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rexp::sched {
+
+class BackgroundWorker {
+ public:
+  BackgroundWorker() = default;
+  ~BackgroundWorker() { Stop(); }
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  // Starts the loop; no-op if already running. `tick` is invoked on the
+  // worker thread every `interval_s` seconds, and once per Kick().
+  void Start(std::function<void()> tick, double interval_s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (thread_.joinable()) return;
+    tick_ = std::move(tick);
+    interval_s_ = interval_s;
+    stop_ = false;
+    kicked_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  // Stops and joins the worker. Safe to call repeatedly or without Start.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Requests an immediate run (coalesced with any pending request).
+  void Kick() {
+    std::lock_guard<std::mutex> lk(mu_);
+    kicked_ = true;
+    cv_.notify_all();
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return thread_.joinable() && !stop_;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      cv_.wait_for(lk, std::chrono::duration<double>(interval_s_),
+                   [this] { return stop_ || kicked_; });
+      if (stop_) break;
+      kicked_ = false;
+      lk.unlock();
+      tick_();
+      lk.lock();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> tick_;
+  double interval_s_ = 1.0;
+  bool stop_ = false;
+  bool kicked_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rexp::sched
+
+#endif  // REXP_SCHED_BACKGROUND_WORKER_H_

@@ -1917,6 +1917,16 @@ double MinDistSqAt(const Vec<kDims>& point, const Tpbr<kDims>& region,
 template <int kDims>
 void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                                    std::vector<ObjectId>* out) {
+  std::vector<NnResult> results;
+  NearestNeighbors(point, t, k, &results);
+  out->clear();
+  out->reserve(results.size());
+  for (const NnResult& r : results) out->push_back(r.oid);
+}
+
+template <int kDims>
+void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                                   std::vector<NnResult>* out) {
   std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
   ++op_stats_.nn_searches;
   out->clear();
@@ -1947,7 +1957,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
     Item item = heap.top();
     heap.pop();
     if (item.is_object) {
-      out->push_back(item.id);
+      out->push_back(NnResult{item.id, item.dist});
       continue;
     }
     ReadNodeInto(item.id, &node);

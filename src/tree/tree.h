@@ -276,6 +276,17 @@ class Tree {
   void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                         std::vector<ObjectId>* out);
 
+  // Distance-reporting variant: the same best-first search, but each
+  // result carries its exact squared distance at time `t`. A tiered
+  // index merges these with candidates from an in-memory live tier by
+  // (distance, oid) without recomputing tree distances.
+  struct NnResult {
+    ObjectId oid;
+    double dist_sq;
+  };
+  void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                        std::vector<NnResult>* out);
+
   // Answers `queries` with a pool of `num_threads` worker threads, each
   // running Search under its own shared epoch (concurrent with the other
   // workers and with external readers, exclusive against writers).

@@ -12,6 +12,7 @@
 
 #include "common/crc32c.h"
 #include "common/float_round.h"
+#include "common/parse.h"
 #include "common/query.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -206,6 +207,81 @@ TEST(Crc32c, KnownVectorsAndSensitivity) {
   uint8_t copy[32] = {0};
   copy[17] ^= 0x20;
   EXPECT_NE(Crc32c(copy, sizeof(copy)), 0x8a9136aau);
+}
+
+// ---------------------------------------------------------------------------
+// Checked CLI value parsing (common/parse.h). The tools route every
+// numeric flag through these; the contract is strict whole-token parsing
+// with failure (not zero) on garbage.
+
+TEST(Parse, I64AcceptsWholeDecimalTokens) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseI64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseI64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseI64("+7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ParseI64("9223372036854775807", &v));
+  EXPECT_EQ(v, std::numeric_limits<int64_t>::max());
+}
+
+TEST(Parse, I64RejectsGarbageAndOverflow) {
+  int64_t v = 123;
+  EXPECT_FALSE(ParseI64("bogus", &v));
+  EXPECT_FALSE(ParseI64("", &v));
+  EXPECT_FALSE(ParseI64(nullptr, &v));
+  EXPECT_FALSE(ParseI64("12abc", &v));
+  EXPECT_FALSE(ParseI64("1.5", &v));
+  EXPECT_FALSE(ParseI64(" 12", &v));
+  EXPECT_FALSE(ParseI64("12 ", &v));
+  EXPECT_FALSE(ParseI64("9223372036854775808", &v));  // INT64_MAX + 1.
+  EXPECT_EQ(v, 123) << "failed parse must leave *out untouched";
+}
+
+TEST(Parse, U64RejectsNegative) {
+  uint64_t v = 7;
+  EXPECT_FALSE(ParseU64("-1", &v));
+  EXPECT_FALSE(ParseU64("-0", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(ParseU64("18446744073709551615", &v));
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));
+}
+
+TEST(Parse, DoubleRequiresFiniteWholeToken) {
+  double v = 99;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("bogus", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("1e999", &v));  // Overflows to inf via ERANGE.
+}
+
+TEST(Parse, NarrowingAndPositivityChecks) {
+  uint32_t u = 5;
+  EXPECT_TRUE(ParseU32("4294967295", &u));
+  EXPECT_EQ(u, std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(ParseU32("4294967296", &u));
+  EXPECT_FALSE(ParsePositiveU32("0", &u));
+  EXPECT_TRUE(ParsePositiveU32("4096", &u));
+  EXPECT_EQ(u, 4096u);
+
+  int32_t i = 5;
+  EXPECT_TRUE(ParseI32("-2147483648", &i));
+  EXPECT_EQ(i, std::numeric_limits<int32_t>::min());
+  EXPECT_FALSE(ParseI32("2147483648", &i));
+
+  double d = 5;
+  EXPECT_FALSE(ParsePositiveDouble("0", &d));
+  EXPECT_FALSE(ParsePositiveDouble("-0.5", &d));
+  EXPECT_TRUE(ParsePositiveDouble("0.25", &d));
+  EXPECT_EQ(d, 0.25);
 }
 
 }  // namespace

@@ -112,5 +112,33 @@ TEST(Harness, RunResultCarriesTelemetrySnapshot) {
             std::string::npos);
 }
 
+TEST(Harness, TieredVariantRunsAndAbsorbsUpdates) {
+  WorkloadSpec spec;
+  spec.target_objects = 500;
+  spec.total_insertions = 6000;
+  spec.seed = 29;
+  RunResult tiered = RunExperiment(spec, VariantSpec::RexpTiered());
+  RunResult plain = RunExperiment(spec, VariantSpec::Rexp());
+
+  // Same workload, same answer-quality metrics: the live tier must be
+  // observationally invisible apart from cost.
+  EXPECT_EQ(tiered.queries, plain.queries);
+  EXPECT_DOUBLE_EQ(tiered.avg_false_drops, 0.0);
+  EXPECT_NEAR(tiered.avg_result_size, plain.avg_result_size,
+              plain.avg_result_size * 0.02 + 0.01);
+
+  // The point of the tier: reports absorbed in memory, so tree I/O per
+  // update op drops below the tree-only variant's.
+  EXPECT_LT(tiered.update_io, plain.update_io);
+
+  // Telemetry flows through the same registry surface.
+  EXPECT_NE(tiered.metrics_json.find("\"livetier.admitted\":"),
+            std::string::npos);
+  EXPECT_NE(tiered.metrics_json.find("\"livetier.migration_batches\":"),
+            std::string::npos);
+  EXPECT_NE(tiered.metrics_json.find("\"tree.buffer.reads\":"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace rexp

@@ -227,6 +227,135 @@ TEST(MonitorTest, HistogramQuietIntervalOmittedFromHist) {
 #endif
 }
 
+TEST(MonitorTest, HistogramResetBetweenSamplesTreatedAsFresh) {
+#ifndef REXP_NO_TELEMETRY
+  obs::Histogram latency(obs::LatencyBoundsUs());
+  obs::MetricsRegistry registry;
+  registry.AddHistogram("test.latency_us", &latency);
+  obs::Monitor::Options opt;
+  opt.dir = ::testing::TempDir();
+  opt.name = "reset";
+  obs::Monitor monitor(&registry, opt);
+  ASSERT_TRUE(monitor.OpenStream().ok());
+
+  for (int i = 0; i < 100; ++i) latency.Record(5000.0);
+  monitor.SampleNow();
+
+  // The nasty flavor: the histogram is reset and then regrows PAST the
+  // previous cumulative count, so the count alone looks like normal
+  // growth — only the vacated buckets betray the reset. Subtracting
+  // across it used to produce clamped buckets and a negative mean.
+  latency.Reset();
+  for (int i = 0; i < 150; ++i) latency.Record(10.0);
+  monitor.SampleNow();
+  monitor.Stop();
+
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  std::remove(monitor.path().c_str());
+  ASSERT_GE(lines.size(), 4u);  // meta, baseline, sample, sample.
+  tools::JsonValue sample;
+  ASSERT_TRUE(tools::ParseJson(lines[3], &sample));
+  const tools::JsonValue* hist = sample.Find("hist")->Find("test.latency_us");
+  ASSERT_NE(hist, nullptr);
+  // The cumulative post-reset state is reported as this interval's
+  // delta: all 150 fresh records, with a sane positive mean near the
+  // recorded value — never a negative or NaN one.
+  EXPECT_EQ(hist->Find("count")->NumberOr(0), 150.0);
+  double mean = hist->Find("mean")->NumberOr(-1);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 100.0);
+  double p50 = hist->Find("p50")->NumberOr(-1);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LT(p50, 5000.0) << "percentiles must come from fresh buckets";
+#endif
+}
+
+TEST(MonitorTest, CounterRegressionDoesNotEmitNegativeRate) {
+#ifndef REXP_NO_TELEMETRY
+  uint64_t ops = 0;
+  obs::MetricsRegistry registry;
+  registry.AddCounter("test.ops", &ops);
+  obs::Monitor::Options opt;
+  opt.dir = ::testing::TempDir();
+  opt.name = "ctr_reset";
+  obs::Monitor monitor(&registry, opt);
+  ASSERT_TRUE(monitor.OpenStream().ok());
+  ops = 100000;
+  monitor.SampleNow();
+  // The counter's owner cycled (re-registered from zero): the value
+  // regresses. The rate must restart from zero, not spike negative.
+  ops = 40;
+  monitor.SampleNow();
+  monitor.Stop();
+
+  std::vector<std::string> lines = SplitLines(ReadAll(monitor.path()));
+  std::remove(monitor.path().c_str());
+  ASSERT_GE(lines.size(), 4u);
+  tools::JsonValue sample;
+  ASSERT_TRUE(tools::ParseJson(lines[3], &sample));
+  const tools::JsonValue* rate = sample.Find("rates")->Find("test.ops");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_GE(rate->NumberOr(-1), 0.0);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// MonitorStream torn-tail handling
+
+TEST(MonitorStreamTest, TornTailBufferedUntilNewlineArrives) {
+  std::string path = ::testing::TempDir() + "/rexp_stream_torn.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"type\":\"sample\",\"seq\":0}\n", f);
+  // A writer caught mid-append: no trailing newline.
+  std::fputs("{\"type\":\"sample\",\"se", f);
+  std::fflush(f);
+
+  tools::MonitorStream stream(path);
+  std::vector<std::string> lines;
+  EXPECT_EQ(stream.Poll(&lines), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  tools::JsonValue v;
+  EXPECT_TRUE(tools::ParseJson(lines[0], &v));
+
+  // Polling again re-reads nothing and must NOT emit the torn tail.
+  EXPECT_EQ(stream.Poll(&lines), 0u);
+
+  // The writer finishes the line; the follower now yields it whole.
+  std::fputs("q\":1}\n", f);
+  std::fflush(f);
+  EXPECT_EQ(stream.Poll(&lines), 1u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(tools::ParseJson(lines[1], &v));
+  EXPECT_EQ(v.Find("seq")->NumberOr(-1), 1.0);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(MonitorStreamTest, LinesLongerThanReadBufferStayIntact) {
+  // A sample line far past the 4 KiB fgets chunk must be reassembled
+  // across reads, never split or truncated.
+  std::string path = ::testing::TempDir() + "/rexp_stream_long.jsonl";
+  std::string big = "{\"type\":\"sample\",\"blob\":\"";
+  big.append(20000, 'x');
+  big += "\"}";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs(big.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+
+  tools::MonitorStream stream(path);
+  std::vector<std::string> lines;
+  EXPECT_EQ(stream.Poll(&lines), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], big);
+  tools::JsonValue v;
+  ASSERT_TRUE(tools::ParseJson(lines[0], &v));
+  EXPECT_EQ(v.Find("blob")->StringOr("").size(), 20000u);
+  std::remove(path.c_str());
+}
+
 TEST(MonitorTest, BackgroundThreadSamplesAtInterval) {
   uint64_t ops = 0;
   obs::MetricsRegistry registry;

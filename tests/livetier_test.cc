@@ -1,0 +1,476 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the in-memory live tier and the TieredIndex wrapper
+// (DESIGN.md §12): short-expiry records dying in place with zero page
+// I/O, query merge with suppression of stale tree copies, the migration
+// generation protocol (raced reports, orphaned items), oracle-backed
+// randomized churn with synchronous migration, DAT agreement after a
+// full drain, and answer stability under a live background migrator.
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "livetier/live_tier.h"
+#include "livetier/tiered_index.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+#include "tree/reference_index.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomPoint;
+using ::rexp::testing::RandomQuery;
+
+TreeConfig SmallConfig() {
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  return config;
+}
+
+// --- LiveTier unit tests ----------------------------------------------
+
+TEST(LiveTier, ReportAbsorbRemoveLifecycle) {
+  LiveTier<2> tier{LiveTierOptions{}};
+  Tpbr<2> a = MakeMovingPoint<2>({10, 10}, {1, 1}, 0, 50.0);
+  Tpbr<2> b = MakeMovingPoint<2>({20, 20}, {0, 0}, 1.0, 60.0);
+
+  EXPECT_FALSE(tier.Report(7, a, 0));  // Fresh admission.
+  EXPECT_TRUE(tier.Owns(7));
+  EXPECT_EQ(tier.resident(), 1u);
+  ASSERT_NE(tier.Find(7), nullptr);
+  EXPECT_EQ(tier.Find(7)->t_exp, 50.0);
+
+  EXPECT_TRUE(tier.Report(7, b, 1.0));  // Absorbed update, no tree I/O.
+  EXPECT_EQ(tier.resident(), 1u);
+  EXPECT_EQ(tier.Find(7)->t_exp, 60.0);
+  EXPECT_EQ(tier.stats().admitted, 1u);
+  EXPECT_EQ(tier.stats().updates_absorbed, 1u);
+  EXPECT_TRUE(tier.CheckInvariants().ok());
+
+  LiveTier<2>::DeadEntry dead;
+  EXPECT_TRUE(tier.Remove(7, &dead));
+  EXPECT_FALSE(dead.has_tree_record);
+  EXPECT_FALSE(tier.Remove(7, &dead));
+  EXPECT_EQ(tier.resident(), 0u);
+  EXPECT_TRUE(tier.CheckInvariants().ok());
+}
+
+TEST(LiveTier, ExpireDueSeparatesInPlaceDeathsFromTreeCleanup) {
+  LiveTier<2> tier{LiveTierOptions{}};
+  Tpbr<2> short_lived = MakeMovingPoint<2>({1, 1}, {0, 0}, 0, 2.0);
+  Tpbr<2> with_copy = MakeMovingPoint<2>({2, 2}, {0, 0}, 0, 3.0);
+  Tpbr<2> old_copy = MakeMovingPoint<2>({9, 9}, {0, 0}, 0, 1.5);
+  Tpbr<2> survivor = MakeMovingPoint<2>({3, 3}, {0, 0}, 0, 100.0);
+
+  tier.Report(1, short_lived, 0);
+  tier.Report(2, with_copy, 0, &old_copy);  // Re-report of a migrated record.
+  tier.Report(3, survivor, 0);
+  EXPECT_EQ(tier.owned_in_tree(), 1u);
+
+  std::vector<LiveTier<2>::DeadEntry> dead;
+  tier.ExpireDue(10.0, &dead);
+  EXPECT_EQ(tier.resident(), 1u);  // Only the survivor.
+  EXPECT_TRUE(tier.Owns(3));
+  EXPECT_EQ(tier.stats().died_in_place, 1u);
+  EXPECT_EQ(tier.stats().died_with_tree_copy, 1u);
+  ASSERT_EQ(dead.size(), 1u);  // Only oid 2 owes the tree a cleanup.
+  EXPECT_EQ(dead[0].oid, 2u);
+  ASSERT_TRUE(dead[0].has_tree_record);
+  EXPECT_EQ(dead[0].tree_record.t_exp, 1.5);
+  EXPECT_EQ(tier.owned_in_tree(), 0u);
+  EXPECT_TRUE(tier.CheckInvariants().ok());
+}
+
+TEST(LiveTier, SupersededExpiryHeapItemsDoNotKillFreshRecords) {
+  LiveTier<2> tier{LiveTierOptions{}};
+  Tpbr<2> dying = MakeMovingPoint<2>({1, 1}, {0, 0}, 0, 1.0);
+  tier.Report(5, dying, 0);
+  // A fresh report extends the object's life; the old heap item must be
+  // recognized as stale by its generation and skipped.
+  Tpbr<2> extended = MakeMovingPoint<2>({1, 1}, {0, 0}, 0.5, 100.0);
+  tier.Report(5, extended, 0.5);
+
+  std::vector<LiveTier<2>::DeadEntry> dead;
+  tier.ExpireDue(2.0, &dead);
+  EXPECT_TRUE(tier.Owns(5));
+  EXPECT_TRUE(dead.empty());
+  EXPECT_EQ(tier.stats().died_in_place, 0u);
+}
+
+TEST(LiveTier, MigrationGenerationProtocol) {
+  LiveTier<2> tier{LiveTierOptions{}};
+  Tpbr<2> a = MakeMovingPoint<2>({10, 10}, {1, 0}, 0, 50.0);
+  Tpbr<2> b = MakeMovingPoint<2>({500, 500}, {0, 1}, 0, 60.0);
+  tier.Report(1, a, 0);
+  tier.Report(2, b, 0);
+
+  std::vector<LiveTier<2>::MigrationItem> batch;
+  tier.CollectBatch(0.0, &batch, /*force=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+
+  // While "the tree is being written": oid 1 gets a fresh report, oid 2
+  // is deleted outright.
+  Tpbr<2> fresh = MakeMovingPoint<2>({11, 10}, {1, 0}, 0.5, 55.0);
+  tier.Report(1, fresh, 0.5);
+  LiveTier<2>::DeadEntry dead;
+  ASSERT_TRUE(tier.Remove(2, &dead));
+
+  std::vector<LiveTier<2>::MigrationItem> orphaned;
+  tier.FinalizeMigration(batch, &orphaned);
+
+  // Oid 1 stays resident: the migrated copy is its recorded tree copy.
+  EXPECT_TRUE(tier.Owns(1));
+  EXPECT_EQ(tier.owned_in_tree(), 1u);
+  EXPECT_EQ(tier.stats().migration_kept, 1u);
+  LiveTier<2>::DeadEntry dead1;
+  ASSERT_TRUE(tier.Remove(1, &dead1));
+  ASSERT_TRUE(dead1.has_tree_record);
+  EXPECT_EQ(dead1.tree_record.t_exp, 50.0);  // What migration wrote.
+
+  // Oid 2 left mid-migration: reported as orphaned for the caller to
+  // delete from the tree (it must not be resurrected).
+  ASSERT_EQ(orphaned.size(), 1u);
+  EXPECT_EQ(orphaned[0].oid, 2u);
+  // The orphan is not counted as migrated: its tree copy is deleted by
+  // the caller, so it never ends up owned by the tree.
+  EXPECT_EQ(tier.stats().migrated, 1u);
+}
+
+TEST(LiveTier, CollectBatchSkipsDyingAndHonorsQuietAge) {
+  LiveTierOptions options;
+  options.migrate_age = 5.0;
+  options.min_residual_life = 1.0;
+  LiveTier<2> tier{options};
+  // Quiet and long-lived: eligible. Recently reported: not yet. About to
+  // expire: never (dies in place instead).
+  tier.Report(1, MakeMovingPoint<2>({1, 1}, {0, 0}, 0, 100.0), 0.0);
+  tier.Report(2, MakeMovingPoint<2>({2, 2}, {0, 0}, 9.0, 100.0), 9.0);
+  tier.Report(3, MakeMovingPoint<2>({3, 3}, {0, 0}, 0, 10.5), 0.0);
+
+  std::vector<LiveTier<2>::MigrationItem> batch;
+  tier.CollectBatch(10.0, &batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].oid, 1u);
+
+  // Under pressure (force) age no longer matters, but dying records are
+  // still skipped, and the oldest report goes first.
+  tier.CollectBatch(10.0, &batch, /*force=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].oid, 1u);
+  EXPECT_EQ(batch[1].oid, 2u);
+}
+
+TEST(LiveTier, BinBoundsRecomputeAfterChurn) {
+  LiveTierOptions options;
+  options.num_bins = 4;  // Force collisions so bins actually fill.
+  LiveTier<2> tier{options};
+  Rng rng(0x11FE);
+  for (ObjectId oid = 0; oid < 200; ++oid) {
+    tier.Report(oid, RandomPoint<2>(&rng, 0.0, 500.0), 0.0);
+  }
+  ASSERT_TRUE(tier.CheckInvariants().ok());
+  LiveTier<2>::DeadEntry dead;
+  for (ObjectId oid = 0; oid < 150; ++oid) {
+    ASSERT_TRUE(tier.Remove(oid, &dead));
+  }
+  EXPECT_GT(tier.stats().bin_rebuilds, 0u);
+  EXPECT_TRUE(tier.CheckInvariants().ok());
+
+  // Queries must still answer exactly from the recomputed bins.
+  Query<2> everything =
+      Query<2>::Timeslice(Rect<2>{{-1e9, -1e9}, {1e9, 1e9}}, 0.0);
+  std::vector<ObjectId> hits;
+  tier.Search(everything, &hits);
+  EXPECT_EQ(hits.size(), 50u);
+}
+
+// --- TieredIndex ------------------------------------------------------
+
+TEST(TieredIndex, ShortLivedReportsDieWithZeroPageIo) {
+  MemoryPageFile file(512);
+  TieredIndex<2> index(SmallConfig(), &file);
+  Rng rng(0xBEEF);
+  const uint64_t io_before = index.tree().io_stats().Total();
+
+  Time now = 0;
+  for (ObjectId oid = 0; oid < 200; ++oid) {
+    now += 0.001;
+    // Expire within a second of admission — the paper's short-lived
+    // majority.
+    index.Insert(oid, RandomPoint<2>(&rng, now, 1.0), now);
+  }
+  // Let everything expire, then poke the index so the expiry heap drains.
+  now += 5.0;
+  index.Insert(1000, RandomPoint<2>(&rng, now, 100.0), now);
+
+  EXPECT_EQ(index.live_tier().stats().died_in_place, 200u);
+  EXPECT_EQ(index.live_tier().stats().died_with_tree_copy, 0u);
+  EXPECT_EQ(index.tree().io_stats().Total(), io_before);
+  EXPECT_TRUE(index.CheckInvariants(now).ok());
+}
+
+TEST(TieredIndex, SearchSuppressesStaleTreeCopies) {
+  MemoryPageFile file(512);
+  TieredIndex<2> index(SmallConfig(), &file);
+  Time now = 0;
+
+  // Admit, then migrate into the tree.
+  Tpbr<2> old_record = MakeMovingPoint<2>({100, 100}, {0, 0}, now, 500.0);
+  index.Insert(42, old_record, now);
+  ASSERT_EQ(index.DrainLiveTier(now), 1u);
+  ASSERT_FALSE(index.live_tier().Owns(42));
+
+  // Re-report far away: the object is owned again, its tree copy stale.
+  now = 1.0;
+  Tpbr<2> new_record = MakeMovingPoint<2>({800, 800}, {0, 0}, now, 500.0);
+  ASSERT_TRUE(index.Update(42, old_record, new_record, now));
+  ASSERT_TRUE(index.live_tier().Owns(42));
+
+  auto window = [&](double lo, double hi) {
+    return Query<2>::Timeslice(Rect<2>{{lo, lo}, {hi, hi}}, now);
+  };
+
+  std::vector<ObjectId> hits;
+  // The old position would only be found via the stale tree copy, which
+  // must be suppressed.
+  index.Search(window(90, 110), &hits);
+  EXPECT_TRUE(hits.empty());
+  // The new position answers from the live tier, exactly once.
+  index.Search(window(790, 810), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+
+  // After migration the replacement holds: still exactly one copy, at
+  // the new position.
+  index.DrainLiveTier(now);
+  index.Search(window(790, 810), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  index.Search(window(90, 110), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(index.CheckInvariants(now).ok());
+}
+
+TEST(TieredIndex, DeleteDuringMigrationDoesNotResurrect) {
+  MemoryPageFile file(512);
+  LiveTierOptions options;
+  options.migrate_age = 0.0;  // Everything is immediately migratable.
+  TieredIndex<2> index(SmallConfig(), &file, options);
+  Time now = 0;
+  Tpbr<2> p = MakeMovingPoint<2>({100, 100}, {0, 0}, now, 500.0);
+  index.Insert(7, p, now);
+  // Migrate, re-report (owned with tree copy), then delete: both the
+  // live record and the stale tree copy must go.
+  index.DrainLiveTier(now);
+  now = 1.0;
+  Tpbr<2> q = MakeMovingPoint<2>({200, 200}, {0, 0}, now, 500.0);
+  ASSERT_TRUE(index.Update(7, p, q, now));
+  ASSERT_TRUE(index.Delete(7, q, now));
+
+  Query<2> everything =
+      Query<2>::Timeslice(Rect<2>{{-1e9, -1e9}, {1e9, 1e9}}, now);
+  std::vector<ObjectId> hits;
+  index.Search(everything, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_GT(index.tree_cleanup_deletes(), 0u);
+  EXPECT_TRUE(index.CheckInvariants(now).ok());
+}
+
+// --- Oracle-backed churn ----------------------------------------------
+
+// Ground-truth leaf walk for the post-drain DAT cross-check (same check
+// update_test.cc runs for the bottom-up update paths).
+void CollectLeafCopies(Tree<2>* tree, PageId id, int level,
+                       std::map<ObjectId, std::pair<uint32_t, PageId>>* out) {
+  Node<2> node = tree->ReadNodeForTest(id);
+  if (level == 0) {
+    for (const NodeEntry<2>& e : node.entries) {
+      auto& copies = (*out)[e.id];
+      copies.first += 1;
+      copies.second = id;
+    }
+  } else {
+    for (const NodeEntry<2>& e : node.entries) {
+      CollectLeafCopies(tree, e.id, level - 1, out);
+    }
+  }
+}
+
+void ExpectDatMatchesWalk(Tree<2>* tree) {
+  std::map<ObjectId, std::pair<uint32_t, PageId>> walk;
+  if (tree->root() != kInvalidPageId) {
+    CollectLeafCopies(tree, tree->root(), tree->height() - 1, &walk);
+  }
+  std::vector<verify::DatSnapshotEntry> dat = tree->DatSnapshotForTest();
+  ASSERT_EQ(dat.size(), walk.size());
+  for (const verify::DatSnapshotEntry& e : dat) {
+    auto it = walk.find(e.oid);
+    ASSERT_NE(it, walk.end()) << "DAT tracks oid " << e.oid
+                              << " absent from the leaf level";
+    EXPECT_EQ(e.count, it->second.first) << "oid " << e.oid;
+    if (e.leaf != kInvalidPageId) {
+      EXPECT_EQ(e.leaf, it->second.second) << "oid " << e.oid;
+    }
+  }
+}
+
+// Randomized churn against the reference oracle with migration running
+// synchronously every few operations. The tiered answer must be
+// indistinguishable from the oracle's no matter which tier currently
+// holds each record.
+TEST(TieredChurn, MatchesReferenceOracle) {
+  MemoryPageFile file(512);
+  TreeConfig config = SmallConfig();
+  LiveTierOptions options;
+  options.migrate_age = 2.0;  // Short, so migration actually happens.
+  options.max_batch = 32;
+  TieredIndex<2> index(config, &file, options);
+  ReferenceIndex<2> reference(config.expire_entries);
+  Rng rng(0x71E2);
+
+  struct LiveObj {
+    ObjectId oid;
+    Tpbr<2> point;
+  };
+  std::vector<LiveObj> live;
+  ObjectId next_oid = 0;
+  Time now = 0;
+  const double max_life = 20.0;
+
+  for (int op = 0; op < 3000; ++op) {
+    now += rng.Uniform(0, 0.05);
+    double roll = rng.NextDouble();
+    if (roll < 0.35 || live.empty()) {
+      LiveObj rec{next_oid++, RandomPoint<2>(&rng, now, max_life)};
+      index.Insert(rec.oid, rec.point, now);
+      reference.Insert(rec.oid, rec.point);
+      live.push_back(rec);
+    } else if (roll < 0.65) {
+      size_t k = rng.UniformInt(live.size());
+      Tpbr<2> fresh = RandomPoint<2>(&rng, now, max_life);
+      bool tiered_found =
+          index.Update(live[k].oid, live[k].point, fresh, now);
+      bool ref_found =
+          reference.Update(live[k].oid, live[k].point, fresh, now);
+      // The tiered Update may optimistically report true for a deferred
+      // tree-side replacement; a false is always definitive.
+      if (!tiered_found) {
+        EXPECT_FALSE(ref_found) << "update divergence at op " << op;
+      }
+      live[k].point = fresh;
+    } else if (roll < 0.75) {
+      size_t k = rng.UniformInt(live.size());
+      bool tiered_ok = index.Delete(live[k].oid, live[k].point, now);
+      bool ref_ok = reference.Delete(live[k].oid, live[k].point, now);
+      ASSERT_EQ(tiered_ok, ref_ok) << "delete divergence at op " << op;
+      live[k] = live.back();
+      live.pop_back();
+    } else if (roll < 0.95) {
+      Query<2> q = RandomQuery<2>(&rng, now, 10.0, 100.0);
+      std::vector<ObjectId> got, want;
+      index.Search(q, &got);
+      reference.Search(q, &want);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "query divergence at op " << op;
+    } else {
+      Vec<2> q{rng.Uniform(0, testing::kSpace),
+               rng.Uniform(0, testing::kSpace)};
+      int k = 1 + static_cast<int>(rng.UniformInt(8));
+      std::vector<ObjectId> got, want;
+      index.NearestNeighbors(q, now, k, &got);
+      reference.NearestNeighbors(q, now, k, &want);
+      ASSERT_EQ(got, want) << "NN divergence at op " << op;
+    }
+    if (op % 37 == 36) index.MigrateTick();
+    if (op % 500 == 499) {
+      ASSERT_TRUE(index.CheckInvariants(now).ok()) << "op " << op;
+      reference.Vacuum(now);
+    }
+  }
+
+  // Some records must actually have flowed through each path for the
+  // churn to mean anything.
+  const auto& stats = index.live_tier().stats();
+  EXPECT_GT(stats.migrated, 0u);
+  EXPECT_GT(stats.died_in_place, 0u);
+  EXPECT_GT(stats.updates_absorbed, 0u);
+
+  // Drain the tier completely: the tree alone must now agree with the
+  // oracle (minus records the policy lets die in place), and the DAT
+  // must mirror the leaf level exactly.
+  index.DrainLiveTier(now);
+  for (int i = 0; i < 20; ++i) {
+    Query<2> q = RandomQuery<2>(&rng, now, 10.0, 100.0);
+    std::vector<ObjectId> got, want;
+    index.Search(q, &got);
+    reference.Search(q, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "post-drain query " << i;
+  }
+  ASSERT_TRUE(index.CheckInvariants(now).ok());
+  ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&index.tree()));
+}
+
+// The background migrator moves records between tiers underneath live
+// foreground traffic; every answer must stay oracle-exact regardless of
+// where each record happens to be when the query lands.
+TEST(TieredConcurrency, BackgroundMigratorPreservesAnswers) {
+  MemoryPageFile file(512);
+  TreeConfig config = SmallConfig();
+  LiveTierOptions options;
+  options.migrate_age = 0.01;
+  options.max_batch = 16;
+  TieredIndex<2> index(config, &file, options);
+  ReferenceIndex<2> reference(config.expire_entries);
+  Rng rng(0xB16);
+  index.StartMigrator(/*interval_s=*/0.001);
+
+  struct LiveObj {
+    ObjectId oid;
+    Tpbr<2> point;
+  };
+  std::vector<LiveObj> live;
+  ObjectId next_oid = 0;
+  Time now = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    now += rng.Uniform(0, 0.05);
+    double roll = rng.NextDouble();
+    if (roll < 0.4 || live.empty()) {
+      LiveObj rec{next_oid++, RandomPoint<2>(&rng, now, 30.0)};
+      index.Insert(rec.oid, rec.point, now);
+      reference.Insert(rec.oid, rec.point);
+      live.push_back(rec);
+    } else if (roll < 0.7) {
+      size_t k = rng.UniformInt(live.size());
+      Tpbr<2> fresh = RandomPoint<2>(&rng, now, 30.0);
+      index.Update(live[k].oid, live[k].point, fresh, now);
+      reference.Update(live[k].oid, live[k].point, fresh, now);
+      live[k].point = fresh;
+    } else {
+      Query<2> q = RandomQuery<2>(&rng, now, 10.0, 100.0);
+      std::vector<ObjectId> got, want;
+      index.Search(q, &got);
+      reference.Search(q, &want);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "query divergence at op " << op;
+    }
+  }
+  index.StopMigrator();
+  index.DrainLiveTier(now);
+  ASSERT_TRUE(index.CheckInvariants(now).ok());
+  EXPECT_GT(index.migration_batches(), 0u);
+}
+
+}  // namespace
+}  // namespace rexp

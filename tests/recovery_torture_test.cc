@@ -31,6 +31,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "livetier/tiered_index.h"
 #include "storage/fault_injection_page_file.h"
 #include "storage/page_file.h"
 #include "tests/test_util.h"
@@ -307,6 +308,133 @@ TEST(RecoveryTorture, SurvivesCrashesAtHundredsOfWritePoints) {
   }
   EXPECT_GT(recovered_nonempty, crash_points.size() / 2)
       << "most crash points should recover a non-empty committed tree";
+}
+
+// ---------------------------------------------------------------------
+// Live-tier crash semantics (DESIGN.md §12): a crash loses exactly the
+// records still resident in the in-memory tier — never a migrated one —
+// and the surviving tree is structurally clean.
+
+void CopyFileBytes(const std::string& from, const std::string& to) {
+  std::FILE* in = std::fopen(from.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::FILE* out = std::fopen(to.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  char buf[8192];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    ASSERT_EQ(std::fwrite(buf, 1, n, out), n);
+  }
+  ASSERT_EQ(std::fclose(out), 0);
+  std::fclose(in);
+}
+
+// A random point whose expiry is far in the future, so migration never
+// skips it as dying (RandomPoint draws lifetimes down to 0.01).
+Tpbr<2> LongLivedPoint(Rng* rng, Time now) {
+  Tpbr<2> p = RandomPoint<2>(rng, now, 500.0);
+  p.t_exp = now + 1e4;
+  return p;
+}
+
+TEST(RecoveryTorture, TieredCrashLosesOnlyUnmigratedRecords) {
+  std::string path = ::testing::TempDir() + "/rexp_tiered_crash.bin";
+  std::string crash_path = path + ".crash";
+  std::remove(path.c_str());
+  std::remove(crash_path.c_str());
+  auto file = DiskPageFile::Open(path, kPageSize, /*keep=*/true).value();
+
+  LiveTierOptions live_opt;
+  live_opt.migrate_age = 1.0;
+  Rng rng(0xC4A5);
+  Time now = 0;
+  std::vector<ObjectId> migrated;
+  {
+  TieredIndex<2> index(TortureConfig(), file.get(), live_opt);
+
+  // Group A: long-lived records, migrated into the tree before the crash.
+  for (ObjectId oid = 0; oid < 120; ++oid) {
+    now += 0.01;
+    index.Insert(oid, LongLivedPoint(&rng, now), now);
+    migrated.push_back(oid);
+  }
+  now = 5.0;
+  ASSERT_EQ(index.DrainLiveTier(now), migrated.size());
+  for (ObjectId oid : migrated) ASSERT_FALSE(index.live_tier().Owns(oid));
+
+  // Group B: fresh reports, still resident when the crash hits.
+  for (ObjectId oid = 1000; oid < 1080; ++oid) {
+    now += 0.01;
+    index.Insert(oid, LongLivedPoint(&rng, now), now);
+  }
+  // Group C: short-expiry records that die in place before the crash.
+  for (ObjectId oid = 2000; oid < 2030; ++oid) {
+    index.Insert(oid, RandomPoint<2>(&rng, now, 0.5), now);
+  }
+  now = 8.0;
+  index.Insert(1080, LongLivedPoint(&rng, now), now);  // Pops expiry.
+  EXPECT_EQ(index.live_tier().stats().died_in_place, 30u);
+  ASSERT_EQ(index.live_tier().resident(), 81u);  // B plus the poker.
+
+  // Durable commit, then a crash: the live tier evaporates. Snapshot the
+  // on-disk bytes while the process still holds B in memory — that image
+  // is exactly what a power cut would leave.
+  ASSERT_TRUE(index.Commit().ok());
+  CopyFileBytes(path, crash_path);
+  }  // "Crash": the index (and the live tier with it) goes away.
+
+  auto crashed = DiskPageFile::Open(crash_path, kPageSize,
+                                    /*keep=*/true).value();
+  auto tree_or = Tree<2>::Open(TortureConfig(), crashed.get());
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  // fsck-clean: structural invariants and every page checksum.
+  tree->CheckInvariants(now);
+  Status verify = tree->VerifyPages();
+  EXPECT_TRUE(verify.ok()) << verify.ToString();
+
+  // The DAT rebuilt at open must mirror the physical leaf level — the
+  // post-migration leaf walk and the rebuilt table agree exactly.
+  EXPECT_EQ(tree->op_stats().dat_rebuilds.load(), 1u);
+  std::vector<verify::DatSnapshotEntry> dat = tree->DatSnapshotForTest();
+  EXPECT_EQ(dat.size(), migrated.size());
+
+  // Inventory: every migrated record survived; every un-migrated and
+  // died-in-place record is gone. Nothing else.
+  Query<2> everything =
+      Query<2>::Timeslice(Rect<2>::Cube({500.0, 500.0}, 1e5), now);
+  std::vector<ObjectId> got;
+  tree->Search(everything, &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, migrated);
+
+  // The crash image reopens as a TieredIndex and keeps working: re-report
+  // the lost group, drain, and the full inventory is back.
+  tree.reset();
+  {
+    TieredIndex<2> reopened(TortureConfig(), crashed.get(), live_opt);
+    for (ObjectId oid = 1000; oid < 1081; ++oid) {
+      now += 0.01;
+      reopened.Insert(oid, LongLivedPoint(&rng, now), now);
+    }
+    now += 5.0;
+    reopened.DrainLiveTier(now);
+    // Query and check at drain time: tree bounds tightened at migration
+    // are only guaranteed to contain their entries from then on.
+    Query<2> later =
+        Query<2>::Timeslice(Rect<2>::Cube({500.0, 500.0}, 1e5), now);
+    std::vector<ObjectId> after;
+    reopened.Search(later, &after);
+    EXPECT_EQ(after.size(), migrated.size() + 81u);
+    ASSERT_TRUE(reopened.CheckInvariants(now).ok());
+    ASSERT_TRUE(reopened.Commit().ok());
+  }
+
+  crashed.reset();
+  file.reset();
+  std::remove(path.c_str());
+  std::remove(crash_path.c_str());
 }
 
 // Flip one byte in a raw frame of a (closed) index file.

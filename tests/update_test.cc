@@ -360,6 +360,153 @@ TEST(GroupUpdate, MatchesSequentialUpdates) {
   EXPECT_GT(grouped.op_stats().update_fast.load(), 0u);
 }
 
+// Adversarial batches: duplicate oids both chained (later request's old
+// record is the earlier one's new record — must see its effect) and
+// stale (later request repeats the original old record — its delete must
+// miss and the insert still land), requests whose old record expired
+// before the batch, requests for oids never inserted, and a mix of
+// perturbations (fast-path candidates) and teleports (fallback) — in
+// both the in-place and crash-consistent write modes. Every flavor must
+// be observationally identical to sequential Update on a twin tree and
+// to the reference oracle.
+class GroupUpdateEdge : public ::testing::TestWithParam<ChurnFlavor> {};
+
+TEST_P(GroupUpdateEdge, AdversarialBatchesMatchSequentialAndOracle) {
+  MemoryPageFile file_a(512), file_b(512);
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  config.crash_consistent = GetParam().crash_consistent;
+  Tree<2> grouped(config, &file_a);
+  Tree<2> sequential(config, &file_b);
+  ReferenceIndex<2> reference(config.expire_entries);
+  Rng rng(0xED6E);
+
+  struct Live {
+    ObjectId oid;
+    Tpbr<2> point;
+  };
+  std::vector<Live> live;
+  Time now = 0;
+  auto insert_all = [&](ObjectId oid, const Tpbr<2>& p) {
+    grouped.Insert(oid, p, now);
+    sequential.Insert(oid, p, now);
+    reference.Insert(oid, p);
+  };
+  for (ObjectId oid = 0; oid < 300; ++oid) {
+    now += 0.01;
+    Tpbr<2> p = RandomPoint<2>(&rng, now, 40.0);
+    insert_all(oid, p);
+    live.push_back({oid, p});
+  }
+  // A clutch of short-lived records whose old records will be expired by
+  // the time the batches run.
+  std::vector<Live> expired;
+  for (ObjectId oid = 1000; oid < 1020; ++oid) {
+    now += 0.01;
+    Tpbr<2> p = RandomPoint<2>(&rng, now, 0.5);
+    insert_all(oid, p);
+    expired.push_back({oid, p});
+  }
+
+  ObjectId ghost_oid = 5000;  // Never inserted.
+  for (int round = 0; round < 6; ++round) {
+    now += 2.0;  // Past the short-lived records' expirations.
+    std::vector<Tree<2>::UpdateRequest> batch;
+    auto fresh_for = [&](const Tpbr<2>& old_point, bool perturb) {
+      Vec<2> pos, vel;
+      for (int d = 0; d < 2; ++d) {
+        pos[d] = perturb ? old_point.LoAt(d, now) + rng.Uniform(-1.0, 1.0)
+                         : rng.Uniform(0, testing::kSpace);
+        vel[d] = perturb ? old_point.vlo[d] : rng.Uniform(-3.0, 3.0);
+      }
+      return MakeMovingPoint<2>(pos, vel, now, now + rng.Uniform(1.0, 40.0));
+    };
+    for (int i = 0; i < 60; ++i) {
+      size_t k = rng.UniformInt(live.size());
+      double shape = rng.NextDouble();
+      if (shape < 0.25) {
+        // Chained duplicate: two requests, the second building on the
+        // first's new record.
+        Tpbr<2> mid = fresh_for(live[k].point, rng.Bernoulli(0.5));
+        Tpbr<2> fin = fresh_for(mid, rng.Bernoulli(0.5));
+        batch.push_back({live[k].oid, live[k].point, mid});
+        batch.push_back({live[k].oid, mid, fin});
+        live[k].point = fin;
+      } else if (shape < 0.45) {
+        // Stale duplicate: both requests name the original old record;
+        // the second's delete misses, its insert lands, and the object
+        // ends up with two records — last-write-wins is NOT silently
+        // imposed, matching sequential semantics exactly.
+        Tpbr<2> first = fresh_for(live[k].point, rng.Bernoulli(0.5));
+        Tpbr<2> second = fresh_for(live[k].point, false);
+        batch.push_back({live[k].oid, live[k].point, first});
+        batch.push_back({live[k].oid, live[k].point, second});
+        // Track one of the copies for future rounds; the other lingers
+        // until it expires (both trees carry it identically).
+        live[k].point = second;
+      } else if (shape < 0.55 && !expired.empty()) {
+        // Old record expired before the batch: delete must miss.
+        Live& e = expired[rng.UniformInt(expired.size())];
+        Tpbr<2> next = fresh_for(e.point, false);
+        batch.push_back({e.oid, e.point, next});
+        e.point = next;
+      } else if (shape < 0.62) {
+        // Never-inserted oid: pure insert-anyway.
+        Tpbr<2> p = RandomPoint<2>(&rng, now, 40.0);
+        batch.push_back({ghost_oid, RandomPoint<2>(&rng, now - 1.0, 0.1), p});
+        live.push_back({ghost_oid, p});
+        ++ghost_oid;
+      } else {
+        // Plain single update, perturbation or teleport.
+        Tpbr<2> next = fresh_for(live[k].point, rng.Bernoulli(0.6));
+        batch.push_back({live[k].oid, live[k].point, next});
+        live[k].point = next;
+      }
+    }
+
+    std::vector<bool> got = grouped.GroupUpdate(batch, now);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      bool want_seq = sequential.Update(batch[i].oid, batch[i].old_record,
+                                        batch[i].new_record, now);
+      bool want_ref = reference.Update(batch[i].oid, batch[i].old_record,
+                                       batch[i].new_record, now);
+      ASSERT_EQ(want_seq, want_ref)
+          << "oracle/sequential divergence at round " << round << " request "
+          << i;
+      ASSERT_EQ(got[i], want_seq)
+          << "round " << round << " request " << i << " oid "
+          << batch[i].oid;
+    }
+    for (int q = 0; q < 12; ++q) {
+      Query<2> query = RandomQuery<2>(&rng, now, 10.0, 150.0);
+      std::vector<ObjectId> a, b, c;
+      grouped.Search(query, &a);
+      sequential.Search(query, &b);
+      reference.Search(query, &c);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      std::sort(c.begin(), c.end());
+      ASSERT_EQ(a, b) << "grouped/sequential divergence, round " << round;
+      ASSERT_EQ(a, c) << "grouped/oracle divergence, round " << round;
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectDatMatchesWalk(&grouped)) << "round "
+                                                            << round;
+    grouped.CheckInvariants(now);
+  }
+  sequential.CheckInvariants(now);
+  EXPECT_GT(grouped.op_stats().group_update_batches.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, GroupUpdateEdge,
+    ::testing::Values(ChurnFlavor{"in_place", false},
+                      ChurnFlavor{"crash_consistent", true}),
+    [](const ::testing::TestParamInfo<ChurnFlavor>& flavor_info) {
+      return flavor_info.param.name;
+    });
+
 TEST(GroupUpdate, EmptyBatchIsANoOp) {
   MemoryPageFile file(512);
   TreeConfig config = TreeConfig::Rexp();

@@ -37,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "storage/page_file.h"
@@ -288,24 +289,30 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       const char* value = argv[i + 1];
+      bool value_ok = true;
       if (std::strcmp(argv[i], "--class") == 0) {
         cls = value;
       } else if (std::strcmp(argv[i], "--make") == 0) {
-        make = std::atoi(value);
+        int32_t v = 0;
+        value_ok = ParseI32(value, &v) && v >= 0;
+        make = v;
       } else if (std::strcmp(argv[i], "--deletes") == 0) {
-        deletes = std::atoi(value);
+        int32_t v = 0;
+        value_ok = ParseI32(value, &v) && v >= 0;
+        deletes = v;
       } else if (std::strcmp(argv[i], "--now") == 0) {
-        now = std::atof(value);
+        value_ok = ParseDouble(value, &now);
       } else if (std::strcmp(argv[i], "--life") == 0) {
-        life = std::atof(value);
+        value_ok = ParsePositiveDouble(value, &life);
       } else if (std::strcmp(argv[i], "--page-size") == 0) {
-        page_size = static_cast<uint32_t>(std::atoi(value));
-        if (page_size == 0) {
-          std::fprintf(stderr, "--page-size must be a positive integer\n");
-          return Usage(argv[0]);
-        }
+        value_ok = ParsePositiveU32(value, &page_size);
       } else {
-        seed = static_cast<uint64_t>(std::atoll(value));
+        value_ok = ParseU64(value, &seed);
+      }
+      if (!value_ok) {
+        std::fprintf(stderr, "flag %s: invalid value '%s'\n", argv[i],
+                     value);
+        return Usage(argv[0]);
       }
       ++i;
     } else {

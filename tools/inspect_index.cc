@@ -36,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "common/parse.h"
 #include "obs/json_writer.h"
 #include "obs/registry.h"
 #include "storage/page_file.h"
@@ -215,11 +216,16 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       if (std::strcmp(argv[i], "--now") == 0) {
-        now = std::atof(argv[i + 1]);
+        if (!ParseDouble(argv[i + 1], &now)) {
+          std::fprintf(stderr, "--now requires a finite number, got '%s'\n",
+                       argv[i + 1]);
+          return Usage(argv[0]);
+        }
       } else {
-        page_size = static_cast<uint32_t>(std::atoi(argv[i + 1]));
-        if (page_size == 0) {
-          std::fprintf(stderr, "--page-size must be a positive integer\n");
+        if (!ParsePositiveU32(argv[i + 1], &page_size)) {
+          std::fprintf(stderr,
+                       "--page-size must be a positive integer, got '%s'\n",
+                       argv[i + 1]);
           return Usage(argv[0]);
         }
       }

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "storage/page_file.h"
@@ -382,19 +383,26 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[i], "--quarantine") == 0) {
         opt.quarantine_path = value;
       } else if (std::strcmp(argv[i], "--now") == 0) {
-        opt.verify.now = std::atof(value);
+        if (!ParseDouble(value, &opt.verify.now)) {
+          std::fprintf(stderr, "--now requires a finite number, got '%s'\n",
+                       value);
+          return Usage(argv[0]);
+        }
       } else if (std::strcmp(argv[i], "--page-size") == 0) {
-        page_size = static_cast<uint32_t>(std::atoi(value));
-        if (page_size == 0) {
-          std::fprintf(stderr, "--page-size must be a positive integer\n");
+        if (!ParsePositiveU32(value, &page_size)) {
+          std::fprintf(stderr,
+                       "--page-size must be a positive integer, got '%s'\n",
+                       value);
           return Usage(argv[0]);
         }
       } else if (std::strcmp(argv[i], "--dims") == 0) {
-        opt.dims = std::atoi(value);
-        if (opt.dims < 1 || opt.dims > 3) {
-          std::fprintf(stderr, "--dims must be 1, 2, or 3\n");
+        int32_t dims = 0;
+        if (!ParseI32(value, &dims) || dims < 1 || dims > 3) {
+          std::fprintf(stderr, "--dims must be 1, 2, or 3, got '%s'\n",
+                       value);
           return Usage(argv[0]);
         }
+        opt.dims = dims;
       } else if (std::strcmp(argv[i], "--config") == 0) {
         const bool stored_expiry = opt.config.store_tpbr_expiration;
         if (std::strcmp(value, "rexp") == 0) {
@@ -407,21 +415,27 @@ int main(int argc, char** argv) {
         }
         opt.config.store_tpbr_expiration |= stored_expiry;
       } else if (std::strcmp(argv[i], "--samples") == 0) {
-        opt.verify.horizon_samples = std::atoi(value);
-        if (opt.verify.horizon_samples < 0) {
-          std::fprintf(stderr, "--samples must be non-negative\n");
+        int32_t samples = 0;
+        if (!ParseI32(value, &samples) || samples < 0) {
+          std::fprintf(stderr,
+                       "--samples must be a non-negative integer, got '%s'\n",
+                       value);
           return Usage(argv[0]);
         }
+        opt.verify.horizon_samples = samples;
       } else if (std::strcmp(argv[i], "--fill") == 0) {
-        opt.fill = std::atof(value);
-        if (!(opt.fill > 0 && opt.fill <= 1.0)) {
-          std::fprintf(stderr, "--fill must be in (0, 1]\n");
+        if (!ParseDouble(value, &opt.fill) ||
+            !(opt.fill > 0 && opt.fill <= 1.0)) {
+          std::fprintf(stderr, "--fill must be in (0, 1], got '%s'\n", value);
           return Usage(argv[0]);
         }
       } else {
-        const int n = std::atoi(value);
-        if (n <= 0) {
-          std::fprintf(stderr, "--max-findings must be a positive integer\n");
+        uint32_t n = 0;
+        if (!ParsePositiveU32(value, &n)) {
+          std::fprintf(stderr,
+                       "--max-findings must be a positive integer, got "
+                       "'%s'\n",
+                       value);
           return Usage(argv[0]);
         }
         opt.verify.max_findings = static_cast<size_t>(n);

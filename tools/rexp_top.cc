@@ -26,11 +26,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/parse.h"
+#include "livetier/tiered_index.h"
 #include "obs/flight_recorder.h"
 #include "obs/monitor.h"
 #include "obs/registry.h"
@@ -47,7 +50,7 @@ int Usage(const char* argv0) {
                "usage: %s [--dir D] [--file F] [--interval S] [--once] "
                "[--json]\n"
                "       %s --soak [--soak-seconds S] [--soak-objects N] "
-               "[--dir D]\n",
+               "[--soak-tiered] [--dir D]\n",
                argv0, argv0);
   return 2;
 }
@@ -55,15 +58,30 @@ int Usage(const char* argv0) {
 // ---------------------------------------------------------------------------
 // Soak driver.
 
-int RunSoak(const std::string& dir, double seconds, int objects) {
+int RunSoak(const std::string& dir, double seconds, int objects,
+            bool tiered) {
   obs::InstallFlightRecorderDumpHandlers();
 
   MemoryPageFile file(4096);
   TreeConfig config = TreeConfig::Rexp();
-  Tree<2> tree(config, &file);
+  // In tiered mode every report goes through the in-memory live tier and
+  // a background migrator bulk-moves the survivors (DESIGN.md §12); the
+  // monitor stream then carries livetier.* next to tree.*.
+  std::unique_ptr<TieredIndex<2>> tiered_index;
+  std::unique_ptr<Tree<2>> plain_tree;
+  if (tiered) {
+    tiered_index = std::make_unique<TieredIndex<2>>(config, &file);
+  } else {
+    plain_tree = std::make_unique<Tree<2>>(config, &file);
+  }
+  Tree<2>& tree = tiered ? tiered_index->tree() : *plain_tree;
 
   obs::MetricsRegistry registry;
-  tree.RegisterMetrics(&registry, "tree.");
+  if (tiered) {
+    tiered_index->RegisterMetrics(&registry, "");
+  } else {
+    tree.RegisterMetrics(&registry, "tree.");
+  }
 
   obs::Monitor::Options opt;
   opt.dir = dir;
@@ -77,10 +95,12 @@ int RunSoak(const std::string& dir, double seconds, int objects) {
     return 1;
   }
   std::printf("soak: monitor stream %s\n", monitor.path().c_str());
-  std::printf("soak: %d objects, %s; SIGTERM/SIGINT dumps the flight "
+  std::printf("soak: %d objects%s, %s; SIGTERM/SIGINT dumps the flight "
               "recorder\n",
-              objects, seconds > 0 ? "bounded run" : "running until killed");
+              objects, tiered ? " (tiered live-tier index)" : "",
+              seconds > 0 ? "bounded run" : "running until killed");
   std::fflush(stdout);
+  if (tiered) tiered_index->StartMigrator(/*interval_s=*/0.1);
 
   std::mt19937 rng(42);
   std::uniform_real_distribution<double> pos_dist(0.0, 100.0);
@@ -97,26 +117,48 @@ int RunSoak(const std::string& dir, double seconds, int objects) {
   std::vector<Tpbr<2>> current(static_cast<size_t>(objects));
   for (int oid = 0; oid < objects; ++oid) {
     current[static_cast<size_t>(oid)] = random_record(now);
-    tree.Insert(static_cast<ObjectId>(oid),
-                current[static_cast<size_t>(oid)], now);
+    if (tiered) {
+      tiered_index->Insert(static_cast<ObjectId>(oid),
+                           current[static_cast<size_t>(oid)], now);
+    } else {
+      tree.Insert(static_cast<ObjectId>(oid),
+                  current[static_cast<size_t>(oid)], now);
+    }
   }
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<ObjectId> results;
+  ObjectId next_short = static_cast<ObjectId>(objects) + 1000000;
   while (true) {
     now += 0.01;
     // A steady position-report mix: mostly updates, a few searches.
     for (int i = 0; i < 20; ++i) {
       int oid = oid_dist(rng);
       Tpbr<2> next = random_record(now);
-      tree.Update(static_cast<ObjectId>(oid),
-                  current[static_cast<size_t>(oid)], next, now);
+      if (tiered) {
+        tiered_index->Update(static_cast<ObjectId>(oid),
+                             current[static_cast<size_t>(oid)], next, now);
+      } else {
+        tree.Update(static_cast<ObjectId>(oid),
+                    current[static_cast<size_t>(oid)], next, now);
+      }
       current[static_cast<size_t>(oid)] = next;
+    }
+    if (tiered) {
+      // A short-expiry one-shot report (a sensor blip): the live tier's
+      // design case, expected to die in memory without a page touch.
+      Tpbr<2> blip = random_record(now);
+      blip.t_exp = now + 0.25;
+      tiered_index->Insert(next_short++, blip, now);
     }
     double lo_x = pos_dist(rng) * 0.9, lo_y = pos_dist(rng) * 0.9;
     Rect<2> r{{{lo_x, lo_y}}, {{lo_x + 10.0, lo_y + 10.0}}};
     results.clear();
-    tree.Search(Query<2>::Timeslice(r, now), &results);
+    if (tiered) {
+      tiered_index->Search(Query<2>::Timeslice(r, now), &results);
+    } else {
+      tree.Search(Query<2>::Timeslice(r, now), &results);
+    }
 
     if (seconds > 0) {
       double elapsed = std::chrono::duration<double>(
@@ -271,6 +313,7 @@ int main(int argc, char** argv) {
   bool once = false;
   bool json = false;
   bool soak = false;
+  bool soak_tiered = false;
   double soak_seconds = 0;
   int soak_objects = 2000;
 
@@ -287,21 +330,36 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--file") == 0) {
       file = value("--file");
     } else if (std::strcmp(argv[i], "--interval") == 0) {
-      interval = std::atof(value("--interval"));
+      const char* v = value("--interval");
+      if (!ParsePositiveDouble(v, &interval)) {
+        std::fprintf(stderr, "--interval must be a positive number, got "
+                             "'%s'\n", v);
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--soak") == 0) {
       soak = true;
+    } else if (std::strcmp(argv[i], "--soak-tiered") == 0) {
+      soak_tiered = true;
     } else if (std::strcmp(argv[i], "--soak-seconds") == 0) {
-      soak_seconds = std::atof(value("--soak-seconds"));
-    } else if (std::strcmp(argv[i], "--soak-objects") == 0) {
-      soak_objects = std::atoi(value("--soak-objects"));
-      if (soak_objects <= 0) {
-        std::fprintf(stderr, "--soak-objects must be positive\n");
-        return 2;
+      const char* v = value("--soak-seconds");
+      if (!ParseDouble(v, &soak_seconds) || soak_seconds < 0) {
+        std::fprintf(stderr, "--soak-seconds must be a non-negative number, "
+                             "got '%s'\n", v);
+        return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--soak-objects") == 0) {
+      const char* v = value("--soak-objects");
+      uint32_t n = 0;
+      if (!ParsePositiveU32(v, &n)) {
+        std::fprintf(stderr, "--soak-objects must be a positive integer, "
+                             "got '%s'\n", v);
+        return Usage(argv[0]);
+      }
+      soak_objects = static_cast<int>(n);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -313,6 +371,6 @@ int main(int argc, char** argv) {
     dir = (env != nullptr && env[0] != '\0') ? env : ".";
   }
 
-  if (soak) return RunSoak(dir, soak_seconds, soak_objects);
+  if (soak) return RunSoak(dir, soak_seconds, soak_objects, soak_tiered);
   return RunTail(dir, std::move(file), interval, once, json);
 }
