@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/query.h"
 #include "common/random.h"
 #include "common/vec.h"
@@ -37,7 +38,12 @@ namespace {
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+  uint64_t v = 0;
+  if (!ParseU64(env, &v)) {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", name, env);
+    std::exit(2);
+  }
+  return v;
 }
 
 struct Run {

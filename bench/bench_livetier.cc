@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/vec.h"
 #include "livetier/tiered_index.h"
@@ -39,7 +40,12 @@ namespace {
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+  uint64_t v = 0;
+  if (!ParseU64(env, &v)) {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", name, env);
+    std::exit(2);
+  }
+  return v;
 }
 
 // One pre-generated report. Short-expiry reports are one-shot inserts;
@@ -162,7 +168,7 @@ int Main() {
         if (r.is_insert) {
           tree.Insert(r.oid, r.record, r.now);
         } else {
-          tree.Update(r.oid, r.old_record, r.record, r.now);
+          (void)tree.Update(r.oid, r.old_record, r.record, r.now);
         }
         lat_us.push_back(std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - t0)
@@ -198,7 +204,7 @@ int Main() {
         if (r.is_insert) {
           index.Insert(r.oid, r.record, r.now);
         } else {
-          index.Update(r.oid, r.old_record, r.record, r.now);
+          (void)index.Update(r.oid, r.old_record, r.record, r.now);
         }
         lat_us.push_back(std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - t0)

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/vec.h"
 #include "obs/json_writer.h"
@@ -34,7 +35,12 @@ namespace {
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+  uint64_t v = 0;
+  if (!ParseU64(env, &v)) {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", name, env);
+    std::exit(2);
+  }
+  return v;
 }
 
 double Seconds(std::chrono::steady_clock::time_point from) {
@@ -222,11 +228,11 @@ int Main() {
 
   std::printf("%12s %12s %14s\n", "phase", "seconds", "records/sec");
   std::printf("%12s %12.4f %14.0f\n", "verify", verify_seconds,
-              leaf_records / verify_seconds);
+              static_cast<double>(leaf_records) / verify_seconds);
   std::printf("%12s %12.4f %14.0f\n", "repair", repair_seconds,
-              leaf_records / repair_seconds);
+              static_cast<double>(leaf_records) / repair_seconds);
   std::printf("%12s %12.4f %14.0f\n", "salvage", salvage_seconds,
-              records_salvaged / salvage_seconds);
+              static_cast<double>(records_salvaged) / salvage_seconds);
   std::fflush(stdout);
 
   obs::JsonWriter w;

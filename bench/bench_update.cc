@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/vec.h"
 #include "obs/json_writer.h"
@@ -35,7 +36,12 @@ namespace {
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+  uint64_t v = 0;
+  if (!ParseU64(env, &v)) {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", name, env);
+    std::exit(2);
+  }
+  return v;
 }
 
 struct TimedRequest {
@@ -124,13 +130,13 @@ int Main() {
       switch (mode) {
         case kDeleteInsert:
           for (const TimedRequest& t : stream) {
-            tree.Delete(t.request.oid, t.request.old_record, t.now);
+            (void)tree.Delete(t.request.oid, t.request.old_record, t.now);
             tree.Insert(t.request.oid, t.request.new_record, t.now);
           }
           break;
         case kBottomUp:
           for (const TimedRequest& t : stream) {
-            tree.Update(t.request.oid, t.request.old_record,
+            (void)tree.Update(t.request.oid, t.request.old_record,
                         t.request.new_record, t.now);
           }
           break;
@@ -144,7 +150,7 @@ int Main() {
             }
             // A batch spans a short time window; apply it at the time of
             // its newest request (times are non-decreasing).
-            tree.GroupUpdate(batch, stream[end - 1].now);
+            (void)tree.GroupUpdate(batch, stream[end - 1].now);
           }
           break;
       }

@@ -243,7 +243,7 @@ void BM_TreeUpdate(benchmark::State& state) {
   uint64_t allocs_before = g_thread_allocs;
   for (auto _ : state) {
     now += 0.01;
-    tree.Delete(oid, last[oid], now);
+    (void)tree.Delete(oid, last[oid], now);
     last[oid] = RandomPoint<2>(&rng, now, 1e5);
     tree.Insert(oid, last[oid], now);
     oid = (oid + 1) % n;
@@ -286,7 +286,7 @@ void BM_TreeUpdateBottomUp(benchmark::State& state) {
                                   -3.0, 3.0);
     }
     Tpbr<2> fresh = MakeMovingPoint<2>(pos, vel, now, now + 120.0);
-    tree.Update(oid, last[oid], fresh, now);
+    (void)tree.Update(oid, last[oid], fresh, now);
     last[oid] = fresh;
     oid = (oid + 1) % n;
   }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parse.h"
 #include "storage/page_file.h"
 #include "tree/tree.h"
 #include "workload/generator.h"
@@ -24,7 +25,11 @@
 using namespace rexp;
 
 int main(int argc, char** argv) {
-  double minutes = argc > 1 ? std::atof(argv[1]) : 180.0;
+  double minutes = 180.0;
+  if (argc > 1 && !ParsePositiveDouble(argv[1], &minutes)) {
+    std::fprintf(stderr, "usage: %s [minutes]\n", argv[0]);
+    return 2;
+  }
 
   // The paper's network scenario, scaled to a dispatch fleet: 2,000
   // vehicles, reports paced at ~15-minute intervals, telemetry trusted
@@ -63,7 +68,7 @@ int main(int argc, char** argv) {
         break;
       case Operation::Kind::kUpdate:
         // Stale (expired) telemetry may already be gone; that is fine.
-        tree->Delete(op.oid, op.old_record, now);
+        (void)tree->Delete(op.oid, op.old_record, now);
         tree->Insert(op.oid, op.record, now);
         ++reports;
         break;

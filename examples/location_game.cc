@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "storage/page_file.h"
 #include "tree/reference_index.h"
@@ -51,7 +52,11 @@ Vec<2> RandomVelocity(Rng* rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int rounds = argc > 1 ? std::atoi(argv[1]) : 12;
+  int rounds = 12;
+  if (argc > 1 && !ParseI32(argv[1], &rounds)) {
+    std::fprintf(stderr, "usage: %s [rounds]\n", argv[0]);
+    return 2;
+  }
   Rng rng(2026);
 
   MemoryPageFile file(4096);
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
       // Online players refresh their report: delete the old record (this
       // legitimately fails if it already expired) and insert the new one.
       if (p.in_index) {
-        tree.Delete(static_cast<ObjectId>(i), p.record, now);
+        (void)tree.Delete(static_cast<ObjectId>(i), p.record, now);
         oracle.Delete(static_cast<ObjectId>(i), p.record, now);
       }
       if (rng.Bernoulli(0.25)) p.vel = RandomVelocity(&rng);

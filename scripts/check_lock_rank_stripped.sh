@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Verifies the lock-rank checker is fully compiled out of release
+# binaries: no LockRank symbols and none of the checker's diagnostic
+# strings may appear in the hot-path benchmark. This is the "zero
+# overhead in release" half of the lock-rank contract
+# (tests/lock_rank_test.cc covers the debug half).
+#
+#   usage: scripts/check_lock_rank_stripped.sh <release-binary>
+set -u -o pipefail
+
+BIN="${1:?usage: $0 <release-binary>}"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN is not an executable" >&2
+  exit 1
+fi
+
+fail=0
+# grep reads all input (no -q): under pipefail an early-exit grep would
+# SIGPIPE nm and make a *match* read as a failed pipeline.
+syms="$(nm -C "$BIN" 2>/dev/null | grep -i 'lockrank')" || true
+if [ -n "$syms" ]; then
+  echo "error: $BIN still contains LockRank symbols:" >&2
+  echo "$syms" >&2
+  fail=1
+fi
+# The abort messages only exist in the enabled checker; finding one
+# means REXP_LOCK_RANK leaked into a release configuration.
+diags="$(strings "$BIN" | grep 'acquisition-order inversion')" || true
+if [ -n "$diags" ]; then
+  echo "error: $BIN contains lock-rank diagnostic strings" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lock-rank: compiled out of $BIN (no symbols, no diagnostics)"

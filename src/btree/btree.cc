@@ -89,7 +89,7 @@ BTree::BtNode BTree::ReadNode(PageId id) {
 }
 
 BTree::BtNode BTree::DecodeNode(const Page& page) const {
-  const Page* p = &page;
+  const Page* p = &page;  // raw-page-ok: alias of the guard's page.
   BtNode node;
   node.level = p->Read<uint16_t>(0);
   int count = p->Read<uint16_t>(2);
@@ -126,7 +126,7 @@ BTree::BtNode BTree::DecodeNode(const Page& page) const {
 
 void BTree::WriteNode(PageId id, const BtNode& node) {
   PageGuard guard = buffer_.FetchOrDie(id, PageIntent::kWrite);
-  Page* page = guard.mutable_page();
+  Page* page = guard.mutable_page();  // raw-page-ok: guard stays pinned.
   page->Write<uint16_t>(0, static_cast<uint16_t>(node.level));
   uint32_t off = kHeaderSize;
   if (node.level == 0) {

@@ -51,14 +51,14 @@ class BTree {
   void Insert(const Key& key, const uint8_t* value);
 
   // Removes the event with exactly this key. Returns false if absent.
-  bool Delete(const Key& key);
+  [[nodiscard]] bool Delete(const Key& key);
 
   // If the minimum key has t <= t_max, removes it, copies it (and its
   // value, if `value` is non-null) out, and returns true.
-  bool PopFirstUpTo(float t_max, Key* key, uint8_t* value);
+  [[nodiscard]] bool PopFirstUpTo(float t_max, Key* key, uint8_t* value);
 
   // Reads the minimum key without removing it. Returns false when empty.
-  bool PeekMin(Key* key);
+  [[nodiscard]] bool PeekMin(Key* key);
 
   uint64_t size() const { return size_; }
   uint32_t value_size() const { return value_size_; }

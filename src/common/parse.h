@@ -105,6 +105,29 @@ inline bool ParsePositiveDouble(const char* s, double* out) {
   return true;
 }
 
+// Parses exactly four hex digits (the payload of a JSON \uXXXX escape).
+// Unlike strtol(s, nullptr, 16) this rejects garbage instead of quietly
+// producing 0.
+inline bool ParseHex4(const char* s, uint32_t* out) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = s[i];
+    uint32_t d = 0;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint32_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace rexp
 
 #endif  // REXP_COMMON_PARSE_H_

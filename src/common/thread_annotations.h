@@ -1,0 +1,108 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Capability annotations for Clang's compile-time thread-safety analysis
+// (-Wthread-safety). A mutex declared as a capability plus GUARDED_BY /
+// REQUIRES / ACQUIRE / RELEASE annotations on the fields and functions it
+// protects turns the locking contract of DESIGN.md §13 into something the
+// compiler proves on every build of the Clang CI leg: touching a guarded
+// field without its lock, releasing a lock twice, or returning while
+// still holding one is a compile error, not a TSan report we might or
+// might not provoke.
+//
+// The macros expand to Clang attributes when the compiler supports them
+// and to nothing elsewhere (GCC would warn about the unknown attributes,
+// which -Werror turns fatal), so annotating code is always safe. Only the
+// Clang leg enforces; see scripts/check_conventions.sh and the
+// clang-thread-safety CI job.
+//
+// Spelling follows Abseil's thread_annotations.h so the idiom is
+// recognizable; see DESIGN.md §13 for the capability table of this
+// codebase (which mutex guards which fields) and the lock-rank order
+// (sched/lock_rank.h) that covers the dynamic half of the contract.
+
+#ifndef REXP_COMMON_THREAD_ANNOTATIONS_H_
+#define REXP_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define REXP_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define REXP_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if REXP_THREAD_ANNOTATION_(guarded_by)
+#define REXP_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define REXP_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+// Declares a class to be a capability ("mutex" for error messages). Lock
+// functions on it are annotated with ACQUIRE/RELEASE below.
+#define CAPABILITY(x) REXP_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// Declares an RAII class whose lifetime equals holding a capability
+// (sched::MutexLock and friends).
+#define SCOPED_CAPABILITY REXP_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// The annotated field may only be read or written while holding `x`.
+#define GUARDED_BY(x) REXP_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// The annotated pointer field's *pointee* is protected by `x` (the
+// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) REXP_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// The annotated function may only be called while holding `x` exclusively
+// (REQUIRES) or at least shared (REQUIRES_SHARED); it does not acquire or
+// release it.
+#define REQUIRES(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// The annotated function acquires the capability (exclusively / shared)
+// and holds it on return.
+#define ACQUIRE(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// The annotated function releases the capability (RELEASE covers both an
+// exclusive and a shared hold; RELEASE_SHARED only a shared one).
+#define RELEASE(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+// The annotated function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(b, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(b, ...)              \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(            \
+      try_acquire_shared_capability(b, __VA_ARGS__))
+
+// The annotated function must NOT be called while holding `x` (the lock
+// is acquired inside; calling with it held would self-deadlock).
+#define EXCLUDES(...) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Run-time assertion to the analysis that the capability is held here
+// (for paths the static analysis cannot follow, e.g. a callback invoked
+// under a lock taken elsewhere).
+#define ASSERT_CAPABILITY(x) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+// The annotated function returns a reference to the capability `x` (lets
+// accessors expose a member mutex to callers).
+#define RETURN_CAPABILITY(x) REXP_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Turns the analysis off for one function. Reserved for code the
+// analysis cannot express — capability hand-off (a latch acquired in one
+// function travels inside an RAII object and is released in another,
+// e.g. BufferManager::MakeGuard/ReleaseGuard) and address-ordered dual
+// acquisition of peer locks (Histogram's copy-assign). Every use carries
+// a comment saying which it is.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  REXP_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // REXP_COMMON_THREAD_ANNOTATIONS_H_

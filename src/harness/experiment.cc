@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "livetier/tiered_index.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -97,7 +98,7 @@ class Driver {
   void Update(ObjectId oid, const Tpbr<2>& old_record, const Tpbr<2>& p,
               Time now) {
     if (tiered_) {
-      tiered_->Update(oid, old_record, p, now);
+      (void)tiered_->Update(oid, old_record, p, now);
     } else {
       Delete(oid, old_record, now);
       Insert(oid, p, now);
@@ -161,8 +162,8 @@ RunResult RunExperiment(const WorkloadSpec& spec,
       tracer = std::move(opened).value();
       if (const char* sample = std::getenv("REXP_TRACE_SAMPLE");
           sample != nullptr && sample[0] != '\0') {
-        long n = std::strtol(sample, nullptr, 10);
-        if (n > 0) tracer->set_span_sample(static_cast<uint64_t>(n));
+        uint64_t n = 0;
+        if (ParseU64(sample, &n) && n > 0) tracer->set_span_sample(n);
       }
       driver.SetTracer(tracer.get());
     } else {
@@ -269,8 +270,8 @@ RunResult RunExperiment(const WorkloadSpec& spec,
 double ScaleFromEnv(double fallback) {
   const char* env = std::getenv("REXP_SCALE");
   if (env == nullptr || env[0] == '\0') return fallback;
-  double scale = std::atof(env);
-  REXP_CHECK(scale > 0);
+  double scale = 0;
+  REXP_CHECK(ParsePositiveDouble(env, &scale));
   return scale;
 }
 

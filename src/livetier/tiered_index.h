@@ -28,18 +28,19 @@
 
 #include <algorithm>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/query.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "common/vec.h"
 #include "livetier/live_tier.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "sched/background_worker.h"
+#include "sched/mutex.h"
 #include "storage/page_file.h"
 #include "tree/tree.h"
 #include "tree/tree_config.h"
@@ -61,10 +62,11 @@ class TieredIndex {
   // Introduces an object that is not currently indexed. The report is
   // absorbed in memory; no page is touched. (Re-inserting a resident oid
   // degrades to last-write-wins, like a self-update.)
-  void Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
+  void Insert(ObjectId oid, const Tpbr<kDims>& point, Time now)
+      EXCLUDES(mu_) {
     bool pressure = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       AdvanceTimeLocked(now);
       ExpireAndCleanLocked(now);
       live_.Report(oid, point, now);
@@ -79,12 +81,13 @@ class TieredIndex {
   // answer immediately). Returns whether the old record matched the
   // object's current record — for a deferred tree-side replacement this
   // is reported optimistically as true, settled by GroupUpdate later.
-  bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
-              const Tpbr<kDims>& new_record, Time now) {
+  [[nodiscard]] bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
+                            const Tpbr<kDims>& new_record, Time now)
+      EXCLUDES(mu_) {
     bool found;
     bool pressure = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       AdvanceTimeLocked(now);
       ExpireAndCleanLocked(now);
       const Tpbr<kDims>* current = live_.Find(oid);
@@ -105,8 +108,9 @@ class TieredIndex {
 
   // Deletes the object's current record if it matches `point`; mirrors
   // Tree::Delete (false when the record expired first or never existed).
-  bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now) {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now)
+      EXCLUDES(mu_) {
+    sched::MutexLock lk(&mu_);
     AdvanceTimeLocked(now);
     ExpireAndCleanLocked(now);
     const Tpbr<kDims>* current = live_.Find(oid);
@@ -115,7 +119,7 @@ class TieredIndex {
       typename LiveTier<kDims>::DeadEntry dead;
       live_.Remove(oid, &dead);
       if (dead.has_tree_record) {
-        tree_.Delete(oid, dead.tree_record, now, /*see_expired=*/true);
+        (void)tree_.Delete(oid, dead.tree_record, now, /*see_expired=*/true);
         ++tree_cleanup_deletes_;
       }
       return true;
@@ -126,11 +130,12 @@ class TieredIndex {
   // Window query over both tiers. For objects resident in the live tier
   // the tier's record answers; tree hits for those objects are prior
   // reports and are suppressed.
-  void Search(const Query<kDims>& query, std::vector<ObjectId>* out) {
+  void Search(const Query<kDims>& query, std::vector<ObjectId>* out)
+      EXCLUDES(mu_) {
     out->clear();
     std::vector<ObjectId> owned;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       live_.Search(query, out);
       live_.SnapshotOwned(&owned, nullptr);
     }
@@ -149,14 +154,14 @@ class TieredIndex {
   // oracle). The tree is asked for k + |owned-with-tree-copy| so that
   // suppressed stale copies cannot crowd out genuine neighbors.
   void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
-                        std::vector<ObjectId>* out) {
+                        std::vector<ObjectId>* out) EXCLUDES(mu_) {
     out->clear();
     if (k <= 0) return;
     std::vector<typename LiveTier<kDims>::Candidate> candidates;
     std::vector<ObjectId> owned;
     size_t with_tree = 0;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       live_.NnCandidates(point, t, &candidates);
       live_.SnapshotOwned(&owned, &with_tree);
     }
@@ -196,12 +201,12 @@ class TieredIndex {
   // the background thread for tests and benchmarks. Concurrent ticks
   // (worker + pressure-triggered foreground) serialize on migrate_mu_ —
   // overlapping batches would double-apply records.
-  size_t MigrateTick() {
-    std::lock_guard<std::mutex> tick(migrate_mu_);
+  size_t MigrateTick() EXCLUDES(mu_, migrate_mu_) {
+    sched::MutexLock tick(&migrate_mu_);
     Time now;
     std::vector<typename LiveTier<kDims>::MigrationItem> batch;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       now = last_now_;
       ExpireAndCleanLocked(now);
       live_.CollectBatch(now, &batch, drain_all_);
@@ -220,10 +225,12 @@ class TieredIndex {
         tree_.Insert(item.oid, item.record, now);
       }
     }
-    if (!replacements.empty()) tree_.GroupUpdate(replacements, now);
+    // Per-request results were already reported (optimistically) by
+    // Update; the settle here has nothing further to do with them.
+    if (!replacements.empty()) (void)tree_.GroupUpdate(replacements, now);
 
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       orphan_scratch_.clear();
       live_.FinalizeMigration(batch, &orphan_scratch_);
       // An orphaned item's object left the tier while the tree was being
@@ -233,7 +240,7 @@ class TieredIndex {
       const Time fnow = last_now_;
       for (const auto& item : orphan_scratch_) {
         if (!item.record.LiveAt(fnow)) continue;
-        tree_.Delete(item.oid, item.record, fnow, /*see_expired=*/true);
+        (void)tree_.Delete(item.oid, item.record, fnow, /*see_expired=*/true);
         ++tree_cleanup_deletes_;
       }
       ++migration_batches_;
@@ -246,9 +253,9 @@ class TieredIndex {
   // honoring min_residual_life: records about to expire still die in
   // place). Returns the number migrated. Used for clean shutdown and by
   // crash-semantics tests to establish the "post-migration" tree state.
-  size_t DrainLiveTier(Time now) {
+  size_t DrainLiveTier(Time now) EXCLUDES(mu_, migrate_mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       AdvanceTimeLocked(now);
       drain_all_ = true;
     }
@@ -259,7 +266,7 @@ class TieredIndex {
       total += moved;
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       drain_all_ = false;
     }
     return total;
@@ -273,9 +280,9 @@ class TieredIndex {
   // contract: live-tier structure is sound, every owned object's live
   // (unexpired) tree copies consist of at most the recorded tree_record,
   // and the tree's own invariant catalog passes.
-  Status CheckInvariants(Time now) {
+  Status CheckInvariants(Time now) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::MutexLock lk(&mu_);
       Status live = live_.CheckInvariants();
       if (!live.ok()) return live;
     }
@@ -284,17 +291,32 @@ class TieredIndex {
   }
 
   Tree<kDims>& tree() { return tree_; }
-  const LiveTier<kDims>& live_tier() const { return live_; }
 
-  uint64_t migration_batches() const { return migration_batches_; }
-  uint64_t tree_cleanup_deletes() const { return tree_cleanup_deletes_; }
+  // Reference to the live tier for quiescent inspection (tests, drained
+  // shutdown). NO_THREAD_SAFETY_ANALYSIS: hands out mu_-guarded state;
+  // callers must ensure no mutator or migrator is running.
+  const LiveTier<kDims>& live_tier() const NO_THREAD_SAFETY_ANALYSIS {
+    return live_;
+  }
+
+  // Counters are mutated by the background migrator under mu_, so
+  // sampling them must take the lock too (an unlocked read here raced
+  // with MigrateTick; see TieredConcurrency.CounterAccessorsLocked).
+  uint64_t migration_batches() const EXCLUDES(mu_) {
+    sched::MutexLock lk(&mu_);
+    return migration_batches_;
+  }
+  uint64_t tree_cleanup_deletes() const EXCLUDES(mu_) {
+    sched::MutexLock lk(&mu_);
+    return tree_cleanup_deletes_;
+  }
   const obs::Histogram& migration_batch_size() const {
     return migration_batch_size_;
   }
 
   // Logical time of the last mutation (what the migrator migrates "at").
-  Time last_now() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  Time last_now() const EXCLUDES(mu_) {
+    sched::MutexLock lk(&mu_);
     return last_now_;
   }
 
@@ -310,7 +332,7 @@ class TieredIndex {
     const obs::OwnerId owner = registry->NewOwner();
     auto stat = [this](uint64_t LiveTier<kDims>::Stats::*field) {
       return [this, field]() -> uint64_t {
-        std::lock_guard<std::mutex> lk(mu_);
+        sched::MutexLock lk(&mu_);
         return live_.stats().*field;
       };
     };
@@ -331,31 +353,31 @@ class TieredIndex {
                          stat(&S::bin_rebuilds), owner);
     registry->AddCounter(prefix + "livetier.migration_batches",
                          std::function<uint64_t()>([this] {
-                           std::lock_guard<std::mutex> lk(mu_);
+                           sched::MutexLock lk(&mu_);
                            return migration_batches_;
                          }),
                          owner);
     registry->AddCounter(prefix + "livetier.tree_cleanup_deletes",
                          std::function<uint64_t()>([this] {
-                           std::lock_guard<std::mutex> lk(mu_);
+                           sched::MutexLock lk(&mu_);
                            return tree_cleanup_deletes_;
                          }),
                          owner);
     registry->AddGauge(prefix + "livetier.resident",
                        [this] {
-                         std::lock_guard<std::mutex> lk(mu_);
+                         sched::MutexLock lk(&mu_);
                          return static_cast<double>(live_.resident());
                        },
                        owner);
     registry->AddGauge(prefix + "livetier.owned_in_tree",
                        [this] {
-                         std::lock_guard<std::mutex> lk(mu_);
+                         sched::MutexLock lk(&mu_);
                          return static_cast<double>(live_.owned_in_tree());
                        },
                        owner);
     registry->AddGauge(prefix + "livetier.bins_occupied",
                        [this] {
-                         std::lock_guard<std::mutex> lk(mu_);
+                         sched::MutexLock lk(&mu_);
                          return static_cast<double>(live_.bins_occupied());
                        },
                        owner);
@@ -381,19 +403,19 @@ class TieredIndex {
     return true;
   }
 
-  void AdvanceTimeLocked(Time now) {
+  void AdvanceTimeLocked(Time now) REQUIRES(mu_) {
     if (now > last_now_) last_now_ = now;
   }
 
   // Pops expired live records; the ones that left a stale tree copy get
   // the copy deleted here (live-then-tree lock order, so calling into
   // the tree under mu_ is safe).
-  void ExpireAndCleanLocked(Time now) {
+  void ExpireAndCleanLocked(Time now) REQUIRES(mu_) {
     dead_scratch_.clear();
     live_.ExpireDue(now, &dead_scratch_);
     for (const auto& dead : dead_scratch_) {
       if (!dead.has_tree_record) continue;
-      tree_.Delete(dead.oid, dead.tree_record, now, /*see_expired=*/true);
+      (void)tree_.Delete(dead.oid, dead.tree_record, now, /*see_expired=*/true);
       ++tree_cleanup_deletes_;
     }
   }
@@ -407,16 +429,20 @@ class TieredIndex {
   }
 
   Tree<kDims> tree_;
-  mutable std::mutex mu_;
-  LiveTier<kDims> live_;  // Guarded by mu_.
-  Time last_now_ = 0;     // Guarded by mu_.
-  bool drain_all_ = false;  // Guarded by mu_.
-  std::vector<typename LiveTier<kDims>::DeadEntry> dead_scratch_;
-  std::vector<typename LiveTier<kDims>::MigrationItem> orphan_scratch_;
-  std::mutex migrate_mu_;  // Serializes MigrateTick invocations.
+  mutable sched::Mutex mu_{sched::LockRank::kLiveTier, "live_tier"};
+  LiveTier<kDims> live_ GUARDED_BY(mu_);
+  Time last_now_ GUARDED_BY(mu_) = 0;
+  bool drain_all_ GUARDED_BY(mu_) = false;
+  std::vector<typename LiveTier<kDims>::DeadEntry> dead_scratch_
+      GUARDED_BY(mu_);
+  std::vector<typename LiveTier<kDims>::MigrationItem> orphan_scratch_
+      GUARDED_BY(mu_);
+  // Serializes MigrateTick invocations. Outermost lock of the index
+  // stack: a tick takes mu_, then the tree's epoch.
+  sched::Mutex migrate_mu_{sched::LockRank::kMigrate, "migrate"};
   sched::BackgroundWorker migrator_;
-  uint64_t migration_batches_ = 0;
-  uint64_t tree_cleanup_deletes_ = 0;
+  uint64_t migration_batches_ GUARDED_BY(mu_) = 0;
+  uint64_t tree_cleanup_deletes_ GUARDED_BY(mu_) = 0;
   obs::Histogram migration_batch_size_{
       obs::ExponentialBounds(1.0, 2.0, 12)};
   mutable obs::ScopedRegistration metrics_registration_;

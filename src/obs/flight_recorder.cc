@@ -10,7 +10,7 @@
 #include <cstring>
 #include <exception>
 #include <limits>
-#include <mutex>
+#include <mutex>  // std-mutex-ok: once_flag/call_once only, no locks.
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -226,10 +226,19 @@ FlightRecorder& GlobalFlightRecorder() {
 
 namespace {
 
+// Fatal-path state is deliberately mutable process globals: the signal
+// handler can touch no locks and allocate nothing, so everything it
+// reads is precomputed at install time (under g_install_once) and then
+// only read. That install-once/read-after discipline — not a mutex — is
+// the synchronization here.
+//
 // Dump path precomputed at install time so the signal path allocates
 // nothing. Fixed-size: PATH_MAX-ish is overkill for our layouts.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 char g_dump_path[512] = {0};
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::terminate_handler g_prev_terminate = nullptr;
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::once_flag g_install_once;
 
 void ResolveDumpPath() {

@@ -27,8 +27,11 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <mutex>
+#include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
+#include "sched/mutex.h"
 
 namespace rexp::obs {
 
@@ -38,6 +41,9 @@ namespace telemetry {
 constexpr bool Enabled() { return false; }
 inline void SetEnabled(bool) {}
 #else
+// Process-wide runtime switch; intentionally a mutable global (one branch
+// on the hot path is the whole design).
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 inline std::atomic<bool> g_enabled{true};
 
 inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -79,9 +85,16 @@ class Histogram {
       : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
 
   Histogram(const Histogram& other) { *this = other; }
-  Histogram& operator=(const Histogram& other) {
+  // NO_THREAD_SAFETY_ANALYSIS: address-ordered dual acquisition of two
+  // peer locks of equal rank — lower address first, matching the LockRank
+  // equal-rank rule — which the static analysis cannot express.
+  Histogram& operator=(const Histogram& other) NO_THREAD_SAFETY_ANALYSIS {
     if (this == &other) return *this;
-    std::scoped_lock lock(mu_, other.mu_);
+    sched::Mutex* first = &mu_;
+    sched::Mutex* second = &other.mu_;
+    if (second < first) std::swap(first, second);
+    sched::MutexLock lock_first(first);
+    sched::MutexLock lock_second(second);
     bounds_ = other.bounds_;
     counts_ = other.counts_;
     count_ = other.count_;
@@ -94,7 +107,7 @@ class Histogram {
   void Record(double v) {
 #ifndef REXP_NO_TELEMETRY
     if (!telemetry::Enabled()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
                bounds_.begin();
     // upper_bound treats bounds as exclusive; make them inclusive.
@@ -110,30 +123,30 @@ class Histogram {
   }
 
   uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return count_;
   }
   double sum() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return sum_;
   }
   double min() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return MinLocked();
   }
   double max() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return MaxLocked();
   }
   double mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return MeanLocked();
   }
 
   // Value at quantile q in [0, 1], interpolated within the bucket that
   // holds the q-th recorded sample. 0 when empty.
   double Percentile(double q) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     if (count_ == 0) return 0;
     if (bounds_.empty())
       return std::clamp(MeanLocked(), MinLocked(), MaxLocked());
@@ -156,7 +169,7 @@ class Histogram {
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     std::fill(counts_.begin(), counts_.end(), 0);
     count_ = 0;
     sum_ = 0;
@@ -166,28 +179,28 @@ class Histogram {
 
   // Snapshots (copies): consistent even while other threads record.
   std::vector<double> bounds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return bounds_;
   }
   std::vector<uint64_t> bucket_counts() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     return counts_;
   }
 
  private:
-  double MinLocked() const { return count_ ? min_ : 0; }
-  double MaxLocked() const { return count_ ? max_ : 0; }
-  double MeanLocked() const {
+  double MinLocked() const REQUIRES(mu_) { return count_ ? min_ : 0; }
+  double MaxLocked() const REQUIRES(mu_) { return count_ ? max_ : 0; }
+  double MeanLocked() const REQUIRES(mu_) {
     return count_ ? sum_ / static_cast<double>(count_) : 0;
   }
 
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  mutable sched::Mutex mu_{sched::LockRank::kLeaf, "histogram"};
+  std::vector<double> bounds_ GUARDED_BY(mu_);
+  std::vector<uint64_t> counts_ GUARDED_BY(mu_);
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0;
+  double min_ GUARDED_BY(mu_) = std::numeric_limits<double>::infinity();
+  double max_ GUARDED_BY(mu_) = -std::numeric_limits<double>::infinity();
 };
 
 // `n` bucket bounds start, start*factor, start*factor^2, ...

@@ -48,7 +48,7 @@ Monitor::Monitor(const MetricsRegistry* registry, Options options)
 Monitor::~Monitor() { Stop(); }
 
 Status Monitor::OpenStream() {
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   if (file_ != nullptr) {
     return Status::FailedPrecondition("monitor stream already open");
   }
@@ -82,11 +82,11 @@ Status Monitor::OpenStream() {
 
 Status Monitor::Start() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     if (running_) return Status::FailedPrecondition("monitor already running");
   }
   REXP_RETURN_IF_ERROR(OpenStream());
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   running_ = true;
   thread_ = std::thread([this] { Run(); });
   return Status::OK();
@@ -95,15 +95,15 @@ Status Monitor::Start() {
 void Monitor::Stop() {
   std::thread to_join;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sched::MutexLock lock(&mu_);
     if (running_) {
       running_ = false;
-      cv_.notify_all();
+      cv_.NotifyAll();
       to_join = std::move(thread_);
     }
   }
   if (to_join.joinable()) to_join.join();
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   if (file_ != nullptr) {
     SampleLocked();  // Final sample so short runs still show activity.
     std::fclose(file_);
@@ -112,14 +112,14 @@ void Monitor::Stop() {
 }
 
 void Monitor::SampleNow() {
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   SampleLocked();
 }
 
 void Monitor::AddJsonProvider(std::string key,
                               std::function<std::string()> fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   providers_.emplace_back(std::move(key), std::move(fn));
 }
 
@@ -127,10 +127,13 @@ void Monitor::Run() {
   const auto interval = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(options_.interval_s));
-  std::unique_lock<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   while (running_) {
     // Timed wait doubles as the stop signal: Stop() notifies under mu_.
-    if (cv_.wait_for(lock, interval, [this] { return !running_; })) break;
+    if (cv_.WaitFor(mu_, interval,
+                    [this]() REQUIRES(mu_) { return !running_; })) {
+      break;
+    }
     if (file_ != nullptr) SampleLocked();
   }
 }

@@ -31,18 +31,18 @@
 #define REXP_OBS_MONITOR_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/registry.h"
+#include "sched/mutex.h"
 
 namespace rexp::obs {
 
@@ -77,54 +77,61 @@ class Monitor {
   // Opens monitor_<name>_<pid>.jsonl in the output directory, writes the
   // meta line and the seq-0 baseline sample, and starts the sampler
   // thread. Fails if already started or the file cannot be opened.
-  Status Start();
+  Status Start() EXCLUDES(mu_);
 
   // Stops the sampler thread (taking one final sample) and closes the
   // stream. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   // Takes one sample immediately from the calling thread. Usable without
   // Start() after OpenStream(), and with the thread running (samples
   // serialize internally). Tests and --once tooling.
-  void SampleNow();
+  void SampleNow() EXCLUDES(mu_);
 
   // Opens the stream and writes meta + baseline without starting the
   // thread; SampleNow() then drives sampling manually.
-  Status OpenStream();
+  Status OpenStream() EXCLUDES(mu_);
 
   // Registers an extra top-level key whose value is the provider's raw
   // JSON output (must be a complete JSON value). Used for the buffer
   // heatmap. Call before Start()/OpenStream().
-  void AddJsonProvider(std::string key, std::function<std::string()> fn);
+  void AddJsonProvider(std::string key, std::function<std::string()> fn)
+      EXCLUDES(mu_);
 
   // Full path of the stream file (valid after Start()/OpenStream()).
   const std::string& path() const { return path_; }
 
-  uint64_t samples() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t samples() const EXCLUDES(mu_) {
+    sched::MutexLock lock(&mu_);
     return seq_;
   }
 
  private:
-  void Run();
-  void SampleLocked();
+  void Run() EXCLUDES(mu_);
+  void SampleLocked() REQUIRES(mu_);
 
   const MetricsRegistry* registry_;
   Options options_;
+  // Written once in OpenStream(), before the sampler thread exists and
+  // before SampleNow() is usable; read-only afterwards, so path() can
+  // hand out a reference without the lock.
   std::string path_;
 
-  mutable std::mutex mu_;  // Guards everything below.
-  std::condition_variable cv_;
-  std::FILE* file_ = nullptr;
-  bool running_ = false;
-  uint64_t seq_ = 0;
-  std::chrono::steady_clock::time_point epoch_;
-  std::chrono::steady_clock::time_point last_sample_;
-  std::vector<MetricSample> prev_counters_;
-  std::vector<HistogramSnapshot> prev_hists_;
+  // kMonitor is the top of the lock order: SampleLocked() snapshots the
+  // registry (kRegistry) — and through its callbacks the component locks
+  // below that — while holding mu_.
+  mutable sched::Mutex mu_{sched::LockRank::kMonitor, "monitor"};
+  sched::CondVar cv_;
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  bool running_ GUARDED_BY(mu_) = false;
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point epoch_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_sample_ GUARDED_BY(mu_);
+  std::vector<MetricSample> prev_counters_ GUARDED_BY(mu_);
+  std::vector<HistogramSnapshot> prev_hists_ GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::function<std::string()>>>
-      providers_;
-  std::thread thread_;  // Joined outside mu_.
+      providers_ GUARDED_BY(mu_);
+  std::thread thread_ GUARDED_BY(mu_);  // Joined outside mu_ after move-out.
 };
 
 }  // namespace rexp::obs

@@ -11,7 +11,7 @@ namespace rexp::obs {
 
 void MetricsRegistry::Unregister(OwnerId owner) {
   if (owner == kPermanentOwner) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   auto drop = [owner](auto& bindings) {
     bindings.erase(
         std::remove_if(bindings.begin(), bindings.end(),
@@ -26,7 +26,7 @@ void MetricsRegistry::Unregister(OwnerId owner) {
 void MetricsRegistry::AddCounter(std::string name, const uint64_t* v,
                                  OwnerId owner) {
   REXP_CHECK(v != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   counters_.push_back({std::move(name), [v] { return *v; }, owner});
 }
 
@@ -34,7 +34,7 @@ void MetricsRegistry::AddCounter(std::string name,
                                  const std::atomic<uint64_t>* v,
                                  OwnerId owner) {
   REXP_CHECK(v != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   counters_.push_back(
       {std::move(name),
        [v] { return v->load(std::memory_order_relaxed); }, owner});
@@ -43,25 +43,25 @@ void MetricsRegistry::AddCounter(std::string name,
 void MetricsRegistry::AddCounter(std::string name,
                                  std::function<uint64_t()> fn,
                                  OwnerId owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   counters_.push_back({std::move(name), std::move(fn), owner});
 }
 
 void MetricsRegistry::AddGauge(std::string name, std::function<double()> fn,
                                OwnerId owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   gauges_.push_back({std::move(name), std::move(fn), owner});
 }
 
 void MetricsRegistry::AddHistogram(std::string name, const Histogram* h,
                                    OwnerId owner) {
   REXP_CHECK(h != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   histograms_.push_back({std::move(name), h, owner});
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   std::vector<MetricSample> samples;
   samples.reserve(counters_.size() + gauges_.size());
   for (const auto& b : counters_) {
@@ -75,7 +75,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   std::vector<HistogramSnapshot> snaps;
   snaps.reserve(histograms_.size());
   for (const auto& b : histograms_) {
@@ -93,7 +93,7 @@ std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
 }
 
 bool MetricsRegistry::Lookup(const std::string& name, double* value) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   for (const auto& b : counters_) {
     if (b.name == name) {
       *value = static_cast<double>(b.read());
@@ -110,7 +110,7 @@ bool MetricsRegistry::Lookup(const std::string& name, double* value) const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();

@@ -28,12 +28,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "sched/mutex.h"
 
 namespace rexp::obs {
 
@@ -112,7 +113,7 @@ class MetricsRegistry {
 
   // Removes every binding registered under `owner`. No-op for
   // kPermanentOwner or an owner with no bindings.
-  void Unregister(OwnerId owner);
+  void Unregister(OwnerId owner) EXCLUDES(mu_);
 
   // Wraps `owner` in a handle that unregisters on destruction.
   ScopedRegistration MakeScoped(OwnerId owner) {
@@ -123,33 +124,33 @@ class MetricsRegistry {
   // common case of a (plain or atomic) uint64_t member; the callback
   // overload covers derived counts.
   void AddCounter(std::string name, const uint64_t* v,
-                  OwnerId owner = kPermanentOwner);
+                  OwnerId owner = kPermanentOwner) EXCLUDES(mu_);
   void AddCounter(std::string name, const std::atomic<uint64_t>* v,
-                  OwnerId owner = kPermanentOwner);
+                  OwnerId owner = kPermanentOwner) EXCLUDES(mu_);
   void AddCounter(std::string name, std::function<uint64_t()> fn,
-                  OwnerId owner = kPermanentOwner);
+                  OwnerId owner = kPermanentOwner) EXCLUDES(mu_);
 
   // Binds `name` to a point-in-time measurement (heights, fractions,
   // horizon estimates, ...).
   void AddGauge(std::string name, std::function<double()> fn,
-                OwnerId owner = kPermanentOwner);
+                OwnerId owner = kPermanentOwner) EXCLUDES(mu_);
 
   // Binds `name` to a histogram owned by the component.
   void AddHistogram(std::string name, const Histogram* h,
-                    OwnerId owner = kPermanentOwner);
+                    OwnerId owner = kPermanentOwner) EXCLUDES(mu_);
 
   // Current values of all registered counters and gauges, in
   // registration order.
-  std::vector<MetricSample> Snapshot() const;
+  std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
 
   // Consistent copies of all registered histograms, in registration
   // order. The monitor diffs consecutive snapshots for per-interval
   // percentiles.
-  std::vector<HistogramSnapshot> SnapshotHistograms() const;
+  std::vector<HistogramSnapshot> SnapshotHistograms() const EXCLUDES(mu_);
 
   // Value of a registered scalar by exact name; false if absent. Test
   // and tooling convenience.
-  bool Lookup(const std::string& name, double* value) const;
+  bool Lookup(const std::string& name, double* value) const EXCLUDES(mu_);
 
   // The full snapshot as one JSON object:
   //   {"counters": {name: n, ...},
@@ -159,7 +160,7 @@ class MetricsRegistry {
   //                          "buckets": [{"le": bound, "count": n}, ...]},
   //                   ...}}
   // The final bucket's "le" is null (the overflow bucket).
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mu_);
 
  private:
   template <typename Fn>
@@ -169,11 +170,15 @@ class MetricsRegistry {
     OwnerId owner;
   };
 
-  mutable std::mutex mu_;
+  // kRegistry outranks the component locks (kLiveTier, kTreeEpoch, ...)
+  // because snapshot callbacks run under mu_ and may take them; only the
+  // monitor lock sits above (Monitor::SampleLocked snapshots under its
+  // own mutex).
+  mutable sched::Mutex mu_{sched::LockRank::kRegistry, "metrics_registry"};
   std::atomic<OwnerId> next_owner_{1};
-  std::vector<Binding<std::function<uint64_t()>>> counters_;
-  std::vector<Binding<std::function<double()>>> gauges_;
-  std::vector<Binding<const Histogram*>> histograms_;
+  std::vector<Binding<std::function<uint64_t()>>> counters_ GUARDED_BY(mu_);
+  std::vector<Binding<std::function<double()>>> gauges_ GUARDED_BY(mu_);
+  std::vector<Binding<const Histogram*>> histograms_ GUARDED_BY(mu_);
   // Liveness token for ScopedRegistration; expires with the registry.
   std::shared_ptr<MetricsRegistry*> self_;
 };

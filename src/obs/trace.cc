@@ -13,10 +13,10 @@ namespace rexp::obs {
 namespace {
 
 // Live-tracer registry for the fatal-path flush (FlushAllTracers). The
-// mutex ordering is registry mutex -> tracer mutex (Flush); no code path
-// takes them in the other order.
-std::mutex& TracerListMutex() {
-  static std::mutex mu;
+// mutex ordering is list mutex -> tracer mutex (Flush); no code path
+// takes them in the other order, hence the list mutex's higher rank.
+sched::Mutex& TracerListMutex() {
+  static sched::Mutex mu{sched::LockRank::kRegistry, "tracer_list"};
   return mu;
 }
 
@@ -28,7 +28,7 @@ std::vector<Tracer*>& TracerList() {
 }  // namespace
 
 void FlushAllTracers() {
-  std::lock_guard<std::mutex> lock(TracerListMutex());
+  sched::MutexLock lock(&TracerListMutex());
   for (Tracer* t : TracerList()) t->Flush();
 }
 
@@ -50,14 +50,14 @@ StatusOr<std::unique_ptr<Tracer>> Tracer::OpenFile(const std::string& path,
 Tracer::Tracer(std::FILE* f, bool owns) : file_(f), owns_(owns) {
   REXP_CHECK(f != nullptr);
   {
-    std::lock_guard<std::mutex> lock(TracerListMutex());
+    sched::MutexLock lock(&TracerListMutex());
     TracerList().push_back(this);
   }
 #ifndef REXP_NO_TELEMETRY
   // Stream header: names the schema version so offline consumers can
   // dispatch. Append mode re-emits it — a multi-run file simply carries
   // one header per run.
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   BeginLineLocked("trace_meta");
   AppendFieldLocked("v", kTraceSchemaVersion);
   FinishLineLocked();
@@ -66,7 +66,7 @@ Tracer::Tracer(std::FILE* f, bool owns) : file_(f), owns_(owns) {
 
 Tracer::~Tracer() {
   {
-    std::lock_guard<std::mutex> lock(TracerListMutex());
+    sched::MutexLock lock(&TracerListMutex());
     auto& list = TracerList();
     list.erase(std::remove(list.begin(), list.end(), this), list.end());
   }
@@ -75,12 +75,12 @@ Tracer::~Tracer() {
 }
 
 void Tracer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   std::fflush(file_);
 }
 
 void Tracer::set_span_sample(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   span_sample_ = n == 0 ? 1 : n;
 }
 
@@ -135,7 +135,7 @@ void Tracer::Emit(const char* type,
   (void)type;
   (void)fields;
 #else
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   if (!span_stack_.empty() && span_stack_.back().id == 0) return;
   BeginLineLocked(type);
   if (!span_stack_.empty()) {
@@ -153,7 +153,7 @@ uint64_t Tracer::BeginSpan(const char* type,
   (void)fields;
   return 0;
 #else
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   // Sampling decision at the top level; children inherit suppression.
   bool suppressed;
   if (span_stack_.empty()) {
@@ -182,7 +182,7 @@ void Tracer::EndSpan(std::initializer_list<TraceField> fields) {
 #ifdef REXP_NO_TELEMETRY
   (void)fields;
 #else
-  std::lock_guard<std::mutex> lock(mu_);
+  sched::MutexLock lock(&mu_);
   REXP_CHECK(!span_stack_.empty());
   OpenSpan span = span_stack_.back();
   span_stack_.pop_back();

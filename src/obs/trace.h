@@ -45,11 +45,12 @@
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "sched/mutex.h"
 
 namespace rexp::obs {
 
@@ -84,7 +85,8 @@ class Tracer {
   // an internal mutex, so lines never interleave and `seq` stays
   // monotone (events of one logical operation are still consecutive
   // because only the exclusive writer emits multi-event groups).
-  void Emit(const char* type, std::initializer_list<TraceField> fields);
+  void Emit(const char* type, std::initializer_list<TraceField> fields)
+      EXCLUDES(mu_);
 
   // Opens a span of type `type`, emitting its "B" event, and returns the
   // span id (0 when the span was sampled out or telemetry is compiled
@@ -92,22 +94,23 @@ class Tracer {
   // EndSpan. Span structure is only meaningful from the exclusive
   // writer (see Emit).
   uint64_t BeginSpan(const char* type,
-                     std::initializer_list<TraceField> fields = {});
+                     std::initializer_list<TraceField> fields = {})
+      EXCLUDES(mu_);
 
   // Closes the innermost open span, emitting its "E" event with the
   // span's wall time as `dur_us` plus `fields` (I/O deltas etc.).
-  void EndSpan(std::initializer_list<TraceField> fields = {});
+  void EndSpan(std::initializer_list<TraceField> fields = {}) EXCLUDES(mu_);
 
   // Keeps every n-th top-level span group (n >= 1; default 1 = all).
-  void set_span_sample(uint64_t n);
+  void set_span_sample(uint64_t n) EXCLUDES(mu_);
 
-  uint64_t events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t events() const EXCLUDES(mu_) {
+    sched::MutexLock lock(&mu_);
     return seq_;
   }
 
   // Pushes buffered events to the stream.
-  void Flush();
+  void Flush() EXCLUDES(mu_);
 
  private:
   struct OpenSpan {
@@ -117,20 +120,22 @@ class Tracer {
   };
 
   // Formatting helpers; caller holds mu_.
-  void BeginLineLocked(const char* type);
-  void AppendFieldLocked(const char* key, double value);
-  void AppendRawLocked(const char* key, const char* raw);
-  void FinishLineLocked();
+  void BeginLineLocked(const char* type) REQUIRES(mu_);
+  void AppendFieldLocked(const char* key, double value) REQUIRES(mu_);
+  void AppendRawLocked(const char* key, const char* raw) REQUIRES(mu_);
+  void FinishLineLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable sched::Mutex mu_{sched::LockRank::kLeaf, "tracer"};
+  // Both set in the constructor and never reassigned; the FILE object
+  // itself is only written under mu_ (and closed in the destructor).
   std::FILE* file_;
   bool owns_;
-  uint64_t seq_ = 0;
-  uint64_t next_span_id_ = 1;
-  uint64_t top_level_spans_ = 0;
-  uint64_t span_sample_ = 1;
-  std::vector<OpenSpan> span_stack_;
-  std::string line_;  // Reused formatting buffer (guarded by mu_).
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
+  uint64_t next_span_id_ GUARDED_BY(mu_) = 1;
+  uint64_t top_level_spans_ GUARDED_BY(mu_) = 0;
+  uint64_t span_sample_ GUARDED_BY(mu_) = 1;
+  std::vector<OpenSpan> span_stack_ GUARDED_BY(mu_);
+  std::string line_ GUARDED_BY(mu_);  // Reused formatting buffer.
 };
 
 // Flushes every live Tracer in the process. Called from the flight

@@ -19,11 +19,12 @@
 #define REXP_SCHED_BACKGROUND_WORKER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "common/thread_annotations.h"
+#include "sched/mutex.h"
 
 namespace rexp::sched {
 
@@ -37,8 +38,8 @@ class BackgroundWorker {
 
   // Starts the loop; no-op if already running. `tick` is invoked on the
   // worker thread every `interval_s` seconds, and once per Kick().
-  void Start(std::function<void()> tick, double interval_s) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void Start(std::function<void()> tick, double interval_s) EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     if (thread_.joinable()) return;
     tick_ = std::move(tick);
     interval_s_ = interval_s;
@@ -48,47 +49,56 @@ class BackgroundWorker {
   }
 
   // Stops and joins the worker. Safe to call repeatedly or without Start.
-  void Stop() {
+  void Stop() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       stop_ = true;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     if (thread_.joinable()) thread_.join();
   }
 
   // Requests an immediate run (coalesced with any pending request).
-  void Kick() {
-    std::lock_guard<std::mutex> lk(mu_);
+  void Kick() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     kicked_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  bool running() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool running() const EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return thread_.joinable() && !stop_;
   }
 
  private:
-  void Loop() {
-    std::unique_lock<std::mutex> lk(mu_);
+  // Holds mu_ except across each tick_() call, so Kick/Stop stay
+  // responsive while a tick runs.
+  void Loop() EXCLUDES(mu_) {
+    mu_.lock();
+    // tick_ is fixed before the thread spawns (Start is a no-op while
+    // joinable), so one copy under the lock covers the whole run.
+    const std::function<void()> tick = tick_;
     while (!stop_) {
-      cv_.wait_for(lk, std::chrono::duration<double>(interval_s_),
-                   [this] { return stop_ || kicked_; });
+      cv_.WaitFor(mu_, std::chrono::duration<double>(interval_s_),
+                  [this]() REQUIRES(mu_) { return stop_ || kicked_; });
       if (stop_) break;
       kicked_ = false;
-      lk.unlock();
-      tick_();
-      lk.lock();
+      mu_.unlock();
+      tick();
+      mu_.lock();
     }
+    mu_.unlock();
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::function<void()> tick_;
-  double interval_s_ = 1.0;
-  bool stop_ = false;
-  bool kicked_ = false;
+  mutable Mutex mu_{LockRank::kLeaf, "background_worker"};
+  CondVar cv_;
+  std::function<void()> tick_ GUARDED_BY(mu_);
+  double interval_s_ GUARDED_BY(mu_) = 1.0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool kicked_ GUARDED_BY(mu_) = false;
+  // Set in Start under mu_; joined in Stop *outside* mu_ (joining under
+  // the lock would deadlock against the loop's relock). joinable() after
+  // the stop_ handshake is safe: no concurrent Start by contract.
   std::thread thread_;
 };
 

@@ -1,0 +1,193 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// The annotated lock vocabulary of the codebase. Outside src/sched/ the
+// raw standard primitives (std::mutex, std::shared_mutex) are forbidden
+// by scripts/check_conventions.sh; components use these wrappers instead,
+// which add exactly two things to the standard types:
+//
+//   * Clang thread-safety capability annotations, so -Wthread-safety can
+//     prove at compile time that guarded fields are only touched under
+//     their lock (common/thread_annotations.h, DESIGN.md §13);
+//   * a LockRank, so debug builds verify at run time that locks are
+//     acquired in the documented global order (sched/lock_rank.h).
+//
+// In builds without REXP_LOCK_RANK both collapse to the plain standard
+// primitive — no extra state, inline forwarding calls — so the hot paths
+// (the buffer pool mutex, per-frame latches, histogram locks) cost
+// exactly what they did before.
+//
+// Condition-variable waits use sched::CondVar, whose Wait/WaitFor take
+// the Mutex directly (it satisfies BasicLockable) — this keeps the
+// unlock/relock inside the instrumented type, so lock-rank bookkeeping
+// stays correct across waits and the thread-safety analysis sees a
+// REQUIRES function instead of an opaque std::unique_lock.
+
+#ifndef REXP_SCHED_MUTEX_H_
+#define REXP_SCHED_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+#include "sched/lock_rank.h"
+
+namespace rexp::sched {
+
+// std::mutex with a capability annotation and a lock rank.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex")
+#if REXP_LOCK_RANK_ENABLED
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankCheckAcquire(rank_, this, name_);
+#endif
+    mu_.lock();
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
+    return true;
+  }
+
+  void unlock() RELEASE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordReleased(this);
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+#if REXP_LOCK_RANK_ENABLED
+  const LockRank rank_;
+  const char* const name_;
+#endif
+};
+
+// RAII exclusive hold on a Mutex for a scope; the unit the thread-safety
+// analysis understands (std::lock_guard over libstdc++ carries no
+// annotations).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable paired with sched::Mutex. Waits take the Mutex
+// itself (BasicLockable), so the unlock/relock inside the wait flows
+// through the instrumented lock/unlock above.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  // Returns pred() at wakeup (false = timed out with pred still false).
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+               Pred pred) REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// std::shared_mutex with annotations and a rank: the per-frame content
+// latch of the buffer pool. Deliberately NOT sched::SharedMutex — the
+// latch is on every page access and wants the pthread rwlock's fast
+// uncontended path, not the writer-preference machinery the epoch lock
+// needs (frame latches are held for microseconds; the epoch lock for
+// whole operations).
+class CAPABILITY("shared_mutex") SharedLatch {
+ public:
+  explicit SharedLatch(LockRank rank = LockRank::kFrameLatch,
+                       const char* name = "latch")
+#if REXP_LOCK_RANK_ENABLED
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
+
+  SharedLatch(const SharedLatch&) = delete;
+  SharedLatch& operator=(const SharedLatch&) = delete;
+
+  void lock() ACQUIRE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankCheckAcquire(rank_, this, name_);
+#endif
+    mu_.lock();
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
+  }
+
+  void unlock() RELEASE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordReleased(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankCheckAcquire(rank_, this, name_);
+#endif
+    mu_.lock_shared();
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
+  }
+
+  void unlock_shared() RELEASE_SHARED() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordReleased(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if REXP_LOCK_RANK_ENABLED
+  const LockRank rank_;
+  const char* const name_;
+#endif
+};
+
+}  // namespace rexp::sched
+
+#endif  // REXP_SCHED_MUTEX_H_

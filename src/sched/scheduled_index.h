@@ -53,7 +53,7 @@ class ScheduledIndex {
     while (queue_.PopFirstUpTo(static_cast<float>(now), &key, value)) {
       Tpbr<kDims> point = DecodeRecord(key, value);
       // The entry may already be gone (e.g. lazily purged); that is fine.
-      tree_.Delete(key.id, point, now, /*see_expired=*/true);
+      (void)tree_.Delete(key.id, point, now, /*see_expired=*/true);
       ++fired;
     }
     scheduled_deletions_fired_ += fired;
@@ -78,7 +78,8 @@ class ScheduledIndex {
   bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now) {
     PumpDue(now);
     if (IsFiniteTime(point.t_exp)) {
-      queue_.Delete(BTree::Key{static_cast<float>(point.t_exp), oid});
+      // Absent is fine: the scheduled deletion may have fired already.
+      (void)queue_.Delete(BTree::Key{static_cast<float>(point.t_exp), oid});
     }
     return tree_.Delete(oid, point, now);
   }

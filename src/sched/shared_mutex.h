@@ -10,7 +10,13 @@
 // writers as usual.
 //
 // Meets the SharedLockable requirements, so std::unique_lock and
-// std::shared_lock work unchanged. Not reentrant, like std::shared_mutex.
+// std::shared_lock work unchanged — but annotated code should hold it
+// through WriterMutexLock / ReaderMutexLock below, which the thread-
+// safety analysis understands. Not reentrant, like std::shared_mutex.
+//
+// Declared as a capability (common/thread_annotations.h) and ranked
+// (sched/lock_rank.h): debug builds abort on an acquisition that
+// violates the global lock order.
 
 #ifndef REXP_SCHED_SHARED_MUTEX_H_
 #define REXP_SCHED_SHARED_MUTEX_H_
@@ -19,15 +25,30 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+#include "sched/lock_rank.h"
+
 namespace rexp::sched {
 
-class SharedMutex {
+class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank = LockRank::kTreeEpoch,
+                       const char* name = "shared_mutex")
+#if REXP_LOCK_RANK_ENABLED
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
+
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankCheckAcquire(rank_, this, name_);
+#endif
     std::unique_lock<std::mutex> lk(mu_);
     ++waiting_writers_;
     writer_cv_.wait(lk, [this] {
@@ -35,16 +56,25 @@ class SharedMutex {
     });
     --waiting_writers_;
     writer_active_ = true;
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
   }
 
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     std::lock_guard<std::mutex> lk(mu_);
     if (writer_active_ || active_readers_ != 0) return false;
     writer_active_ = true;
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
     return true;
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordReleased(this);
+#endif
     std::lock_guard<std::mutex> lk(mu_);
     writer_active_ = false;
     if (waiting_writers_ != 0) {
@@ -54,22 +84,34 @@ class SharedMutex {
     }
   }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankCheckAcquire(rank_, this, name_);
+#endif
     std::unique_lock<std::mutex> lk(mu_);
     reader_cv_.wait(lk, [this] {
       return !writer_active_ && waiting_writers_ == 0;
     });
     ++active_readers_;
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
   }
 
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     std::lock_guard<std::mutex> lk(mu_);
     if (writer_active_ || waiting_writers_ != 0) return false;
     ++active_readers_;
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordAcquired(rank_, this, name_);
+#endif
     return true;
   }
 
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
+#if REXP_LOCK_RANK_ENABLED
+    LockRankRecordReleased(this);
+#endif
     std::lock_guard<std::mutex> lk(mu_);
     if (--active_readers_ == 0 && waiting_writers_ != 0) {
       writer_cv_.notify_one();
@@ -83,6 +125,40 @@ class SharedMutex {
   uint64_t active_readers_ = 0;
   uint64_t waiting_writers_ = 0;
   bool writer_active_ = false;
+#if REXP_LOCK_RANK_ENABLED
+  const LockRank rank_;
+  const char* const name_;
+#endif
+};
+
+// RAII exclusive (writer) hold on a SharedMutex for a scope.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) hold on a SharedMutex for a scope.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
 };
 
 }  // namespace rexp::sched

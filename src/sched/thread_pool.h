@@ -10,16 +10,16 @@
 #ifndef REXP_SCHED_THREAD_POOL_H_
 #define REXP_SCHED_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
+#include "sched/mutex.h"
 
 namespace rexp::sched {
 
@@ -38,57 +38,61 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues `fn` for execution on some worker. Never blocks.
-  void Submit(std::function<void()> fn) {
+  void Submit(std::function<void()> fn) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(fn));
       ++outstanding_;
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
   }
 
   // Blocks until every task submitted so far has finished executing.
   // Must not be called from inside a task.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_.wait(lock, [this] { return outstanding_ == 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    drained_.Wait(mu_, [this]() REQUIRES(mu_) { return outstanding_ == 0; });
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> fn;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        wake_.Wait(mu_, [this]() REQUIRES(mu_) {
+          return stopping_ || !queue_.empty();
+        });
         if (queue_.empty()) return;  // stopping_, nothing left to run.
         fn = std::move(queue_.front());
         queue_.pop_front();
       }
       fn();
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--outstanding_ == 0) drained_.notify_all();
+        MutexLock lock(&mu_);
+        if (--outstanding_ == 0) drained_.NotifyAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable drained_;
-  std::deque<std::function<void()>> queue_;
-  size_t outstanding_ = 0;
-  bool stopping_ = false;
+  Mutex mu_{LockRank::kLeaf, "thread_pool"};
+  CondVar wake_;
+  CondVar drained_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  // Written only in the constructor, joined in the destructor; threads
+  // never touch it — safe without mu_.
   std::vector<std::thread> workers_;
 };
 

@@ -45,15 +45,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
+#include "sched/mutex.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -264,43 +264,50 @@ class BufferManager {
     uint32_t lru_next = kNoFrame;
     bool in_lru = false;
     // Content latch. Guards hold it shared (read) or exclusive (write);
-    // frame metadata above is guarded by pool_mu_, not by this latch.
-    std::shared_mutex latch;
+    // frame metadata above is guarded by pool_mu_, not by this latch
+    // (the analysis cannot express "guarded by a member of the enclosing
+    // class", so that half of the contract is checked by LockRank and
+    // the *Locked naming convention instead).
+    sched::SharedLatch latch;
 
     explicit Frame(uint32_t page_size) : page(page_size) {}
   };
 
   // Returns a free frame index, evicting the LRU unpinned page if needed
   // (which can fail on a dirty victim write-out). Caller holds pool_mu_.
-  StatusOr<uint32_t> AcquireFrameLocked();
-  void TouchLocked(uint32_t frame_index);
-  void RemoveFromLruLocked(uint32_t frame_index);
-  void PinFrameLocked(uint32_t frame_index);
-  void UnpinFrameLocked(uint32_t frame_index);
+  StatusOr<uint32_t> AcquireFrameLocked() REQUIRES(pool_mu_);
+  void TouchLocked(uint32_t frame_index) REQUIRES(pool_mu_);
+  void RemoveFromLruLocked(uint32_t frame_index) REQUIRES(pool_mu_);
+  void PinFrameLocked(uint32_t frame_index) REQUIRES(pool_mu_);
+  void UnpinFrameLocked(uint32_t frame_index) REQUIRES(pool_mu_);
 
   // Latches frame `fi` (already pinned by the caller) per `intent` and
-  // wraps it in a guard. Must NOT hold pool_mu_.
-  PageGuard MakeGuard(uint32_t fi, PageIntent intent);
+  // wraps it in a guard. Must NOT hold pool_mu_ (lock order: latches are
+  // never acquired under the pool mutex).
+  PageGuard MakeGuard(uint32_t fi, PageIntent intent) EXCLUDES(pool_mu_);
   // PageGuard back-ends.
-  void ReleaseGuard(uint32_t fi, PageIntent intent);
-  void MarkDirtyFrame(uint32_t fi);
-  uint64_t FrameGeneration(uint32_t fi) const;
+  void ReleaseGuard(uint32_t fi, PageIntent intent) EXCLUDES(pool_mu_);
+  void MarkDirtyFrame(uint32_t fi) EXCLUDES(pool_mu_);
+  uint64_t FrameGeneration(uint32_t fi) const EXCLUDES(pool_mu_);
 
   PageFile* const file_;
   const uint32_t num_frames_;
 
   // Guards everything below it plus per-frame metadata; see file header
   // for the lock order. Mutable so const test hooks can lock it.
-  mutable std::mutex pool_mu_;
+  mutable sched::Mutex pool_mu_{sched::LockRank::kBufferPool, "buffer_pool"};
   // unique_ptr keeps Frame (which holds a shared_mutex) off the vector's
-  // move path and its address stable for outstanding guards.
+  // move path and its address stable for outstanding guards. The vector
+  // itself is immutable after the constructor (MakeGuard dereferences it
+  // with only a pin, no lock); the Frame *metadata* behind each pointer
+  // is pool_mu_-guarded per the comment on Frame.
   std::vector<std::unique_ptr<Frame>> frames_;
-  std::vector<uint32_t> free_frames_;
+  std::vector<uint32_t> free_frames_ GUARDED_BY(pool_mu_);
   // Intrusive LRU list over frames_ (links in Frame). Head = most
   // recently used; tail = least recently used (the eviction victim).
-  uint32_t lru_head_ = kNoFrame;
-  uint32_t lru_tail_ = kNoFrame;
-  std::unordered_map<PageId, uint32_t> frame_of_;
+  uint32_t lru_head_ GUARDED_BY(pool_mu_) = kNoFrame;
+  uint32_t lru_tail_ GUARDED_BY(pool_mu_) = kNoFrame;
+  std::unordered_map<PageId, uint32_t> frame_of_ GUARDED_BY(pool_mu_);
   IoStats stats_;
 };
 

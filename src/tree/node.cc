@@ -32,6 +32,7 @@ NodeCodec<kDims>::NodeCodec(uint32_t page_size, bool store_velocities,
   REXP_CHECK(leaf_capacity_ >= 4 && internal_capacity_ >= 4);
 }
 
+// raw-page-ok: codec writes into a caller-pinned frame.
 template <int kDims>
 void NodeCodec<kDims>::Encode(const Node<kDims>& node, Page* page) const {
   REXP_CHECK(static_cast<int>(node.entries.size()) <= Capacity(node.level));

@@ -66,8 +66,9 @@ class NodeCodec {
   uint32_t leaf_entry_size() const { return leaf_entry_size_; }
   uint32_t internal_entry_size() const { return internal_entry_size_; }
 
-  // The node must fit (entries <= capacity).
-  void Encode(const Node<kDims>& node, Page* page) const;
+  // The node must fit (entries <= capacity). The caller passes the
+  // pinned frame's page; the codec never owns one.
+  void Encode(const Node<kDims>& node, Page* page) const;  // raw-page-ok
   void Decode(const Page& page, Node<kDims>* node) const;
 
  private:

@@ -8,6 +8,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "common/float_round.h"
 #include "obs/flight_recorder.h"
 #include "sched/thread_pool.h"
@@ -116,6 +117,10 @@ Status Tree<kDims>::Init() {
     if (file_->capacity_pages() < kNumMetaSlots) {
       return Status::Corruption("index file holds no complete meta slot");
     }
+    // No other thread can reach the tree yet, but recovery mutates the
+    // epoch-guarded state (DAT, parent map), so it runs under the writer
+    // epoch like every other mutation — uncontended here.
+    sched::WriterMutexLock epoch(&epoch_mu_);
     REXP_RETURN_IF_ERROR(LoadMeta());
     if (root_ != kInvalidPageId) {
       REXP_RETURN_IF_ERROR(PinRoot(root_));
@@ -144,6 +149,7 @@ Tree<kDims>::~Tree() {
 // ---------------------------------------------------------------------------
 // Metadata persistence.
 
+// raw-page-ok: serializes into the caller's pinned meta frame.
 template <int kDims>
 void Tree<kDims>::SerializeMeta(uint64_t epoch, Page* page) const {
   page->Clear();
@@ -197,7 +203,7 @@ void Tree<kDims>::SerializeMeta(uint64_t epoch, Page* page) const {
 
 template <int kDims>
 Status Tree<kDims>::Commit() {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   const uint64_t io_before = buffer_.stats().Total();
   if (tracer_ != nullptr) tracer_->BeginSpan("commit");
   Status s = CommitLocked();
@@ -1130,7 +1136,7 @@ void Tree<kDims>::Insert(ObjectId oid, const Tpbr<kDims>& point, Time now) {
     REXP_DCHECK(p.lo[d] == p.hi[d] && p.vlo[d] == p.vhi[d]);
   }
 #endif
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   reinserted_levels_ = 0;
   ++op_stats_.inserts;
   const uint64_t io_before = buffer_.stats().Total();
@@ -1221,7 +1227,7 @@ bool Tree<kDims>::DeleteRecurse(PageId id, int level, ObjectId oid,
 template <int kDims>
 bool Tree<kDims>::Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
                          bool see_expired) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   if (root_ == kInvalidPageId) {
     ++op_stats_.deletes;
     ++op_stats_.delete_misses;
@@ -1506,7 +1512,7 @@ bool Tree<kDims>::UpdateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
 template <int kDims>
 bool Tree<kDims>::Update(ObjectId oid, const Tpbr<kDims>& old_record,
                          const Tpbr<kDims>& new_record, Time now) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   reinserted_levels_ = 0;
   const uint64_t io_before = buffer_.stats().Total();
   const uint64_t fast_before =
@@ -1540,7 +1546,7 @@ std::vector<bool> Tree<kDims>::GroupUpdate(
     const std::vector<UpdateRequest>& requests, Time now) {
   std::vector<bool> results(requests.size(), false);
   if (requests.empty()) return results;
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   ++op_stats_.group_update_batches;
   const uint64_t io_before = buffer_.stats().Total();
   obs::LatencyTimer timer(&op_stats_.update_latency_us);
@@ -1664,6 +1670,7 @@ std::vector<bool> Tree<kDims>::GroupUpdate(
 template <int kDims>
 std::vector<verify::DatSnapshotEntry> Tree<kDims>::DatSnapshotForTest()
     const {
+  sched::ReaderMutexLock epoch(&epoch_mu_);
   std::vector<verify::DatSnapshotEntry> out;
   out.reserve(dat_.size());
   dat_.ForEach([&out](uint32_t oid, const DatEntry& e) {
@@ -1675,7 +1682,7 @@ std::vector<verify::DatSnapshotEntry> Tree<kDims>::DatSnapshotForTest()
 template <int kDims>
 void Tree<kDims>::Search(const Query<kDims>& query,
                          std::vector<ObjectId>* out) {
-  std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::ReaderMutexLock epoch(&epoch_mu_);
   ++op_stats_.searches;
   if (root_ == kInvalidPageId) return;
   const uint64_t io_before = buffer_.stats().Total();
@@ -1850,7 +1857,7 @@ std::vector<NodeEntry<kDims>> Tree<kDims>::PackLevel(
 template <int kDims>
 void Tree<kDims>::BulkLoad(std::vector<BulkRecord> records, Time now,
                            double fill) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   REXP_CHECK(root_ == kInvalidPageId && height_ == 0);
   REXP_CHECK(fill > config_.min_fill_fraction && fill <= 1.0);
   if (records.empty()) return;
@@ -1927,7 +1934,7 @@ void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
 template <int kDims>
 void Tree<kDims>::NearestNeighbors(const Vec<kDims>& point, Time t, int k,
                                    std::vector<NnResult>* out) {
-  std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::ReaderMutexLock epoch(&epoch_mu_);
   ++op_stats_.nn_searches;
   out->clear();
   if (root_ == kInvalidPageId || k <= 0) return;
@@ -2116,43 +2123,43 @@ void Tree<kDims>::RegisterMetrics(obs::MetricsRegistry* registry,
   // writers mutate under the exclusive epoch, so each callback takes the
   // epoch shared — the monitor thread samples them racelessly.
   registry->AddGauge(prefix + "tree.height", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(height_);
   }, owner);
   registry->AddGauge(prefix + "tree.pages", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(file_->allocated_pages());
   }, owner);
   registry->AddGauge(prefix + "tree.leaf_entries", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(leaf_entries());
   }, owner);
   registry->AddGauge(prefix + "tree.underfull_remnants", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(underfull_remnants_);
   }, owner);
   registry->AddGauge(prefix + "tree.dat_entries", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(dat_.size());
   }, owner);
   registry->AddGauge(prefix + "tree.meta_epoch", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return static_cast<double>(meta_epoch_);
   }, owner);
   registry->AddCounter(prefix + "horizon.retunes", [this]() -> uint64_t {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return horizon_.retunes();
   }, owner);
   registry->AddGauge(prefix + "horizon.ui", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return horizon_.ui();
   }, owner);
   registry->AddGauge(prefix + "horizon.w", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return horizon_.w();
   }, owner);
   registry->AddGauge(prefix + "horizon.h", [this] {
-    std::shared_lock<sched::SharedMutex> epoch(epoch_mu_);
+    sched::ReaderMutexLock epoch(&epoch_mu_);
     return horizon_.DecisionHorizon();
   }, owner);
 
@@ -2171,7 +2178,7 @@ void Tree<kDims>::CheckInvariants(Time now) {
 
 template <int kDims>
 double Tree<kDims>::ExpiredLeafFraction(Time now) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   if (root_ == kInvalidPageId) return 0;
   uint64_t total = 0, expired = 0;
   std::vector<std::pair<PageId, int>> stack;
@@ -2215,7 +2222,7 @@ Status Tree<kDims>::VerifySubtree(PageId id, int level) {
 
 template <int kDims>
 verify::Report Tree<kDims>::Verify(Time now) {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   return VerifyLocked(now);
 }
 
@@ -2263,8 +2270,10 @@ void Tree<kDims>::ParanoidVerify(Time now) {
 #else
   static const uint64_t sample = [] {
     const char* s = std::getenv("REXP_PARANOID_SAMPLE");
-    const uint64_t v = s != nullptr ? std::strtoull(s, nullptr, 10) : 1;
-    return v == 0 ? uint64_t{1} : v;
+    uint64_t v = 0;
+    // Unset, garbage, or zero all mean "verify every mutation".
+    if (s == nullptr || !ParseU64(s, &v) || v == 0) return uint64_t{1};
+    return v;
   }();
   if (++paranoid_mutations_ % sample != 0) return;
   verify::Report report = VerifyLocked(now);
@@ -2282,7 +2291,7 @@ void Tree<kDims>::ParanoidVerify(Time now) {
 
 template <int kDims>
 Status Tree<kDims>::VerifyPages() {
-  std::unique_lock<sched::SharedMutex> epoch(epoch_mu_);
+  sched::WriterMutexLock epoch(&epoch_mu_);
   // Un-flushed changes would make device frames legitimately stale;
   // verification is only meaningful over the flushed state.
   REXP_RETURN_IF_ERROR(buffer_.FlushDirty());

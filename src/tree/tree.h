@@ -33,7 +33,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include <string>
@@ -41,6 +40,7 @@
 #include "common/query.h"
 #include "common/status.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -227,8 +227,8 @@ class Tree {
   // paper's semantics ("the regular search procedure does not see expired
   // entries"). With `see_expired` the search descends irrespective of
   // expiration, which the scheduled-deletion variants require.
-  bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
-              bool see_expired = false);
+  [[nodiscard]] bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
+                            bool see_expired = false);
 
   // Replaces `oid`'s record `old_record` with `new_record` in one
   // operation — the bottom-up fast path for the update-dominated steady
@@ -242,8 +242,8 @@ class Tree {
   // Insert(oid, new_record); returns whether the old record was found
   // (the new record is inserted either way). Both records must be
   // canonical (MakeMovingPoint).
-  bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
-              const Tpbr<kDims>& new_record, Time now);
+  [[nodiscard]] bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
+                            const Tpbr<kDims>& new_record, Time now);
 
   // One pending position re-report for GroupUpdate.
   struct UpdateRequest {
@@ -257,8 +257,8 @@ class Tree {
   // same leaf share one read-modify-write; the remainder run through the
   // single-update path. result[i] is what Update would have returned for
   // requests[i]. Requests for the same oid are applied in batch order.
-  std::vector<bool> GroupUpdate(const std::vector<UpdateRequest>& requests,
-                                Time now);
+  [[nodiscard]] std::vector<bool> GroupUpdate(
+      const std::vector<UpdateRequest>& requests, Time now);
 
   // Reports the ids of all live objects whose trajectories intersect the
   // query. The query's time interval must not precede the time of the
@@ -359,12 +359,18 @@ class Tree {
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const std::string& prefix) const;
 
-  // Reads a node (counted as I/O like any other access). Test/checker hook.
-  Node<kDims> ReadNodeForTest(PageId id) { return ReadNode(id); }
+  // Reads a node (counted as I/O like any other access). Test/checker
+  // hook; takes its own shared epoch, so callers must not already hold it.
+  Node<kDims> ReadNodeForTest(PageId id) EXCLUDES(epoch_mu_) {
+    sched::ReaderMutexLock epoch(&epoch_mu_);
+    return ReadNode(id);
+  }
 
   // Snapshot of the direct-access table for tests and the verifier's
-  // DAT-vs-walk cross-check (verify::CheckId::kDatMapping).
-  std::vector<verify::DatSnapshotEntry> DatSnapshotForTest() const;
+  // DAT-vs-walk cross-check (verify::CheckId::kDatMapping). Takes its own
+  // shared epoch.
+  std::vector<verify::DatSnapshotEntry> DatSnapshotForTest() const
+      EXCLUDES(epoch_mu_);
 
   // Runs the full invariant catalog (see Verify below) and aborts with
   // the report on any finding. `now` is the current time (entries expired
@@ -411,19 +417,21 @@ class Tree {
   Status Init();
 
   // --- node I/O ---
-  Node<kDims> ReadNode(PageId id);
+  // Reads run under at least a shared epoch (search threads in parallel);
+  // everything that mutates structure requires the exclusive epoch.
+  Node<kDims> ReadNode(PageId id) REQUIRES_SHARED(epoch_mu_);
   // ReadNode into caller-owned storage (reuses `out`'s entry capacity —
   // the hot paths' allocation-free variant).
-  void ReadNodeInto(PageId id, Node<kDims>* out);
-  void WriteNode(PageId id, const Node<kDims>& node);
+  void ReadNodeInto(PageId id, Node<kDims>* out) REQUIRES_SHARED(epoch_mu_);
+  void WriteNode(PageId id, const Node<kDims>& node) REQUIRES(epoch_mu_);
   // Persists `node` over the page that held it. In-place write (returns
   // `id`) normally; with crash_consistent the old page is freed into the
   // deferred quarantine and the node lands on a fresh page (copy-on-
   // write), whose id is returned.
-  PageId StoreNode(PageId id, const Node<kDims>& node);
-  PageId AllocNode(const Node<kDims>& node);
-  void FreeNode(PageId id);
-  void FreeSubtree(PageId id, int level);
+  PageId StoreNode(PageId id, const Node<kDims>& node) REQUIRES(epoch_mu_);
+  PageId AllocNode(const Node<kDims>& node) REQUIRES(epoch_mu_);
+  void FreeNode(PageId id) REQUIRES(epoch_mu_);
+  void FreeSubtree(PageId id, int level) REQUIRES(epoch_mu_);
 
   // --- expiration ---
   bool EntryLive(const NodeEntry<kDims>& e, Time now) const;
@@ -431,56 +439,61 @@ class Tree {
   // `skip_id` is a child page id whose entry must be kept even if its
   // recorded expiration lapsed (it is being updated by the caller).
   void PurgeExpired(Node<kDims>* node, Time now,
-                    uint32_t skip_id = kInvalidPageId);
+                    uint32_t skip_id = kInvalidPageId) REQUIRES(epoch_mu_);
 
   // --- insertion machinery ---
-  void InsertPending(Pending pending, Time now);
+  void InsertPending(Pending pending, Time now) REQUIRES(epoch_mu_);
   std::vector<PathStep> ChoosePath(const Tpbr<kDims>& region,
-                                   int target_level, Time now);
+                                   int target_level, Time now)
+      REQUIRES(epoch_mu_);
   int ChooseSubtree(const Node<kDims>& node, const Tpbr<kDims>& region,
-                    Time now);
+                    Time now) REQUIRES(epoch_mu_);
   // Propagates changes from the node at path.back() (already purged and
   // modified, not yet written) up to the root: splits/forced reinsertion
   // on overflow, orphaning on underflow, TPBR recomputation otherwise.
   void FixPath(const std::vector<PathStep>& path, Node<kDims> node,
-               Time now);
-  Node<kDims> SplitNode(Node<kDims>* node, Time now);
-  void RemoveForReinsert(Node<kDims>* node, Time now);
-  void GrowRoot(PageId left, PageId right, Time now);
-  void MaybeShrinkRoot(Time now);
-  void EnsureHeightFor(int level, Time now);
-  void DrainPending(Time now);
+               Time now) REQUIRES(epoch_mu_);
+  Node<kDims> SplitNode(Node<kDims>* node, Time now) REQUIRES(epoch_mu_);
+  void RemoveForReinsert(Node<kDims>* node, Time now) REQUIRES(epoch_mu_);
+  void GrowRoot(PageId left, PageId right, Time now) REQUIRES(epoch_mu_);
+  void MaybeShrinkRoot(Time now) REQUIRES(epoch_mu_);
+  void EnsureHeightFor(int level, Time now) REQUIRES(epoch_mu_);
+  void DrainPending(Time now) REQUIRES(epoch_mu_);
 
   // --- bounds ---
   // The TPBR strategy used for grouping decisions (GroupingPolicy).
   TpbrKind GroupingKind() const;
   // The stored bounding rectangle of a node (configured TPBR kind).
-  Tpbr<kDims> ComputeBound(const Node<kDims>& node, Time now);
+  // Writer-only (uses the bound_scratch_ writer scratch).
+  Tpbr<kDims> ComputeBound(const Node<kDims>& node, Time now)
+      REQUIRES(epoch_mu_);
   // The what-if bound used by insertion decisions (conservative union when
   // the configuration ignores expiration times).
   Tpbr<kDims> DecisionBound(const Tpbr<kDims>& base, const Tpbr<kDims>& add,
-                            Time now, int parent_level);
+                            Time now, int parent_level) REQUIRES(epoch_mu_);
   double TpbrHorizonForLevel(int parent_level) const;
 
   // --- search ---
   bool DeleteRecurse(PageId id, int level, ObjectId oid,
                      const Tpbr<kDims>& point, Time now, bool see_expired,
-                     std::vector<PathStep>* path);
+                     std::vector<PathStep>* path) REQUIRES(epoch_mu_);
 
   // --- bottom-up updates (DESIGN.md §10) ---
   // Feeds the DAT and parent-pointer map from a node hitting the page
   // `id` — the single point every entry placement flows through.
-  void NoteNodeStored(PageId id, const Node<kDims>& node);
+  void NoteNodeStored(PageId id, const Node<kDims>& node)
+      REQUIRES(epoch_mu_);
   // Releases DAT references for every leaf entry under a dropped subtree
   // or dissolved leaf.
-  void ReleaseLeafRefs(const Node<kDims>& node);
+  void ReleaseLeafRefs(const Node<kDims>& node) REQUIRES(epoch_mu_);
   // Rebuilds the DAT and parent map from a full walk (on re-open).
-  Status RebuildDat();
-  Status RebuildDatWalk(PageId id, int level);
+  Status RebuildDat() REQUIRES(epoch_mu_);
+  Status RebuildDatWalk(PageId id, int level) REQUIRES(epoch_mu_);
   // Reconstructs the root→leaf path ending at `leaf` from the parent
   // map. Returns false (path untouched) if the chain is broken — the
   // caller then falls back to a descent.
-  bool BuildPathFromDat(PageId leaf, std::vector<PathStep>* path);
+  bool BuildPathFromDat(PageId leaf, std::vector<PathStep>* path)
+      REQUIRES(epoch_mu_);
   // Whether `bound` covers `rec` over rec's whole lifetime from `now`
   // (the geometric half of the fast-path admission rule).
   bool RecordCoveredByBound(const Tpbr<kDims>& bound, const Tpbr<kDims>& rec,
@@ -489,45 +502,48 @@ class Tree {
   // kUnknown when the DAT cannot decide and a descent is required.
   enum class DatDelete { kDeleted, kAbsent, kUnknown };
   DatDelete DeleteViaDat(ObjectId oid, const Tpbr<kDims>& point, Time now,
-                         bool see_expired);
+                         bool see_expired) REQUIRES(epoch_mu_);
   // Update body run under the exclusive epoch (shared by Update and
   // GroupUpdate's singles pass).
   bool UpdateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
-                    const Tpbr<kDims>& new_record, Time now);
+                    const Tpbr<kDims>& new_record, Time now)
+      REQUIRES(epoch_mu_);
 
-  Status VerifySubtree(PageId id, int level);
+  Status VerifySubtree(PageId id, int level) REQUIRES(epoch_mu_);
 
   // Verify() body without taking the epoch lock (the paranoid hook runs
   // while the mutation still holds it exclusively).
-  verify::Report VerifyLocked(Time now);
+  verify::Report VerifyLocked(Time now) REQUIRES(epoch_mu_);
 
   // Post-mutation verification for REXP_PARANOID builds: runs
   // VerifyLocked every REXP_PARANOID_SAMPLE-th mutation (default: every
   // one) and aborts with the full report on any finding. Compiled to a
   // no-op otherwise.
-  void ParanoidVerify(Time now);
+  void ParanoidVerify(Time now) REQUIRES(epoch_mu_);
 
   // Bulk-load helper: packs `items` into nodes at `level` (sort-tile-
   // recursive order), returning the parent entries for the next level.
   std::vector<NodeEntry<kDims>> PackLevel(std::vector<NodeEntry<kDims>> items,
-                                          int level, Time now, double fill);
+                                          int level, Time now, double fill)
+      REQUIRES(epoch_mu_);
 
   // Serializes the metadata payload for `epoch` into `page`.
-  void SerializeMeta(uint64_t epoch, Page* page) const;
+  void SerializeMeta(uint64_t epoch, Page* page) const  // raw-page-ok
+      REQUIRES(epoch_mu_);
   // Recovers state from the newest valid meta slot (device reads bypass
   // the buffer). kCorruption if no slot is valid.
-  Status LoadMeta();
-  Status PinRoot(PageId new_root);
+  Status LoadMeta() REQUIRES(epoch_mu_);
+  Status PinRoot(PageId new_root) REQUIRES(epoch_mu_);
 
   // Commit body without taking the epoch lock; Insert/Delete/BulkLoad
   // call it while already holding the exclusive epoch (the lock is not
   // reentrant).
-  Status CommitLocked();
+  Status CommitLocked() REQUIRES(epoch_mu_);
 
   // The end-of-operation flush (commit in crash-consistent mode), wrapped
   // in a "write_back" child span attributing the write-out I/O to the
   // enclosing operation span.
-  void WriteBackSpanned();
+  void WriteBackSpanned() REQUIRES(epoch_mu_);
 
   // Single-writer / multi-reader epoch lock (DESIGN.md §8): structure-
   // modifying operations (Insert, BulkLoad, Delete, Commit, the invariant
@@ -536,7 +552,8 @@ class Tree {
   // Writer-preferring (sched::SharedMutex) so a continuous query stream
   // cannot starve updates. Acquired before any buffer access; never held
   // while waiting on a frame latch owned by another tree's pool.
-  mutable sched::SharedMutex epoch_mu_;
+  mutable sched::SharedMutex epoch_mu_{sched::LockRank::kTreeEpoch,
+                                       "tree_epoch"};
 
   TreeConfig config_;
   PageFile* file_;
@@ -547,6 +564,14 @@ class Tree {
   TreeOpStats op_stats_;
   obs::Tracer* tracer_ = nullptr;
 
+  // Structure snapshot fields (root_, height_, level_counts_, meta_epoch_,
+  // underfull_remnants_): mutated only under the exclusive epoch, but
+  // deliberately NOT GUARDED_BY(epoch_mu_) — the public introspection
+  // accessors (height(), root(), leaf_entries(), ...) are documented
+  // unlocked snapshot reads, and locking them would risk a reentrant
+  // shared acquisition deadlocking under writer preference when called
+  // from code already inside an epoch. Racing readers see a stale but
+  // well-formed value.
   PageId root_ = kInvalidPageId;
   PageId pinned_root_ = kInvalidPageId;
   int height_ = 0;  // Number of levels; root level = height_ - 1.
@@ -561,29 +586,33 @@ class Tree {
   bool open_ok_ = false;
 
   // Per-operation state.
-  std::vector<Pending> pending_;
-  uint32_t reinserted_levels_ = 0;  // Bitmask: forced reinsert done at level.
+  std::vector<Pending> pending_ GUARDED_BY(epoch_mu_);
+  // Bitmask: forced reinsert done at level.
+  uint32_t reinserted_levels_ GUARDED_BY(epoch_mu_) = 0;
 
   // Bottom-up update state: oid → (leaf, copy count) and child page →
   // parent page, both maintained by the node-write hooks and rebuilt on
-  // open. Mutated only under the exclusive epoch.
-  DirectAccessTable dat_;
-  U32HashMap<PageId> parent_of_;
+  // open. Mutated only under the exclusive epoch; gauges read it shared.
+  DirectAccessTable dat_ GUARDED_BY(epoch_mu_);
+  U32HashMap<PageId> parent_of_ GUARDED_BY(epoch_mu_);
 
   // Writer-side scratch (exclusive epoch): reused across operations so
   // the Delete/Update hot paths run allocation-free in steady state.
-  std::vector<Node<kDims>> delete_scratch_;  // One slot per tree level.
-  std::vector<PathStep> path_scratch_;
-  Node<kDims> update_scratch_;
-  Node<kDims> fix_scratch_;
-  std::vector<Tpbr<kDims>> bound_scratch_;  // ComputeBound's region list.
+  std::vector<Node<kDims>> delete_scratch_
+      GUARDED_BY(epoch_mu_);  // One slot per tree level.
+  std::vector<PathStep> path_scratch_ GUARDED_BY(epoch_mu_);
+  Node<kDims> update_scratch_ GUARDED_BY(epoch_mu_);
+  Node<kDims> fix_scratch_ GUARDED_BY(epoch_mu_);
+  // ComputeBound's region list.
+  std::vector<Tpbr<kDims>> bound_scratch_ GUARDED_BY(epoch_mu_);
 
   // Number of underfull nodes left in place because the orphan cap was
-  // reached (each may later be re-balanced by another update).
+  // reached (each may later be re-balanced by another update). Snapshot-
+  // read unlocked (see the comment above root_).
   uint64_t underfull_remnants_ = 0;
 
   // Mutations since open, driving the REXP_PARANOID sampling.
-  uint64_t paranoid_mutations_ = 0;
+  uint64_t paranoid_mutations_ GUARDED_BY(epoch_mu_) = 0;
 
   // Registry bindings of the last RegisterMetrics call. Declared LAST so
   // it is destroyed FIRST: the bindings (which dereference the members

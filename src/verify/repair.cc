@@ -365,7 +365,8 @@ void SerializeRepairedMeta(const TreeConfig& config, uint64_t epoch,
                            uint64_t underfull, double ui,
                            const std::vector<uint64_t>& level_counts,
                            const std::vector<PageId>& free_ids,
-                           uint64_t prior_leaked, Page* page) {
+                           uint64_t prior_leaked,
+                           Page* page) {  // raw-page-ok: caller's frame.
   page->Clear();
   uint32_t off = 0;
   page->Write<uint32_t>(off, kMetaMagic);

@@ -87,7 +87,9 @@ struct VerifyOptions {
   size_t max_findings = 64;
 };
 
-struct Report {
+// [[nodiscard]]: a dropped verification report is a verification that
+// never happened — every producer returns findings the caller must act on.
+struct [[nodiscard]] Report {
   std::vector<Finding> findings;
   size_t findings_suppressed = 0;  // Found beyond max_findings.
   uint64_t pages_walked = 0;

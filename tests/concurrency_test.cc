@@ -9,8 +9,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -67,13 +65,13 @@ TEST(SharedMutexTest, WritersMakeProgressAgainstContinuousReaders) {
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&] {
       while (!writers_done.load(std::memory_order_relaxed)) {
-        std::shared_lock<sched::SharedMutex> lk(mu);
+        sched::ReaderMutexLock lk(&mu);
         if (a != b) torn_reads.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (int i = 0; i < 200; ++i) {
-    std::unique_lock<sched::SharedMutex> lk(mu);
+    sched::WriterMutexLock lk(&mu);
     ++a;
     ++b;
   }

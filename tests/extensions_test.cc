@@ -209,7 +209,8 @@ TEST(BulkLoad, LoadedTreeAcceptsUpdatesAndExpiry) {
   for (int round = 0; round < 3; ++round) {
     for (ObjectId oid = 0; oid < 2000; ++oid) {
       now += 0.005;
-      tree.Delete(oid, last[oid], now);  // May fail once expired.
+      // May fail once expired.
+      (void)tree.Delete(oid, last[oid], now);
       last[oid] = RandomPoint<2>(&rng, now, 20.0);
       tree.Insert(oid, last[oid], now);
     }

@@ -310,7 +310,9 @@ TEST(FaultInjection, MisdirectedWriteHitsWrongPageAndIsDetected) {
   EXPECT_TRUE(!sa.ok() || !sb.ok())
       << "both pages read back clean despite misdirected writes";
   for (const Status& s : {sa, sb}) {
-    if (!s.ok()) EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    }
   }
 }
 

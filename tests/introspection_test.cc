@@ -356,6 +356,24 @@ TEST(MonitorStreamTest, LinesLongerThanReadBufferStayIntact) {
   std::remove(path.c_str());
 }
 
+TEST(MonitorStreamTest, InvalidUnicodeEscapeRejectedNotNulInjected) {
+  // Regression: the \uXXXX handler used strtol with no end pointer, so
+  // "\uZZZZ" silently parsed as 0 and injected a NUL byte into the
+  // decoded string. Garbage escapes must fail the parse outright.
+  tools::JsonValue v;
+  EXPECT_FALSE(tools::ParseJson("{\"k\":\"\\uZZZZ\"}", &v));
+  EXPECT_FALSE(tools::ParseJson("{\"k\":\"\\u00g1\"}", &v));
+  // Truncated escape at end of string must not read past the buffer.
+  EXPECT_FALSE(tools::ParseJson("{\"k\":\"\\u00", &v));
+
+  // Valid escapes still decode (Latin-1 range maps to a single byte).
+  ASSERT_TRUE(tools::ParseJson("{\"k\":\"a\\u0041b\"}", &v));
+  EXPECT_EQ(v.Find("k")->StringOr(""), "aAb");
+  ASSERT_TRUE(tools::ParseJson("{\"k\":\"\\u00e9\"}", &v));
+  EXPECT_EQ(v.Find("k")->StringOr("").size(), 1u);
+  EXPECT_EQ(static_cast<unsigned char>(v.Find("k")->StringOr("")[0]), 0xe9);
+}
+
 TEST(MonitorTest, BackgroundThreadSamplesAtInterval) {
   uint64_t ops = 0;
   obs::MetricsRegistry registry;

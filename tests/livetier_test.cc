@@ -453,7 +453,7 @@ TEST(TieredConcurrency, BackgroundMigratorPreservesAnswers) {
     } else if (roll < 0.7) {
       size_t k = rng.UniformInt(live.size());
       Tpbr<2> fresh = RandomPoint<2>(&rng, now, 30.0);
-      index.Update(live[k].oid, live[k].point, fresh, now);
+      (void)index.Update(live[k].oid, live[k].point, fresh, now);
       reference.Update(live[k].oid, live[k].point, fresh, now);
       live[k].point = fresh;
     } else {
@@ -470,6 +470,55 @@ TEST(TieredConcurrency, BackgroundMigratorPreservesAnswers) {
   index.DrainLiveTier(now);
   ASSERT_TRUE(index.CheckInvariants(now).ok());
   EXPECT_GT(index.migration_batches(), 0u);
+}
+
+// Regression: migration_batches() and tree_cleanup_deletes() read
+// counters the background migrator mutates under the live-tier mutex, so
+// the accessors must lock too — the old unlocked reads raced with
+// MigrateTick (caught by the GUARDED_BY sweep; TSan flags this test on
+// the unlocked version). Also checks the counters only move forward when
+// sampled concurrently with the migrator.
+TEST(TieredConcurrency, CounterAccessorsLocked) {
+  MemoryPageFile file(512);
+  TreeConfig config = SmallConfig();
+  LiveTierOptions options;
+  options.migrate_age = 0.0;  // Everything is immediately migratable.
+  options.max_batch = 4;
+  TieredIndex<2> index(config, &file, options);
+  Rng rng(0xC0DE);
+  index.StartMigrator(/*interval_s=*/0.0005);
+
+  uint64_t last_batches = 0;
+  uint64_t last_cleanups = 0;
+  Time now = 0;
+  ObjectId next_oid = 0;
+  std::vector<std::pair<ObjectId, Tpbr<2>>> live;
+  for (int op = 0; op < 3000; ++op) {
+    now += 0.01;
+    if (live.size() < 64) {
+      Tpbr<2> p = RandomPoint<2>(&rng, now, 5.0);
+      index.Insert(next_oid, p, now);
+      live.emplace_back(next_oid++, p);
+    } else {
+      // Deleting an already-migrated record exercises the cleanup path
+      // that bumps tree_cleanup_deletes_ under the mutex.
+      auto [oid, p] = live.back();
+      live.pop_back();
+      (void)index.Delete(oid, p, now);
+    }
+    // Sample both counters while the migrator runs; each must be a
+    // consistent (locked) read and monotone.
+    const uint64_t batches = index.migration_batches();
+    const uint64_t cleanups = index.tree_cleanup_deletes();
+    ASSERT_GE(batches, last_batches) << "migration_batches went backwards";
+    ASSERT_GE(cleanups, last_cleanups) << "tree_cleanup_deletes went backwards";
+    last_batches = batches;
+    last_cleanups = cleanups;
+  }
+  index.StopMigrator();
+  index.DrainLiveTier(now);
+  EXPECT_GT(index.migration_batches(), 0u);
+  ASSERT_TRUE(index.CheckInvariants(now).ok());
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// The runtime half of the locking contract (sched/lock_rank.h): debug
+// builds abort on lock acquisitions that violate the documented global
+// rank order, and other builds compile the checker out entirely. The
+// death tests run only when the checker is enabled (REXP_LOCK_RANK);
+// the compiled-out configuration is covered by the kLockRankEnabled
+// constant here plus the CI symbol-absence check on a Release binary.
+
+#include <chrono>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "sched/lock_rank.h"
+#include "sched/mutex.h"
+#include "sched/shared_mutex.h"
+
+namespace rexp {
+namespace {
+
+TEST(LockRankTest, OrderedAcquisitionSucceeds) {
+  sched::Mutex outer(sched::LockRank::kMonitor, "outer");
+  sched::Mutex inner(sched::LockRank::kLeaf, "inner");
+  sched::MutexLock lo(&outer);
+  sched::MutexLock li(&inner);
+  if (sched::kLockRankEnabled) {
+    EXPECT_EQ(sched::LockRankHeldByThisThread(), 2);
+  } else {
+    EXPECT_EQ(sched::LockRankHeldByThisThread(), 0);
+  }
+}
+
+TEST(LockRankTest, ReleaseRestoresHeldCount) {
+  sched::Mutex mu(sched::LockRank::kLeaf, "count");
+  { sched::MutexLock lk(&mu); }
+  EXPECT_EQ(sched::LockRankHeldByThisThread(), 0);
+}
+
+TEST(LockRankDeathTest, InversionAborts) {
+  if (!sched::kLockRankEnabled) GTEST_SKIP() << "lock rank compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sched::Mutex inner(sched::LockRank::kLeaf, "histogram");
+  sched::Mutex outer(sched::LockRank::kBufferPool, "buffer_pool");
+  EXPECT_DEATH(
+      {
+        sched::MutexLock li(&inner);
+        sched::MutexLock lo(&outer);  // kBufferPool above a held kLeaf.
+      },
+      "acquisition-order inversion");
+}
+
+TEST(LockRankDeathTest, FrameLatchAboveBufferPoolAborts) {
+  // The documented buffer-pool order: frame latches are acquired BEFORE
+  // pool_mu_ (guard release takes pool_mu_ while latched), never after.
+  if (!sched::kLockRankEnabled) GTEST_SKIP() << "lock rank compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sched::Mutex pool(sched::LockRank::kBufferPool, "buffer_pool");
+  sched::SharedLatch latch;  // kFrameLatch.
+  EXPECT_DEATH(
+      {
+        sched::MutexLock lp(&pool);
+        latch.lock();  // Inversion: latch while holding pool_mu_.
+      },
+      "acquisition-order inversion");
+}
+
+TEST(LockRankDeathTest, EqualRankOutOfAddressOrderAborts) {
+  if (!sched::kLockRankEnabled) GTEST_SKIP() << "lock rank compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two peer locks of equal rank must be taken in increasing address
+  // order (the Histogram copy-assign convention).
+  alignas(64) unsigned char storage[2 * sizeof(sched::Mutex)];
+  auto* lo = new (storage) sched::Mutex(sched::LockRank::kLeaf, "lo");
+  auto* hi = new (storage + sizeof(sched::Mutex))
+      sched::Mutex(sched::LockRank::kLeaf, "hi");
+  ASSERT_LT(static_cast<void*>(lo), static_cast<void*>(hi));
+  {
+    // Increasing address order is allowed...
+    sched::MutexLock l1(lo);
+    sched::MutexLock l2(hi);
+  }
+  EXPECT_DEATH(
+      {
+        sched::MutexLock l1(hi);
+        sched::MutexLock l2(lo);  // ...decreasing order is an inversion.
+      },
+      "acquisition-order inversion");
+  lo->~Mutex();
+  hi->~Mutex();
+}
+
+TEST(LockRankTest, SharedMutexReaderAndWriterParticipate) {
+  sched::SharedMutex mu;  // kTreeEpoch.
+  const int held = sched::kLockRankEnabled ? 1 : 0;
+  {
+    sched::ReaderMutexLock r(&mu);
+    EXPECT_EQ(sched::LockRankHeldByThisThread(), held);
+  }
+  {
+    sched::WriterMutexLock w(&mu);
+    EXPECT_EQ(sched::LockRankHeldByThisThread(), held);
+  }
+  EXPECT_EQ(sched::LockRankHeldByThisThread(), 0);
+}
+
+TEST(LockRankDeathTest, SharedMutexInversionAborts) {
+  if (!sched::kLockRankEnabled) GTEST_SKIP() << "lock rank compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sched::SharedMutex epoch;  // kTreeEpoch.
+  sched::Mutex tier(sched::LockRank::kLiveTier, "live_tier");
+  EXPECT_DEATH(
+      {
+        sched::ReaderMutexLock r(&epoch);
+        sched::MutexLock lt(&tier);  // Live tier above a held epoch.
+      },
+      "acquisition-order inversion");
+}
+
+TEST(LockRankTest, CondVarWaitKeepsBookkeepingBalanced) {
+  // The wait's internal unlock/relock flows through the instrumented
+  // Mutex, so the held-lock stack is correct inside the predicate and
+  // after the wait returns.
+  sched::Mutex mu(sched::LockRank::kLeaf, "cv");
+  sched::CondVar cv;
+  const int held = sched::kLockRankEnabled ? 1 : 0;
+  int observed = -1;
+  mu.lock();
+  (void)cv.WaitFor(mu, std::chrono::milliseconds(1),
+                   [&]() REQUIRES(mu) {
+                     observed = sched::LockRankHeldByThisThread();
+                     return true;
+                   });
+  EXPECT_EQ(observed, held);
+  EXPECT_EQ(sched::LockRankHeldByThisThread(), held);
+  mu.unlock();
+  EXPECT_EQ(sched::LockRankHeldByThisThread(), 0);
+}
+
+TEST(LockRankTest, EnabledMatchesBuildConfiguration) {
+#if REXP_LOCK_RANK_ENABLED
+  EXPECT_TRUE(sched::kLockRankEnabled);
+#else
+  EXPECT_FALSE(sched::kLockRankEnabled);
+#endif
+}
+
+}  // namespace
+}  // namespace rexp

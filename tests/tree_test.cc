@@ -206,7 +206,8 @@ TEST(Tree, LazyPurgeKeepsExpiredFractionLow) {
     for (ObjectId oid = 0; oid < 500; ++oid) {
       now += ui / 500;
       if (rng.Bernoulli(0.7)) {
-        tree.Delete(oid, last[oid], now);  // May fail if expired: fine.
+        // May fail if expired: fine.
+        (void)tree.Delete(oid, last[oid], now);
         last[oid] = RandomPoint<2>(&rng, now, 2 * ui);
         tree.Insert(oid, last[oid], now);
       }
@@ -303,7 +304,7 @@ TEST(Tree, UpdateIntervalEstimateConverges) {
   for (int round = 0; round < 3; ++round) {
     for (int oid = 0; oid < n; ++oid) {
       now += true_ui / n;
-      tree.Delete(oid, last[oid], now);
+      (void)tree.Delete(oid, last[oid], now);
       last[oid] = RandomPoint<2>(&rng, now, 1e6);
       tree.Insert(oid, last[oid], now);
     }

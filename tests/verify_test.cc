@@ -190,7 +190,7 @@ TEST(VerifyHealthy, LiveTreesAcrossConfigurations) {
         live.push_back({oid, p});
       } else {
         size_t k = rng.UniformInt(live.size());
-        tree.Delete(live[k].first, live[k].second, now);
+        (void)tree.Delete(live[k].first, live[k].second, now);
         live[k] = live.back();
         live.pop_back();
       }

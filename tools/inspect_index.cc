@@ -202,9 +202,8 @@ int main(int argc, char** argv) {
       watch = true;
       // Optional numeric refresh period.
       if (i + 1 < argc) {
-        char* end = nullptr;
-        double s = std::strtod(argv[i + 1], &end);
-        if (end != argv[i + 1] && *end == '\0' && s > 0) {
+        double s = 0;
+        if (ParsePositiveDouble(argv[i + 1], &s)) {
           watch_interval = s;
           ++i;
         }

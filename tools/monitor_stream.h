@@ -21,6 +21,8 @@
 #include <dirent.h>
 #include <sys/stat.h>
 
+#include "common/parse.h"
+
 namespace rexp::tools {
 
 // A parsed JSON value. Object members keep insertion order (the monitor
@@ -116,7 +118,9 @@ class JsonParser {
 
   bool ParseNumber(JsonValue* out) {
     char* num_end = nullptr;
-    double v = std::strtod(p_, &num_end);
+    // A JSON number scanner, not a CLI token parse: the end pointer is
+    // validated on the next line.
+    double v = std::strtod(p_, &num_end);  // checked-parse-ok
     if (num_end == p_ || num_end > end_) return false;
     out->kind = JsonValue::Kind::kNumber;
     out->number = v;
@@ -146,10 +150,12 @@ class JsonParser {
         case 't': out->push_back('\t'); break;
         case 'u': {
           // Our writers only emit \u00XX control escapes; decode the
-          // low byte and ignore anything outside Latin-1.
+          // low byte and ignore anything outside Latin-1. Invalid hex is
+          // a parse error (strtol's silent 0 used to inject a NUL byte).
           if (end_ - p_ < 4) return false;
-          char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
-          long code = std::strtol(hex, nullptr, 16);
+          const char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+          uint32_t code = 0;
+          if (!ParseHex4(hex, &code)) return false;
           if (code < 0x100) out->push_back(static_cast<char>(code));
           p_ += 4;
           break;

@@ -136,11 +136,12 @@ int RunSoak(const std::string& dir, double seconds, int objects,
       int oid = oid_dist(rng);
       Tpbr<2> next = random_record(now);
       if (tiered) {
-        tiered_index->Update(static_cast<ObjectId>(oid),
-                             current[static_cast<size_t>(oid)], next, now);
+        (void)tiered_index->Update(static_cast<ObjectId>(oid),
+                                   current[static_cast<size_t>(oid)], next,
+                                   now);
       } else {
-        tree.Update(static_cast<ObjectId>(oid),
-                    current[static_cast<size_t>(oid)], next, now);
+        (void)tree.Update(static_cast<ObjectId>(oid),
+                          current[static_cast<size_t>(oid)], next, now);
       }
       current[static_cast<size_t>(oid)] = next;
     }
