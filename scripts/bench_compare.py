@@ -25,8 +25,17 @@ baseline is compared:
 
 A "scale" mismatch between fresh and baseline fails immediately: at a
 different REXP_SCALE every count differs for honest reasons and the
-comparison would be noise. Exit status: 0 clean, 1 regression, 2 usage.
-No third-party dependencies.
+comparison would be noise.
+
+Besides the baseline diff, any fresh artifact may carry a "gates" array
+of absolute acceptance bounds the benchmark computed about itself:
+[{"name": ..., "value": v, "max": m}] or {"min": m}. Every gate is
+enforced on the FRESH values (no baseline needed): value > max or
+value < min fails the run. BENCH_partition.json uses this for its
+partitioned-vs-single-tree bounds.
+
+Exit status: 0 clean, 1 regression, 2 usage. No third-party
+dependencies.
 """
 
 import argparse
@@ -39,7 +48,8 @@ TIMING_PAT = re.compile(
     r"(seconds|_us\b|per_sec|latency|speedup|wall|elapsed)", re.I)
 DETERMINISTIC_PAT = re.compile(
     r"(io\b|_io|pages|records|entries|result|drops|fraction|queries"
-    r"|update_ops|objects|salvaged|leaf|height|rate\b|splits|count)", re.I)
+    r"|update_ops|objects|salvaged|leaf|height|rate\b|splits|count"
+    r"|touches|migrations|retunes|merges|pruned|searched|population)", re.I)
 IGNORED_PAT = re.compile(
     r"(^|\.)(metrics|hardware_threads|pid|timestamp|scale|bench|v)(\.|$)")
 
@@ -128,6 +138,28 @@ def compare_file(fresh_path, base_path, threshold, strict):
     return failures, warnings, compared
 
 
+def check_gates(fresh_path):
+    """Enforces the artifact's own absolute gates on its fresh values."""
+    with open(fresh_path) as f:
+        doc = json.load(f)
+    failures = []
+    checked = 0
+    for gate in doc.get("gates", []):
+        name = gate.get("name", "?")
+        value = gate.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(f"gate {name}: non-numeric value {value!r}")
+            continue
+        checked += 1
+        if "max" in gate and value > gate["max"]:
+            failures.append(
+                f"gate {name}: {value:g} > max {gate['max']:g}")
+        if "min" in gate and value < gate["min"]:
+            failures.append(
+                f"gate {name}: {value:g} < min {gate['min']:g}")
+    return failures, checked
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare BENCH_*.json artifacts against baselines.")
@@ -144,6 +176,15 @@ def main():
     total_compared = 0
     for fresh_path in args.fresh:
         name = os.path.basename(fresh_path)
+        # The artifact's own absolute gates hold baseline or not.
+        gate_failures, gates_checked = check_gates(fresh_path)
+        total_compared += gates_checked
+        for f in gate_failures:
+            print(f"{name}: FAIL {f}")
+        if gate_failures:
+            any_failures = True
+        elif gates_checked:
+            print(f"{name}: OK ({gates_checked} absolute gates)")
         base_path = os.path.join(args.baselines, name)
         if not os.path.isfile(base_path):
             print(f"{name}: no baseline at {base_path} — skipped "

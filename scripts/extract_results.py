@@ -86,15 +86,17 @@ def extract_json(path, out_dir):
         if rows:
             write_csv(out_dir, table["title"], header, rows)
             count += 1
+    bench = doc.get("bench", "bench")
     runs = doc.get("runs", [])
     if runs:
-        if any(k in r for r in runs for k in RUN_FIELDS):
+        if (all("series" in r for r in runs) and
+                any(k in r for r in runs for k in RUN_FIELDS)):
             header = ["series", "x"] + RUN_FIELDS
             rows = [[r.get("series", ""), r.get("x", "")] +
                     [r.get(k, "") for k in RUN_FIELDS] for r in runs]
         else:
             # Runs that don't follow the figure schema (e.g.
-            # BENCH_update / BENCH_concurrency): emit the union of the
+            # BENCH_update / BENCH_partition): emit the union of the
             # runs' scalar keys, in first-appearance order.
             fields = []
             for r in runs:
@@ -103,8 +105,45 @@ def extract_json(path, out_dir):
                         fields.append(k)
             header = fields
             rows = [[r.get(k, "") for k in fields] for r in runs]
-        write_csv(out_dir, f"{doc.get('bench', 'bench')}_runs", header, rows)
+        write_csv(out_dir, f"{bench}_runs", header, rows)
         count += 1
+        count += extract_run_subtables(bench, runs, out_dir)
+    return count
+
+
+def extract_run_subtables(bench, runs, out_dir):
+    """Flattens list-of-dict run values (e.g. BENCH_partition's per-class
+    "classes" arrays) into one ``<bench>_runs_<key>.csv`` per key, each
+    child row prefixed with its parent run's scalar columns."""
+    list_keys = []
+    for r in runs:
+        for k, v in r.items():
+            if (k not in list_keys and isinstance(v, list) and v and
+                    all(isinstance(e, dict) for e in v)):
+                list_keys.append(k)
+    count = 0
+    for key in list_keys:
+        fields = []
+        rows = []
+        for r in runs:
+            parent = {k: v for k, v in r.items()
+                      if not isinstance(v, (dict, list))}
+            for entry in r.get(key, []):
+                row = dict(parent)
+                for k, v in entry.items():
+                    if isinstance(v, (dict, list)):
+                        continue
+                    # A child key shadowing a parent column keeps both,
+                    # the child under "<key>.<k>".
+                    row[f"{key}.{k}" if k in parent else k] = v
+                for k in row:
+                    if k not in fields:
+                        fields.append(k)
+                rows.append(row)
+        if rows:
+            write_csv(out_dir, f"{bench}_runs_{key}", fields,
+                      [[row.get(k, "") for k in fields] for row in rows])
+            count += 1
     return count
 
 

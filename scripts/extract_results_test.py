@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Unit check for extract_results.py's BENCH_*.json ingestion.
+
+Exercises the multi-partition shape BENCH_partition.json introduced:
+runs without a "series" key, with per-class list-of-dict sub-tables
+that must flatten into <bench>_runs_<key>.csv rather than being
+silently dropped. Run as a ctest (no third-party dependencies):
+
+    python3 scripts/extract_results_test.py
+"""
+
+import csv
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "extract_results.py")
+
+DOC = {
+    "bench": "partition",
+    "scale": 0.02,
+    "tables": [{
+        "title": "Partitioned search I/O per query",
+        "x_label": "K",
+        "series": ["fig13", "bimodal"],
+        "rows": [
+            {"x": 0, "values": [5.2, 9.8]},
+            {"x": 2, "values": [3.4, 6.5]},
+        ],
+    }],
+    "runs": [
+        {
+            "workload": "bimodal", "variant": "single", "k": 0,
+            "search_io": 9.8, "update_io": 1.7, "queries": 200,
+        },
+        {
+            "workload": "bimodal", "variant": "part-K2", "k": 2,
+            "search_io": 6.5, "update_io": 1.8, "queries": 200,
+            "migrations": 5245,
+            "classes": [
+                {"class": 0, "upper": 0.4, "population": 900,
+                 "pages": 40, "io": 1000},
+                {"class": 1, "upper": None, "population": 1100,
+                 "pages": 50, "io": 1200},
+            ],
+        },
+    ],
+    "gates": [
+        {"name": "bimodal_k2_search_io_ratio", "value": 0.66,
+         "max": 0.999},
+    ],
+}
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.reader(f))
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "BENCH_partition.json")
+        out = os.path.join(tmp, "csv")
+        with open(src, "w") as f:
+            json.dump(DOC, f)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, src, out],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout + proc.stderr)
+            sys.exit(f"extract_results.py exited {proc.returncode}")
+
+        # The printed table survives as its own CSV.
+        table_csv = os.path.join(
+            out, "partitioned_search_i_o_per_query.csv")
+        if not os.path.isfile(table_csv):
+            failures.append(f"missing table CSV {table_csv}")
+
+        # The per-run CSV covers every scalar key even though the runs
+        # carry no "series" column.
+        rows = read_csv(os.path.join(out, "partition_runs.csv"))
+        header = rows[0]
+        for key in ("workload", "variant", "k", "search_io",
+                    "migrations"):
+            if key not in header:
+                failures.append(f"partition_runs.csv misses '{key}'")
+        if "series" in header:
+            failures.append("partition_runs.csv invented a 'series' "
+                            "column")
+        if len(rows) != 3:
+            failures.append(f"partition_runs.csv has {len(rows) - 1} "
+                            f"rows, want 2")
+
+        # The list-of-dict sub-table flattens one row per class, carrying
+        # the parent run's scalar columns for context.
+        sub = os.path.join(out, "partition_runs_classes.csv")
+        if not os.path.isfile(sub):
+            failures.append(f"missing sub-table {sub} — per-class data "
+                            f"was dropped")
+        else:
+            rows = read_csv(sub)
+            header = rows[0]
+            for key in ("workload", "variant", "class", "population",
+                        "pages"):
+                if key not in header:
+                    failures.append(
+                        f"partition_runs_classes.csv misses '{key}'")
+            if len(rows) != 3:
+                failures.append(
+                    f"partition_runs_classes.csv has {len(rows) - 1} "
+                    f"rows, want 2")
+            else:
+                by = dict(zip(header, rows[1]))
+                if by.get("workload") != "bimodal":
+                    failures.append("class row lost its parent workload")
+                if by.get("population") != "900":
+                    failures.append(
+                        f"class 0 population {by.get('population')!r}, "
+                        f"want '900'")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}")
+        sys.exit(1)
+    print("extract_results_test: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/parse.h"
 #include "livetier/tiered_index.h"
+#include "partition/partitioned_index.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sched/scheduled_index.h"
@@ -46,15 +47,33 @@ VariantSpec VariantSpec::RexpTiered() {
   return v;
 }
 
+VariantSpec VariantSpec::RexpPartitioned(int k) {
+  VariantSpec v{"Rexp-tree part-K" + std::to_string(k), TreeConfig::Rexp(),
+                false};
+  v.partitions = k;
+  return v;
+}
+
 namespace {
 
-// Thin uniform driver over Tree and ScheduledIndex so the measurement loop
-// is written once.
+// Thin uniform driver over Tree, ScheduledIndex, TieredIndex, and
+// PartitionedIndex so the measurement loop is written once.
 class Driver {
  public:
   Driver(const VariantSpec& variant, PageFile* tree_file,
          PageFile* queue_file) {
-    if (variant.scheduled) {
+    if (variant.partitions > 0) {
+      std::vector<PageFile*> files;
+      for (int i = 0; i < variant.partitions; ++i) {
+        part_files_.push_back(
+            std::make_unique<MemoryPageFile>(variant.config.page_size));
+        files.push_back(part_files_.back().get());
+      }
+      PartitionedOptions options;
+      options.partitions = variant.partitions;
+      part_ = std::make_unique<PartitionedIndex<2>>(variant.config, files,
+                                                    options);
+    } else if (variant.scheduled) {
       sched_ = std::make_unique<ScheduledIndex<2>>(variant.config, tree_file,
                                                    queue_file);
     } else if (variant.tiered) {
@@ -79,7 +98,9 @@ class Driver {
   }
 
   void Insert(ObjectId oid, const Tpbr<2>& p, Time now) {
-    if (sched_) {
+    if (part_) {
+      part_->Insert(oid, p, now);
+    } else if (sched_) {
       sched_->Insert(oid, p, now);
     } else if (tiered_) {
       tiered_->Insert(oid, p, now);
@@ -88,16 +109,20 @@ class Driver {
     }
   }
   bool Delete(ObjectId oid, const Tpbr<2>& p, Time now) {
+    if (part_) return part_->Delete(oid, p, now);
     if (sched_) return sched_->Delete(oid, p, now);
     if (tiered_) return tiered_->Delete(oid, p, now);
     return tree_->Delete(oid, p, now);
   }
-  // A position re-report: old record out, new record in. The tiered
-  // variant absorbs it in memory in one call; the others express it as
-  // the paper's delete-then-insert pair.
+  // A position re-report: old record out, new record in. The tiered and
+  // partitioned variants absorb it in one call (the latter so same-class
+  // updates take the in-place fast path); the others express it as the
+  // paper's delete-then-insert pair.
   void Update(ObjectId oid, const Tpbr<2>& old_record, const Tpbr<2>& p,
               Time now) {
-    if (tiered_) {
+    if (part_) {
+      (void)part_->Update(oid, old_record, p, now);
+    } else if (tiered_) {
       (void)tiered_->Update(oid, old_record, p, now);
     } else {
       Delete(oid, old_record, now);
@@ -105,7 +130,9 @@ class Driver {
     }
   }
   void Search(const Query<2>& q, Time now, std::vector<ObjectId>* out) {
-    if (sched_) {
+    if (part_) {
+      part_->Search(q, out);
+    } else if (sched_) {
       sched_->Search(q, now, out);
     } else if (tiered_) {
       tiered_->Search(q, out);
@@ -114,19 +141,40 @@ class Driver {
     }
   }
 
-  Tree<2>& tree() {
-    if (sched_) return sched_->tree();
-    if (tiered_) return tiered_->tree();
-    return *tree_;
-  }
   uint64_t QueueIo() {
     return sched_ ? sched_->queue().io_stats().Total() : 0;
   }
 
-  void SetTracer(obs::Tracer* tracer) { tree().set_tracer(tracer); }
+  // Variant-independent end-of-run metrics (a partitioned index has no
+  // single underlying tree to ask).
+  uint64_t TotalIo() {
+    if (part_) return part_->TotalIo();
+    return tree().io_stats().Total();
+  }
+  uint64_t IndexPages() {
+    if (part_) return part_->PagesUsed();
+    return tree().PagesUsed();
+  }
+  double ExpiredFraction(Time now) {
+    if (part_) return part_->ExpiredLeafFraction(now);
+    return tree().ExpiredLeafFraction(now);
+  }
+
+  // The tracer's span stack is shared, so the partitioned variant traces
+  // only its first class tree — the fan-out would interleave concurrent
+  // spans from sibling trees.
+  void SetTracer(obs::Tracer* tracer) {
+    if (part_) {
+      part_->tree(0)->set_tracer(tracer);
+    } else {
+      tree().set_tracer(tracer);
+    }
+  }
 
   void RegisterMetrics(obs::MetricsRegistry* registry) const {
-    if (sched_) {
+    if (part_) {
+      part_->RegisterMetrics(registry, "", /*per_tree=*/false);
+    } else if (sched_) {
       sched_->RegisterMetrics(registry, "");
     } else if (tiered_) {
       tiered_->RegisterMetrics(registry, "");
@@ -136,9 +184,17 @@ class Driver {
   }
 
  private:
+  Tree<2>& tree() {
+    if (sched_) return sched_->tree();
+    if (tiered_) return tiered_->tree();
+    return *tree_;
+  }
+
   std::unique_ptr<Tree<2>> tree_;
   std::unique_ptr<ScheduledIndex<2>> sched_;
   std::unique_ptr<TieredIndex<2>> tiered_;
+  std::vector<std::unique_ptr<MemoryPageFile>> part_files_;
+  std::unique_ptr<PartitionedIndex<2>> part_;
   Time last_migrate_ = 0;
 };
 
@@ -187,8 +243,7 @@ RunResult RunExperiment(const WorkloadSpec& spec,
   std::unordered_map<ObjectId, Tpbr<2>> current_record;
   Time now = 0;
 
-  Tree<2>& tree = driver.tree();
-  auto tree_io = [&]() { return tree.io_stats().Total(); };
+  auto tree_io = [&]() { return driver.TotalIo(); };
 
   Operation op;
   std::vector<ObjectId> hits;
@@ -250,8 +305,8 @@ RunResult RunExperiment(const WorkloadSpec& spec,
       result.update_ops ? static_cast<double>(driver.QueueIo()) /
                               static_cast<double>(result.update_ops)
                         : 0;
-  result.index_pages = tree.PagesUsed();
-  result.expired_fraction = tree.ExpiredLeafFraction(now);
+  result.index_pages = driver.IndexPages();
+  result.expired_fraction = driver.ExpiredFraction(now);
   result.avg_result_size =
       result.queries ? static_cast<double>(result_size_total) /
                            static_cast<double>(result.queries)

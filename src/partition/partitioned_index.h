@@ -1,0 +1,1115 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Velocity-partitioned index family: K speed classes, each indexed by its
+// own R^exp-tree with a much tighter velocity spread than a single shared
+// tree would have. The paper's TPBRs grow at the velocity extremes of the
+// node they bound, so one fast object co-located with slow ones inflates
+// every query that touches the node; "Speed Partitioning for Indexing
+// Moving Objects" and "Boosting Moving Object Indexing through Velocity
+// Partitioning" (PAPERS.md) both report large query-cost wins from
+// separating speed classes. This implementation adds three things neither
+// related design has:
+//
+//   * class boundaries self-tuned online from a streaming speed histogram
+//     (same estimate-as-you-go flavor as the horizon's UI estimator),
+//   * boundary-crossing updates migrated through the PR-5 bottom-up
+//     Update fast path (delete-from-old + insert-into-new under the
+//     router lock), and
+//   * lazy merging of partitions whose population decays — expiration
+//     empties classes for free, and a near-empty tree is pure fan-out
+//     overhead.
+//
+// Queries fan out across the surviving partitions through ONE shared
+// sched::ThreadPool (injected, or owned as a fallback) and are pruned
+// per-partition with a widen-only conservative union TPBR: a slow class
+// whose reachable region cannot intersect the query window is skipped
+// without any I/O.
+//
+// Concurrency: mutations serialize on router_mu_ (LockRank::
+// kPartitionRouter, above the per-tree epoch locks); queries snapshot the
+// candidate partitions under the router lock, release it, and then read
+// each tree under that tree's own shared epoch. A query concurrent with a
+// boundary-crossing migration may therefore observe the moving object in
+// neither or both classes momentarily — callers that need strict
+// serializability serialize queries against mutations externally (the
+// harness and tests do).
+
+#ifndef REXP_PARTITION_PARTITIONED_INDEX_H_
+#define REXP_PARTITION_PARTITIONED_INDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "obs/registry.h"
+#include "sched/mutex.h"
+#include "sched/thread_pool.h"
+#include "storage/page_file.h"
+#include "tpbr/intersect.h"
+#include "tpbr/tpbr.h"
+#include "tree/dat.h"
+#include "tree/tree.h"
+#include "tree/tree_config.h"
+#include "verify/verifier.h"
+
+namespace rexp {
+namespace partition {
+
+// One line of the on-disk partition manifest (see Read/WriteManifest in
+// partitioned_index.cc). `file` is a basename, resolved relative to the
+// manifest's directory.
+struct ManifestEntry {
+  bool active = true;
+  double upper = std::numeric_limits<double>::infinity();
+  double vmax = 0;
+  std::string file;
+};
+
+// The sidecar that makes a set of per-class page files a *closed
+// partitioned index*: dimensionality, page geometry, and the router state
+// (class order, activity, learned speed ceilings) that per-tree metadata
+// cannot express. rexp_fsck --manifest starts here.
+struct Manifest {
+  int dims = 0;
+  uint32_t page_size = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+// Plain-text, line-oriented (strict ParseU32/ParseDouble parsing; "inf"
+// spelled out for the unbounded last class). Returns kNotFound when the
+// file does not exist so a fresh OpenDisk can distinguish "new index"
+// from damage.
+StatusOr<Manifest> ReadManifest(const std::string& path);
+Status WriteManifest(const Manifest& manifest, const std::string& path);
+
+// Directory part of `path` including the trailing separator ("" when the
+// path has none), for resolving manifest-relative file names.
+std::string DirOf(const std::string& path);
+
+// Streaming log-binned histogram of reported speeds; the source of the
+// router's equi-depth class boundaries. Counts decay geometrically at
+// every retune so the boundaries track workload drift instead of its
+// whole history.
+class SpeedHistogram {
+ public:
+  static constexpr int kBins = 64;
+
+  void Record(double speed) {
+    ++counts_[BinOf(speed)];
+    ++total_;
+  }
+
+  // Upper boundaries splitting the observed mass into `classes`
+  // equi-depth quantiles (classes - 1 values, non-decreasing). With no
+  // recorded mass, falls back to equal widths over [0, fallback_max].
+  std::vector<double> Boundaries(int classes, double fallback_max) const {
+    std::vector<double> uppers;
+    if (classes <= 1) return uppers;
+    uppers.reserve(static_cast<size_t>(classes - 1));
+    if (total_ == 0) {
+      for (int i = 1; i < classes; ++i) {
+        uppers.push_back(fallback_max * i / classes);
+      }
+      return uppers;
+    }
+    uint64_t cum = 0;
+    int bin = 0;
+    for (int i = 1; i < classes; ++i) {
+      const uint64_t want = total_ * static_cast<uint64_t>(i) /
+                            static_cast<uint64_t>(classes);
+      while (bin < kBins - 1 && cum + counts_[bin] <= want) {
+        cum += counts_[bin];
+        ++bin;
+      }
+      uppers.push_back(UpperEdge(bin));
+    }
+    return uppers;
+  }
+
+  void Decay() {
+    total_ = 0;
+    for (uint64_t& c : counts_) {
+      c /= 2;
+      total_ += c;
+    }
+  }
+
+  uint64_t total() const { return total_; }
+
+ private:
+  // Log-spaced bins over [kMinSpeed, kMaxSpeed); speeds at or below zero
+  // land in bin 0, speeds past the top in the last bin.
+  static constexpr double kMinSpeed = 1e-3;
+  static constexpr double kMaxSpeed = 1e4;
+
+  static int BinOf(double speed) {
+    if (!(speed > kMinSpeed)) return 0;
+    const double pos = std::log(speed / kMinSpeed) /
+                       std::log(kMaxSpeed / kMinSpeed) * kBins;
+    return std::clamp(static_cast<int>(pos), 0, kBins - 1);
+  }
+
+  static double UpperEdge(int bin) {
+    return kMinSpeed *
+           std::pow(kMaxSpeed / kMinSpeed, (bin + 1.0) / kBins);
+  }
+
+  uint64_t counts_[kBins] = {};
+  uint64_t total_ = 0;
+};
+
+}  // namespace partition
+
+struct PartitionedOptions {
+  // Number of speed classes K.
+  int partitions = 4;
+
+  // Mutations between router-maintenance scans (boundary retune + merge
+  // check). 0 disables self-tuning: the initial equal-width boundaries
+  // stay fixed and no partition is ever merged.
+  uint32_t retune_every = 4096;
+
+  // A partition whose physical population falls below this fraction of
+  // the whole index is merged away (its live records re-routed into the
+  // surviving classes) at the next maintenance scan.
+  double merge_fraction = 0.05;
+
+  // Size of the owned query pool when none is injected: >0 that many
+  // threads, 0 one per partition, <0 no pool (sequential fan-out).
+  int query_threads = 0;
+
+  // Seeds the initial equal-width class boundaries until the histogram
+  // has observed real traffic.
+  double initial_max_speed = 3.0;
+};
+
+template <int kDims>
+class PartitionedIndex {
+ public:
+  using UpdateRequest = typename Tree<kDims>::UpdateRequest;
+  using NnResult = typename Tree<kDims>::NnResult;
+
+  // Routing/migration telemetry, all maintained under router_mu_.
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t delete_fallback_scans = 0;  // Map-miss full-partition probes.
+    uint64_t updates = 0;
+    uint64_t migrations = 0;  // Boundary-crossing updates moved.
+    uint64_t group_batches = 0;
+    uint64_t searches = 0;
+    uint64_t nn_searches = 0;
+    uint64_t partitions_pruned = 0;    // Skipped by the union-TPBR test.
+    uint64_t partitions_searched = 0;  // Fanned-out tree searches.
+    uint64_t retunes = 0;
+    uint64_t merges = 0;
+    uint64_t merge_moves = 0;  // Live records re-homed by merges.
+  };
+
+  // Builds over caller-owned per-class page files (files.size() == K,
+  // each empty or holding a previously persisted partition; the class
+  // map is rebuilt from the per-tree direct-access tables on reopen).
+  // `pool` (optional) is the shared query pool; it must outlive the
+  // index. Without one, `options.query_threads` sizes an owned pool.
+  PartitionedIndex(const TreeConfig& config,
+                   const std::vector<PageFile*>& files,
+                   const PartitionedOptions& options = {},
+                   sched::ThreadPool* pool = nullptr)
+      : config_(config), options_(options) {
+    REXP_CHECK(!files.empty());
+    REXP_CHECK(files.size() == static_cast<size_t>(options.partitions));
+    Status s = Init(files, pool);
+    if (!s.ok()) {
+      std::fprintf(stderr, "PartitionedIndex: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  // Opens (or creates) a durable partitioned index rooted at
+  // `base_path`: per-class files `<base>.p<i>` plus the router manifest
+  // `<base>.manifest`. An existing manifest wins over
+  // `options.partitions` and restores the learned class boundaries;
+  // Commit() rewrites it.
+  static StatusOr<std::unique_ptr<PartitionedIndex>> OpenDisk(
+      const TreeConfig& config, const std::string& base_path,
+      const PartitionedOptions& options = {},
+      sched::ThreadPool* pool = nullptr);
+
+  PartitionedIndex(const PartitionedIndex&) = delete;
+  PartitionedIndex& operator=(const PartitionedIndex&) = delete;
+
+  ~PartitionedIndex() {
+    if (!manifest_path_.empty()) {
+      Status s = WriteManifestNow();
+      if (!s.ok()) {
+        std::fprintf(stderr, "partitioned index close: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  }
+
+  // Durably commits every partition, then the router manifest (disk
+  // mode). First error wins; later partitions still attempt to commit.
+  Status Commit() EXCLUDES(router_mu_) {
+    Status first = Status::OK();
+    for (auto& tree : trees_) {
+      Status s = tree->Commit();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    if (!manifest_path_.empty()) {
+      Status s = WriteManifestNow();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
+  }
+
+  // --- Mutations (Tree-mirroring API) ---------------------------------
+
+  void Insert(ObjectId oid, const Tpbr<kDims>& point, Time now)
+      EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    ++stats_.inserts;
+    const double speed = SpeedOf(point);
+    histogram_.Record(speed);
+    const int c = RouteLocked(speed);
+    AbsorbLocked(c, point, speed);
+    trees_[static_cast<size_t>(c)]->Insert(oid, point, now);
+    class_of_.Put(oid, static_cast<uint32_t>(c));
+    ++pstate_[static_cast<size_t>(c)].live;
+    MaintenanceLocked(now);
+  }
+
+  // Mirrors Tree::Delete. The class map names the partition to probe;
+  // on a map miss (object unknown to the router, e.g. deleted twice)
+  // every populated partition is probed.
+  [[nodiscard]] bool Delete(ObjectId oid, const Tpbr<kDims>& point, Time now,
+                            bool see_expired = false) EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    ++stats_.deletes;
+    const bool found = DeleteLocked(oid, point, now, see_expired);
+    MaintenanceLocked(now);
+    return found;
+  }
+
+  // Mirrors Tree::Update: replaces oid's `old_record` with `new_record`,
+  // reporting whether the old record was live (the new one is inserted
+  // either way). A new speed inside the object's current class takes the
+  // PR-5 in-place fast path on that class's tree; a boundary-crossing
+  // speed migrates the object (delete-from-old + insert-into-new under
+  // the router lock).
+  [[nodiscard]] bool Update(ObjectId oid, const Tpbr<kDims>& old_record,
+                            const Tpbr<kDims>& new_record, Time now)
+      EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    const bool found = UpdateLocked(oid, old_record, new_record, now);
+    MaintenanceLocked(now);
+    return found;
+  }
+
+  // Mirrors Tree::GroupUpdate: result[i] is what Update would have
+  // returned for requests[i]. Non-crossing requests are grouped per
+  // class and applied through each tree's batched GroupUpdate;
+  // boundary-crossing ones migrate individually. Batches containing the
+  // same oid twice fall back to sequential per-request updates to keep
+  // batch-order semantics.
+  [[nodiscard]] std::vector<bool> GroupUpdate(
+      const std::vector<UpdateRequest>& requests, Time now)
+      EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    ++stats_.group_batches;
+    std::vector<bool> results(requests.size(), false);
+    if (requests.empty()) return results;
+
+    std::vector<ObjectId> oids;
+    oids.reserve(requests.size());
+    for (const UpdateRequest& r : requests) oids.push_back(r.oid);
+    std::sort(oids.begin(), oids.end());
+    const bool has_duplicates =
+        std::adjacent_find(oids.begin(), oids.end()) != oids.end();
+
+    if (has_duplicates) {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        results[i] = UpdateLocked(requests[i].oid, requests[i].old_record,
+                                  requests[i].new_record, now);
+      }
+      MaintenanceLocked(now);
+      return results;
+    }
+
+    // Partition the batch: per-class sub-batches for stay-at-home
+    // requests, individual migrations for the rest.
+    std::vector<std::vector<UpdateRequest>> batches(trees_.size());
+    std::vector<std::vector<size_t>> batch_slots(trees_.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const UpdateRequest& r = requests[i];
+      const double speed = SpeedOf(r.new_record);
+      histogram_.Record(speed);
+      ++stats_.updates;
+      const int target = RouteLocked(speed);
+      const uint32_t* current = class_of_.Find(r.oid);
+      if (current != nullptr && static_cast<int>(*current) == target) {
+        AbsorbLocked(target, r.new_record, speed);
+        batches[static_cast<size_t>(target)].push_back(r);
+        batch_slots[static_cast<size_t>(target)].push_back(i);
+      } else {
+        results[i] =
+            MigrateLocked(r.oid, r.old_record, r.new_record, speed, now);
+      }
+    }
+    for (size_t c = 0; c < trees_.size(); ++c) {
+      if (batches[c].empty()) continue;
+      const std::vector<bool> sub = trees_[c]->GroupUpdate(batches[c], now);
+      for (size_t j = 0; j < sub.size(); ++j) {
+        results[batch_slots[c][j]] = sub[j];
+      }
+    }
+    MaintenanceLocked(now);
+    return results;
+  }
+
+  // --- Queries --------------------------------------------------------
+
+  // Reports the ids of all live objects intersecting `query`, fanning
+  // out across the partitions the union-TPBR test cannot rule out. Order
+  // is unspecified (as with Tree::Search).
+  void Search(const Query<kDims>& query, std::vector<ObjectId>* out)
+      EXCLUDES(router_mu_) {
+    const std::vector<Tree<kDims>*> candidates = SearchCandidates(query);
+    if (candidates.empty()) return;
+    sched::ThreadPool* pool = pool_;
+    if (candidates.size() == 1 || pool == nullptr) {
+      for (Tree<kDims>* tree : candidates) tree->Search(query, out);
+      return;
+    }
+    std::vector<std::vector<ObjectId>> partial(candidates.size());
+    FanOut(pool, candidates.size(), [&](size_t i) {
+      candidates[i]->Search(query, &partial[i]);
+    });
+    for (const std::vector<ObjectId>& p : partial) {
+      out->insert(out->end(), p.begin(), p.end());
+    }
+  }
+
+  // K-nearest-neighbors across all partitions: per-class candidates are
+  // merged by (distance, oid), exactly as a single tree would rank them.
+  void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                        std::vector<NnResult>* out) EXCLUDES(router_mu_) {
+    out->clear();
+    if (k <= 0) return;
+    const std::vector<Tree<kDims>*> candidates = NnCandidates();
+    if (candidates.empty()) return;
+    std::vector<std::vector<NnResult>> partial(candidates.size());
+    sched::ThreadPool* pool = pool_;
+    if (candidates.size() == 1 || pool == nullptr) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        candidates[i]->NearestNeighbors(point, t, k, &partial[i]);
+      }
+    } else {
+      FanOut(pool, candidates.size(), [&](size_t i) {
+        candidates[i]->NearestNeighbors(point, t, k, &partial[i]);
+      });
+    }
+    for (const std::vector<NnResult>& p : partial) {
+      out->insert(out->end(), p.begin(), p.end());
+    }
+    std::sort(out->begin(), out->end(),
+              [](const NnResult& a, const NnResult& b) {
+                if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+                return a.oid < b.oid;
+              });
+    if (out->size() > static_cast<size_t>(k)) {
+      out->resize(static_cast<size_t>(k));
+    }
+  }
+
+  void NearestNeighbors(const Vec<kDims>& point, Time t, int k,
+                        std::vector<ObjectId>* out) EXCLUDES(router_mu_) {
+    std::vector<NnResult> results;
+    NearestNeighbors(point, t, k, &results);
+    out->clear();
+    out->reserve(results.size());
+    for (const NnResult& r : results) out->push_back(r.oid);
+  }
+
+  // --- Verification ---------------------------------------------------
+
+  // Runs the full per-tree invariant catalog on every partition plus the
+  // router's cross-checks: every mapped object must be physically
+  // present in exactly its mapped partition (and never in another one),
+  // and no object may be mapped to a merged-away class. Router findings
+  // reuse verify::CheckId::kPartitionRouting.
+  verify::Report Verify(Time now) EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    return VerifyLocked(now);
+  }
+
+  // Verify + abort on findings (test hook, mirroring Tree).
+  void CheckInvariants(Time now) EXCLUDES(router_mu_) {
+    verify::Report report = Verify(now);
+    if (!report.ok()) {
+      std::fprintf(stderr, "PartitionedIndex::CheckInvariants:\n%s",
+                   report.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  // --- Introspection --------------------------------------------------
+
+  int partitions() const { return static_cast<int>(trees_.size()); }
+
+  int active_partitions() const EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    int n = 0;
+    for (const PartitionState& p : pstate_) n += p.active ? 1 : 0;
+    return n;
+  }
+
+  Stats stats() const EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    return stats_;
+  }
+
+  // Current routing table: the inclusive speed upper bound of each
+  // ACTIVE class in slot order (infinity for the last). Test hook.
+  std::vector<std::pair<int, double>> RoutingTableForTest() const
+      EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    std::vector<std::pair<int, double>> table;
+    for (size_t i = 0; i < pstate_.size(); ++i) {
+      if (pstate_[i].active) {
+        table.emplace_back(static_cast<int>(i), pstate_[i].upper);
+      }
+    }
+    return table;
+  }
+
+  int RouteClassForTest(double speed) const EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    return RouteLocked(speed);
+  }
+
+  // The partition an object is currently mapped to, or -1.
+  int ClassOfForTest(ObjectId oid) const EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    const uint32_t* c = class_of_.Find(oid);
+    return c == nullptr ? -1 : static_cast<int>(*c);
+  }
+
+  // Per-class tree access (harness tracer, tests). The tree's own
+  // concurrency rules apply.
+  Tree<kDims>* tree(int i) { return trees_[static_cast<size_t>(i)].get(); }
+  const Tree<kDims>& tree(int i) const {
+    return *trees_[static_cast<size_t>(i)];
+  }
+
+  sched::ThreadPool* pool() const { return pool_; }
+
+  // Aggregates over all partitions (the paper's performance metrics).
+  uint64_t TotalIo() const {
+    uint64_t total = 0;
+    for (const auto& tree : trees_) total += tree->io_stats().Total();
+    return total;
+  }
+  void ResetIoStats() {
+    for (auto& tree : trees_) tree->ResetIoStats();
+  }
+  uint64_t PagesUsed() const {
+    uint64_t total = 0;
+    for (const auto& tree : trees_) total += tree->PagesUsed();
+    return total;
+  }
+  uint64_t leaf_entries() const {
+    uint64_t total = 0;
+    for (const auto& tree : trees_) total += tree->leaf_entries();
+    return total;
+  }
+  double ExpiredLeafFraction(Time now) {
+    uint64_t total = 0;
+    double expired = 0;
+    for (auto& tree : trees_) {
+      const uint64_t entries = tree->leaf_entries();
+      if (entries == 0) continue;
+      expired +=
+          tree->ExpiredLeafFraction(now) * static_cast<double>(entries);
+      total += entries;
+    }
+    return total == 0 ? 0.0 : expired / static_cast<double>(total);
+  }
+
+  const TreeConfig& config() const { return config_; }
+
+  // Registers router telemetry under `prefix` + "partition." (routing,
+  // migration, merge, and fan-out counters; active-partition and
+  // per-class population gauges) and, with `per_tree`, each class's full
+  // tree telemetry under `prefix` + "p<i>.tree.". Owner-scoped: bindings
+  // drop when the index is destroyed.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix, bool per_tree = true) {
+    if (per_tree) {
+      for (size_t i = 0; i < trees_.size(); ++i) {
+        trees_[i]->RegisterMetrics(
+            registry, prefix + "p" + std::to_string(i) + ".tree.");
+      }
+    }
+    metrics_registration_.Reset();
+    const obs::OwnerId owner = registry->NewOwner();
+    auto counter = [this](uint64_t Stats::*field) {
+      return std::function<uint64_t()>([this, field]() -> uint64_t {
+        sched::MutexLock lk(&router_mu_);
+        return stats_.*field;
+      });
+    };
+    registry->AddCounter(prefix + "partition.inserts",
+                         counter(&Stats::inserts), owner);
+    registry->AddCounter(prefix + "partition.deletes",
+                         counter(&Stats::deletes), owner);
+    registry->AddCounter(prefix + "partition.delete_fallback_scans",
+                         counter(&Stats::delete_fallback_scans), owner);
+    registry->AddCounter(prefix + "partition.updates",
+                         counter(&Stats::updates), owner);
+    registry->AddCounter(prefix + "partition.migrations",
+                         counter(&Stats::migrations), owner);
+    registry->AddCounter(prefix + "partition.group_batches",
+                         counter(&Stats::group_batches), owner);
+    registry->AddCounter(prefix + "partition.searches",
+                         counter(&Stats::searches), owner);
+    registry->AddCounter(prefix + "partition.nn_searches",
+                         counter(&Stats::nn_searches), owner);
+    registry->AddCounter(prefix + "partition.partitions_pruned",
+                         counter(&Stats::partitions_pruned), owner);
+    registry->AddCounter(prefix + "partition.partitions_searched",
+                         counter(&Stats::partitions_searched), owner);
+    registry->AddCounter(prefix + "partition.retunes",
+                         counter(&Stats::retunes), owner);
+    registry->AddCounter(prefix + "partition.merges",
+                         counter(&Stats::merges), owner);
+    registry->AddCounter(prefix + "partition.merge_moves",
+                         counter(&Stats::merge_moves), owner);
+    registry->AddGauge(prefix + "partition.active_partitions",
+                       [this] {
+                         sched::MutexLock lk(&router_mu_);
+                         double n = 0;
+                         for (const PartitionState& p : pstate_) {
+                           n += p.active ? 1 : 0;
+                         }
+                         return n;
+                       },
+                       owner);
+    registry->AddGauge(prefix + "partition.mapped_objects",
+                       [this] {
+                         sched::MutexLock lk(&router_mu_);
+                         return static_cast<double>(class_of_.size());
+                       },
+                       owner);
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      Tree<kDims>* tree = trees_[i].get();
+      registry->AddGauge(
+          prefix + "partition.p" + std::to_string(i) + ".population",
+          [tree] { return static_cast<double>(tree->leaf_entries()); },
+          owner);
+    }
+    metrics_registration_ = registry->MakeScoped(owner);
+  }
+
+  // Speed |v| of a canonical moving-point record (vlo == vhi).
+  static double SpeedOf(const Tpbr<kDims>& point) {
+    double sum = 0;
+    for (int d = 0; d < kDims; ++d) sum += point.vlo[d] * point.vlo[d];
+    return std::sqrt(sum);
+  }
+
+ private:
+  struct PrivateTag {};
+
+  // OpenDisk's construction path: members are filled in before Init.
+  PartitionedIndex(PrivateTag, const TreeConfig& config,
+                   const PartitionedOptions& options)
+      : config_(config), options_(options) {}
+
+  struct PartitionState {
+    bool active = true;
+    // Inclusive routing upper bound; infinity for the last active class.
+    double upper = std::numeric_limits<double>::infinity();
+    // Widen-only maximum speed ever routed here since the last reset;
+    // persisted to the manifest for offline speed-class verification.
+    double vmax = 0;
+    // Router's live-population estimate (metrics only; merges and the
+    // verifier use physical counts).
+    uint64_t live = 0;
+    // Conservative union TPBR over every record inserted since the
+    // partition was last observed empty. `tracked` is false when the
+    // partition was reopened non-empty (the union of the pre-existing
+    // records is unknown), in which case the partition is never pruned.
+    bool bound_tracked = false;
+    bool bound_empty = true;
+    Tpbr<kDims> bound;
+  };
+
+  Status Init(const std::vector<PageFile*>& files, sched::ThreadPool* pool,
+              const partition::Manifest* manifest = nullptr) {
+    config_.Validate();
+    trees_.reserve(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+      TreeConfig per_class = config_;
+      per_class.seed = config_.seed + i;  // Decorrelate split tiebreaks.
+      auto tree_or = Tree<kDims>::Open(per_class, files[i]);
+      if (!tree_or.ok()) {
+        return Status::Corruption("partition " + std::to_string(i) + ": " +
+                                  tree_or.status().ToString());
+      }
+      trees_.push_back(std::move(tree_or).value());
+    }
+    sched::MutexLock lk(&router_mu_);
+    pstate_.resize(trees_.size());
+    const int k = static_cast<int>(trees_.size());
+    for (int i = 0; i + 1 < k; ++i) {
+      pstate_[static_cast<size_t>(i)].upper =
+          options_.initial_max_speed * (i + 1) / k;
+    }
+    if (manifest != nullptr) {
+      for (size_t i = 0; i < pstate_.size(); ++i) {
+        pstate_[i].active = manifest->entries[i].active;
+        pstate_[i].upper = manifest->entries[i].upper;
+        pstate_[i].vmax = manifest->entries[i].vmax;
+      }
+    }
+    RebuildClassMapLocked();
+    if (pool != nullptr) {
+      pool_ = pool;
+    } else if (options_.query_threads >= 0) {
+      const int threads = options_.query_threads > 0
+                              ? options_.query_threads
+                              : static_cast<int>(trees_.size());
+      if (threads > 1) {
+        owned_pool_ = std::make_unique<sched::ThreadPool>(threads);
+        pool_ = owned_pool_.get();
+      }
+    }
+    return Status::OK();
+  }
+
+  // Reopen support: the class map is an in-memory structure, so it is
+  // reconstructed from each partition's direct-access table (which
+  // tracks every physically present oid). Partitions reopened non-empty
+  // get an untracked union bound (never pruned) until they empty out.
+  void RebuildClassMapLocked() REQUIRES(router_mu_) {
+    class_of_.Clear();
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      PartitionState& p = pstate_[i];
+      if (trees_[i]->leaf_entries() == 0) {
+        p.bound_tracked = true;
+        p.bound_empty = true;
+        continue;
+      }
+      // A merged-away class can only hold expired leftovers; mapping
+      // them again would re-open the class to deletes it cannot serve.
+      if (!p.active) continue;
+      p.bound_tracked = false;
+      for (const verify::DatSnapshotEntry& e :
+           trees_[i]->DatSnapshotForTest()) {
+        class_of_.Put(e.oid, static_cast<uint32_t>(i));
+        ++p.live;
+      }
+    }
+  }
+
+  // First active class whose speed range admits `speed` (ranges are
+  // contiguous in slot order; the last active class is unbounded).
+  int RouteLocked(double speed) const REQUIRES(router_mu_) {
+    int last_active = -1;
+    for (size_t i = 0; i < pstate_.size(); ++i) {
+      if (!pstate_[i].active) continue;
+      last_active = static_cast<int>(i);
+      if (speed <= pstate_[i].upper) return last_active;
+    }
+    REXP_CHECK(last_active >= 0);
+    return last_active;
+  }
+
+  // Folds a routed record into the class's prune bound and vmax. A
+  // partition observed physically empty restarts its bound from scratch
+  // — expiration shrinks reachable regions for free this way.
+  void AbsorbLocked(int c, const Tpbr<kDims>& point, double speed)
+      REQUIRES(router_mu_) {
+    PartitionState& p = pstate_[static_cast<size_t>(c)];
+    if (trees_[static_cast<size_t>(c)]->leaf_entries() == 0) {
+      p.bound_tracked = true;
+      p.bound_empty = true;
+      p.vmax = 0;
+      p.live = 0;
+    }
+    if (speed > p.vmax) p.vmax = speed;
+    if (!p.bound_tracked) return;
+    if (p.bound_empty) {
+      p.bound = point;
+      p.bound_empty = false;
+      return;
+    }
+    for (int d = 0; d < kDims; ++d) {
+      p.bound.lo[d] = std::min(p.bound.lo[d], point.lo[d]);
+      p.bound.hi[d] = std::max(p.bound.hi[d], point.hi[d]);
+      p.bound.vlo[d] = std::min(p.bound.vlo[d], point.vlo[d]);
+      p.bound.vhi[d] = std::max(p.bound.vhi[d], point.vhi[d]);
+    }
+    p.bound.t_exp = std::max(p.bound.t_exp, point.t_exp);
+  }
+
+  bool DeleteLocked(ObjectId oid, const Tpbr<kDims>& point, Time now,
+                    bool see_expired) REQUIRES(router_mu_) {
+    const uint32_t* c = class_of_.Find(oid);
+    if (c != nullptr) {
+      PartitionState& p = pstate_[*c];
+      const bool found = trees_[*c]->Delete(oid, point, now, see_expired);
+      class_of_.Erase(oid);
+      if (found && p.live > 0) --p.live;
+      return found;
+    }
+    // Map miss: the router has never seen (or already forgot) this oid.
+    // Probe every populated partition — rare, and the probes that miss
+    // cost one descent each.
+    ++stats_.delete_fallback_scans;
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      if (trees_[i]->leaf_entries() == 0) continue;
+      if (trees_[i]->Delete(oid, point, now, see_expired)) {
+        if (pstate_[i].live > 0) --pstate_[i].live;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool UpdateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
+                    const Tpbr<kDims>& new_record, Time now)
+      REQUIRES(router_mu_) {
+    ++stats_.updates;
+    const double speed = SpeedOf(new_record);
+    histogram_.Record(speed);
+    const int target = RouteLocked(speed);
+    const uint32_t* current = class_of_.Find(oid);
+    if (current != nullptr && static_cast<int>(*current) == target) {
+      AbsorbLocked(target, new_record, speed);
+      return trees_[static_cast<size_t>(target)]->Update(oid, old_record,
+                                                         new_record, now);
+    }
+    return MigrateLocked(oid, old_record, new_record, speed, now);
+  }
+
+  // Boundary-crossing (or unknown-class) update: remove the old record
+  // from wherever it lives, insert the new one into its routed class.
+  bool MigrateLocked(ObjectId oid, const Tpbr<kDims>& old_record,
+                     const Tpbr<kDims>& new_record, double speed, Time now)
+      REQUIRES(router_mu_) {
+    const bool had_class = class_of_.Find(oid) != nullptr;
+    const bool found =
+        DeleteLocked(oid, old_record, now, /*see_expired=*/false);
+    const int target = RouteLocked(speed);
+    AbsorbLocked(target, new_record, speed);
+    trees_[static_cast<size_t>(target)]->Insert(oid, new_record, now);
+    class_of_.Put(oid, static_cast<uint32_t>(target));
+    ++pstate_[static_cast<size_t>(target)].live;
+    if (had_class) ++stats_.migrations;
+    return found;
+  }
+
+  void MaintenanceLocked(Time now) REQUIRES(router_mu_) {
+    if (options_.retune_every == 0) return;
+    if (++mutations_since_scan_ < options_.retune_every) return;
+    mutations_since_scan_ = 0;
+    RetuneLocked();
+    MaybeMergeLocked(now);
+  }
+
+  // Recomputes the active-class boundaries as equi-depth quantiles of
+  // the decayed speed histogram. Routing changes apply to FUTURE inserts
+  // and updates only; already-placed objects migrate lazily the next
+  // time they report (Update), so no retune ever does bulk I/O.
+  void RetuneLocked() REQUIRES(router_mu_) {
+    ++stats_.retunes;
+    int actives = 0;
+    for (const PartitionState& p : pstate_) actives += p.active ? 1 : 0;
+    if (actives > 1) {
+      const std::vector<double> uppers =
+          histogram_.Boundaries(actives, options_.initial_max_speed);
+      size_t next = 0;
+      for (PartitionState& p : pstate_) {
+        if (!p.active) continue;
+        p.upper = next < uppers.size()
+                      ? uppers[next]
+                      : std::numeric_limits<double>::infinity();
+        ++next;
+      }
+    }
+    histogram_.Decay();
+  }
+
+  // Merges away the smallest active partition when its physical
+  // population has decayed below merge_fraction of the index: its live
+  // records are re-routed into the surviving classes and the class
+  // disappears from the routing table. Expired leftovers (invisible to
+  // queries) are simply abandoned with the tree.
+  void MaybeMergeLocked(Time now) REQUIRES(router_mu_) {
+    int actives = 0;
+    uint64_t total = 0;
+    int smallest = -1;
+    uint64_t smallest_entries = 0;
+    for (size_t i = 0; i < pstate_.size(); ++i) {
+      if (!pstate_[i].active) continue;
+      ++actives;
+      const uint64_t entries = trees_[i]->leaf_entries();
+      total += entries;
+      if (smallest < 0 || entries < smallest_entries) {
+        smallest = static_cast<int>(i);
+        smallest_entries = entries;
+      }
+    }
+    if (actives <= 1 || smallest < 0 || total == 0) return;
+    if (static_cast<double>(smallest_entries) >=
+        options_.merge_fraction * static_cast<double>(total)) {
+      return;
+    }
+    MergePartitionLocked(smallest, now);
+  }
+
+  void MergePartitionLocked(int idx, Time now) REQUIRES(router_mu_) {
+    const size_t i = static_cast<size_t>(idx);
+    pstate_[i].active = false;  // Re-routing below must not pick it.
+    Tree<kDims>* source = trees_[i].get();
+
+    // Collect the live records (the walk is real, measured I/O — a merge
+    // is maintenance work the index actually performs).
+    struct LiveRecord {
+      ObjectId oid;
+      Tpbr<kDims> region;
+    };
+    std::vector<LiveRecord> live;
+    if (source->root() != kInvalidPageId) {
+      std::vector<std::pair<PageId, int>> stack;
+      stack.emplace_back(source->root(), source->height() - 1);
+      while (!stack.empty()) {
+        const auto [page, level] = stack.back();
+        stack.pop_back();
+        const Node<kDims> node = source->ReadNodeForTest(page);
+        for (const NodeEntry<kDims>& e : node.entries) {
+          if (level > 0) {
+            stack.emplace_back(e.id, level - 1);
+          } else if (!config_.expire_entries || e.region.t_exp >= now) {
+            live.push_back(LiveRecord{e.id, e.region});
+          }
+        }
+      }
+    }
+    for (const LiveRecord& r : live) {
+      const bool found =
+          source->Delete(r.oid, r.region, now, /*see_expired=*/false);
+      (void)found;  // Live by construction; a purge race cannot occur
+                    // under the router lock.
+      const double speed = SpeedOf(r.region);
+      const int target = RouteLocked(speed);
+      AbsorbLocked(target, r.region, speed);
+      trees_[static_cast<size_t>(target)]->Insert(r.oid, r.region, now);
+      class_of_.Put(r.oid, static_cast<uint32_t>(target));
+      ++pstate_[static_cast<size_t>(target)].live;
+      ++stats_.merge_moves;
+    }
+    // Expired (or already purged) stragglers still mapped here would
+    // read as routing violations; forget them.
+    std::vector<ObjectId> stale;
+    class_of_.ForEach([&](uint32_t oid, const uint32_t& c) {
+      if (c == i) stale.push_back(oid);
+    });
+    for (ObjectId oid : stale) class_of_.Erase(oid);
+    pstate_[i].live = 0;
+    pstate_[i].vmax = 0;
+    pstate_[i].bound_tracked = true;
+    pstate_[i].bound_empty = true;
+    ++stats_.merges;
+  }
+
+  // Snapshot of the trees a query must visit; prunes inactive, empty,
+  // and provably unreachable partitions under the router lock, then
+  // releases it so the fan-out runs lock-free.
+  std::vector<Tree<kDims>*> SearchCandidates(const Query<kDims>& query)
+      EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    ++stats_.searches;
+    std::vector<Tree<kDims>*> candidates;
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      const PartitionState& p = pstate_[i];
+      // A merged-away class holds only expired leftovers (its live
+      // records were re-routed), so it cannot contribute results.
+      if (!p.active) continue;
+      if (trees_[i]->leaf_entries() == 0) continue;
+      if (p.bound_tracked && p.bound_empty) continue;
+      if (p.bound_tracked) {
+        const Time expiry =
+            config_.expire_entries ? p.bound.t_exp : kNeverExpires;
+        if (!Intersects(p.bound, query, expiry)) {
+          ++stats_.partitions_pruned;
+          continue;
+        }
+      }
+      candidates.push_back(trees_[i].get());
+    }
+    stats_.partitions_searched += candidates.size();
+    return candidates;
+  }
+
+  std::vector<Tree<kDims>*> NnCandidates() EXCLUDES(router_mu_) {
+    sched::MutexLock lk(&router_mu_);
+    ++stats_.nn_searches;
+    std::vector<Tree<kDims>*> candidates;
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      if (!pstate_[i].active) continue;
+      if (trees_[i]->leaf_entries() == 0) continue;
+      if (pstate_[i].bound_tracked && pstate_[i].bound_empty) continue;
+      candidates.push_back(trees_[i].get());
+    }
+    stats_.partitions_searched += candidates.size();
+    return candidates;
+  }
+
+  // Runs fn(0..n-1) on the shared pool, one task per index, and waits
+  // for THESE tasks only (per-call latch — ThreadPool::Wait would block
+  // on unrelated work sharing the pool).
+  template <typename Fn>
+  void FanOut(sched::ThreadPool* pool, size_t n, Fn fn) {
+    sched::Mutex done_mu(sched::LockRank::kLeaf, "partition_fanout");
+    sched::CondVar done_cv;
+    size_t pending = n;
+    for (size_t i = 0; i < n; ++i) {
+      pool->Submit([&, i] {
+        fn(i);
+        sched::MutexLock lk(&done_mu);
+        if (--pending == 0) done_cv.NotifyAll();
+      });
+    }
+    sched::MutexLock lk(&done_mu);
+    done_cv.Wait(done_mu, [&pending] { return pending == 0; });
+  }
+
+  verify::Report VerifyLocked(Time now) REQUIRES(router_mu_) {
+    verify::Report merged;
+    std::vector<std::vector<verify::DatSnapshotEntry>> dats(trees_.size());
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      verify::Report r = trees_[i]->Verify(now);
+      merged.pages_walked += r.pages_walked;
+      merged.entries_checked += r.entries_checked;
+      merged.leaf_records_checked += r.leaf_records_checked;
+      merged.live_leaf_entries += r.live_leaf_entries;
+      merged.underfull_nodes += r.underfull_nodes;
+      merged.damaged_meta_slots += r.damaged_meta_slots;
+      merged.findings_suppressed += r.findings_suppressed;
+      merged.walk_complete = merged.walk_complete && r.walk_complete;
+      for (verify::Finding& f : r.findings) {
+        // Built with += (GCC 12's -Wrestrict misfires on chained
+        // const char* + std::string&& here).
+        std::string prefixed = "p";
+        prefixed += std::to_string(i);
+        prefixed += ": ";
+        prefixed += f.detail;
+        f.detail = std::move(prefixed);
+        merged.findings.push_back(std::move(f));
+      }
+      dats[i] = trees_[i]->DatSnapshotForTest();
+    }
+    // Router cross-checks against the physical per-tree DATs.
+    std::vector<U32HashMap<uint32_t>> present(trees_.size());
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      for (const verify::DatSnapshotEntry& e : dats[i]) {
+        present[i].Put(e.oid, e.count);
+      }
+    }
+    class_of_.ForEach([&](uint32_t oid, const uint32_t& c) {
+      if (c >= trees_.size()) {
+        merged.findings.push_back(verify::Finding{
+            verify::CheckId::kPartitionRouting, kInvalidPageId, -1,
+            "oid " + std::to_string(oid) + " mapped to class " +
+                std::to_string(c) + " of " +
+                std::to_string(trees_.size())});
+        return;
+      }
+      if (!pstate_[c].active && present[c].Find(oid) != nullptr) {
+        merged.findings.push_back(verify::Finding{
+            verify::CheckId::kPartitionRouting, kInvalidPageId, -1,
+            "oid " + std::to_string(oid) +
+                " still present in merged-away class " +
+                std::to_string(c)});
+      }
+      for (size_t i = 0; i < trees_.size(); ++i) {
+        if (i == c) continue;
+        if (present[i].Find(oid) != nullptr) {
+          merged.findings.push_back(verify::Finding{
+              verify::CheckId::kPartitionRouting, kInvalidPageId, -1,
+              "oid " + std::to_string(oid) + " mapped to class " +
+                  std::to_string(c) + " but physically present in class " +
+                  std::to_string(i)});
+        }
+      }
+    });
+    return merged;
+  }
+
+  Status WriteManifestNow() {
+    partition::Manifest m;
+    m.dims = kDims;
+    m.page_size = config_.page_size;
+    {
+      sched::MutexLock lk(&router_mu_);
+      for (size_t i = 0; i < pstate_.size(); ++i) {
+        partition::ManifestEntry e;
+        e.active = pstate_[i].active;
+        e.upper = pstate_[i].upper;
+        e.vmax = pstate_[i].vmax;
+        e.file = file_names_[i];
+        m.entries.push_back(std::move(e));
+      }
+    }
+    return partition::WriteManifest(m, manifest_path_);
+  }
+
+  TreeConfig config_;
+  PartitionedOptions options_;
+
+  // Disk mode only: owned per-class files (destroyed after the trees,
+  // which flush into them) and the manifest sidecar.
+  std::vector<std::unique_ptr<PageFile>> owned_files_;
+  std::string manifest_path_;
+  std::vector<std::string> file_names_;  // Manifest-relative basenames.
+
+  std::vector<std::unique_ptr<Tree<kDims>>> trees_;
+
+  mutable sched::Mutex router_mu_{sched::LockRank::kPartitionRouter,
+                                  "partition_router"};
+  std::vector<PartitionState> pstate_ GUARDED_BY(router_mu_);
+  U32HashMap<uint32_t> class_of_ GUARDED_BY(router_mu_);
+  partition::SpeedHistogram histogram_ GUARDED_BY(router_mu_);
+  uint32_t mutations_since_scan_ GUARDED_BY(router_mu_) = 0;
+  Stats stats_ GUARDED_BY(router_mu_);
+
+  std::unique_ptr<sched::ThreadPool> owned_pool_;
+  sched::ThreadPool* pool_ = nullptr;
+
+  mutable obs::ScopedRegistration metrics_registration_;
+};
+
+extern template class PartitionedIndex<1>;
+extern template class PartitionedIndex<2>;
+extern template class PartitionedIndex<3>;
+
+}  // namespace rexp
+
+#endif  // REXP_PARTITION_PARTITIONED_INDEX_H_

@@ -7,8 +7,8 @@
 // ranks only ever DECREASE down each thread's held-lock stack. That is
 // exactly the documented order of DESIGN.md §13:
 //
-//   kMonitor > kRegistry > kMigrate > kLiveTier > kTreeEpoch
-//           > kFrameLatch > kBufferPool > kLeaf
+//   kMonitor > kRegistry > kMigrate > kPartitionRouter > kLiveTier
+//           > kTreeEpoch > kFrameLatch > kBufferPool > kLeaf
 //
 // A violation (acquiring a rank >= one already held, or an equal rank out
 // of address order) is a potential deadlock even if this particular
@@ -67,6 +67,10 @@ enum class LockRank : int {
   // TieredIndex::mu_ — the live tier. Calls into the tree (epoch) while
   // held; nothing takes it while holding tree or buffer locks.
   kLiveTier = 40,
+  // PartitionedIndex::router_mu_ — the speed-class routing table and
+  // oid→class map. Calls into partition trees (epoch) while held;
+  // nothing takes it while holding tree or buffer locks.
+  kPartitionRouter = 45,
   // TieredIndex::migrate_mu_ — serializes migration ticks. Outermost of
   // the index stack: a tick takes the live tier, then the tree.
   kMigrate = 50,

@@ -56,6 +56,10 @@
 
 namespace rexp {
 
+namespace sched {
+class ThreadPool;
+}  // namespace sched
+
 // Tree-level operation telemetry: what the structural algorithms did, as
 // opposed to what it cost in I/O (IoStats) or at the device (DeviceStats).
 // Counters are always maintained — as relaxed atomic adds, since Search
@@ -294,6 +298,14 @@ class Tree {
   // [1, queries.size()]; 1 degenerates to a sequential loop.
   std::vector<std::vector<ObjectId>> ParallelSearch(
       const std::vector<Query<kDims>>& queries, int num_threads);
+
+  // Same, but runs on an injected shared pool instead of spawning a
+  // transient one — K partition trees fanning out through one pool don't
+  // multiply threads. Safe for pools shared with other concurrent
+  // fan-outs: completion is tracked by a per-call latch, not
+  // ThreadPool::Wait(). A null pool degenerates to a sequential loop.
+  std::vector<std::vector<ObjectId>> ParallelSearch(
+      const std::vector<Query<kDims>>& queries, sched::ThreadPool* pool);
 
   // --- Introspection --------------------------------------------------
 

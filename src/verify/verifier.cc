@@ -41,6 +41,10 @@ const char* CheckIdName(CheckId check) {
       return "page-accounting";
     case CheckId::kDatMapping:
       return "dat-mapping";
+    case CheckId::kPartitionManifest:
+      return "partition-manifest";
+    case CheckId::kPartitionRouting:
+      return "partition-routing";
   }
   return "unknown";
 }

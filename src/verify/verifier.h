@@ -62,6 +62,8 @@ enum class CheckId {
   kFreeList,           // Free-list entry invalid, duplicate, or reachable.
   kPageAccounting,     // Committed pages unaccounted for (orphans/leaks).
   kDatMapping,         // Direct-access table disagrees with the leaf walk.
+  kPartitionManifest,  // Partition manifest missing, malformed, or stale.
+  kPartitionRouting,   // Record violates its partition's speed class.
 };
 
 const char* CheckIdName(CheckId check);

@@ -90,6 +90,29 @@ TEST(LockRankDeathTest, EqualRankOutOfAddressOrderAborts) {
   hi->~Mutex();
 }
 
+TEST(LockRankDeathTest, RouterAboveTreeEpochAborts) {
+  // The partition router's documented order: router_mu_
+  // (kPartitionRouter) is acquired BEFORE any per-tree epoch — a query
+  // that grabbed a tree epoch and then tried to re-enter the router
+  // would deadlock against a fanning-out mutation.
+  if (!sched::kLockRankEnabled) GTEST_SKIP() << "lock rank compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sched::SharedMutex epoch;  // kTreeEpoch.
+  sched::Mutex router(sched::LockRank::kPartitionRouter,
+                      "partition_router");
+  {
+    // The legal order: router first, then the tree epoch.
+    sched::MutexLock lr(&router);
+    sched::ReaderMutexLock r(&epoch);
+  }
+  EXPECT_DEATH(
+      {
+        sched::ReaderMutexLock r(&epoch);
+        sched::MutexLock lr(&router);  // Router above a held epoch.
+      },
+      "acquisition-order inversion");
+}
+
 TEST(LockRankTest, SharedMutexReaderAndWriterParticipate) {
   sched::SharedMutex mu;  // kTreeEpoch.
   const int held = sched::kLockRankEnabled ? 1 : 0;

@@ -1,0 +1,603 @@
+// Copyright 2026 The Rexp Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the velocity-partitioned index family (DESIGN.md §14):
+// speed-class routing, the streaming speed histogram behind the online
+// boundary retune, oracle-backed boundary-crossing churn (the per-tree
+// invariant catalog — kDatMapping included — must hold in every
+// partition after every migration wave), decayed-partition merging,
+// union-TPBR query pruning, GroupUpdate parity, shared-pool fan-out,
+// disk persistence through the router manifest, and offline
+// verification of a closed partitioned index (the rexp_fsck --manifest
+// code path), clean and with a seeded routing violation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/query.h"
+#include "common/random.h"
+#include "partition/partition_verify.h"
+#include "partition/partitioned_index.h"
+#include "sched/thread_pool.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+#include "tree/reference_index.h"
+#include "tree/tree.h"
+
+namespace rexp {
+namespace {
+
+using ::rexp::testing::RandomQuery;
+
+TreeConfig SmallConfig() {
+  TreeConfig config = TreeConfig::Rexp();
+  config.page_size = 512;
+  config.buffer_frames = 16;
+  return config;
+}
+
+// A partitioned index over K fresh in-memory page files, with the files
+// owned here (the index borrows them, mirroring the harness).
+struct TestIndex {
+  TestIndex(const TreeConfig& config, const PartitionedOptions& options,
+            sched::ThreadPool* pool = nullptr) {
+    for (int i = 0; i < options.partitions; ++i) {
+      files.push_back(
+          std::make_unique<MemoryPageFile>(config.page_size));
+    }
+    std::vector<PageFile*> raw;
+    for (auto& f : files) raw.push_back(f.get());
+    index = std::make_unique<PartitionedIndex<2>>(config, raw, options,
+                                                  pool);
+  }
+  std::vector<std::unique_ptr<MemoryPageFile>> files;
+  std::unique_ptr<PartitionedIndex<2>> index;
+};
+
+// A canonical moving point with an exact speed |v| (direction fixed so
+// routing decisions are deterministic in the tests).
+Tpbr<2> PointWithSpeed(Rng* rng, double speed, Time now,
+                       double life = 200.0) {
+  const double angle = rng->Uniform(0, 6.28318530718);
+  Vec<2> pos{rng->Uniform(0, testing::kSpace),
+             rng->Uniform(0, testing::kSpace)};
+  Vec<2> vel{speed * std::cos(angle), speed * std::sin(angle)};
+  return MakeMovingPoint<2>(pos, vel, now, now + life);
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// --- Routing ----------------------------------------------------------
+
+TEST(PartitionRouting, InitialEqualWidthBoundaries) {
+  PartitionedOptions options;
+  options.partitions = 3;
+  options.retune_every = 0;  // Keep the seed boundaries.
+  options.initial_max_speed = 3.0;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+
+  const auto table = t.index->RoutingTableForTest();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_DOUBLE_EQ(table[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(table[1].second, 2.0);
+  EXPECT_TRUE(std::isinf(table[2].second));
+
+  EXPECT_EQ(t.index->RouteClassForTest(0.0), 0);
+  EXPECT_EQ(t.index->RouteClassForTest(1.0), 0);  // Inclusive upper.
+  EXPECT_EQ(t.index->RouteClassForTest(1.5), 1);
+  EXPECT_EQ(t.index->RouteClassForTest(100.0), 2);
+}
+
+TEST(PartitionRouting, InsertMapsObjectToItsSpeedClass) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+  Rng rng(7);
+
+  const Tpbr<2> slow = PointWithSpeed(&rng, 0.5, 0.0);
+  const Tpbr<2> fast = PointWithSpeed(&rng, 2.5, 0.0);
+  t.index->Insert(1, slow, 0.0);
+  t.index->Insert(2, fast, 0.0);
+
+  EXPECT_EQ(t.index->ClassOfForTest(1), 0);
+  EXPECT_EQ(t.index->ClassOfForTest(2), 1);
+  EXPECT_EQ(t.index->tree(0)->leaf_entries(), 1u);
+  EXPECT_EQ(t.index->tree(1)->leaf_entries(), 1u);
+  EXPECT_TRUE(t.index->Verify(0.0).ok());
+}
+
+TEST(SpeedHistogram, EquiDepthBoundariesTrackTheMass) {
+  partition::SpeedHistogram h;
+  // Heavily bimodal: most mass slow, a thin fast tail.
+  for (int i = 0; i < 900; ++i) h.Record(0.1);
+  for (int i = 0; i < 100; ++i) h.Record(6.0);
+  const std::vector<double> uppers = h.Boundaries(2, 3.0);
+  ASSERT_EQ(uppers.size(), 1u);
+  // The median sits in the slow mode, far below the equal-width 1.5.
+  EXPECT_LT(uppers[0], 1.0);
+  EXPECT_GE(uppers[0], 0.1);
+}
+
+TEST(SpeedHistogram, FallbackAndDecay) {
+  partition::SpeedHistogram h;
+  const std::vector<double> fallback = h.Boundaries(3, 3.0);
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_DOUBLE_EQ(fallback[0], 1.0);
+  EXPECT_DOUBLE_EQ(fallback[1], 2.0);
+
+  for (int i = 0; i < 100; ++i) h.Record(1.0);
+  EXPECT_EQ(h.total(), 100u);
+  h.Decay();
+  EXPECT_EQ(h.total(), 50u);
+}
+
+// --- Boundary-crossing churn against the oracle -----------------------
+
+// The satellite's core property: a partitioned index under speed drift
+// that repeatedly crosses class boundaries answers every query exactly
+// like the brute-force oracle, and after every migration wave the full
+// invariant catalog (per-tree kDatMapping included, via Verify) plus
+// the router cross-checks hold in every partition.
+TEST(PartitionChurn, DriftingSpeedsMatchOracleAcrossMigrations) {
+  PartitionedOptions options;
+  options.partitions = 3;
+  options.retune_every = 64;  // Exercise retunes mid-churn.
+  options.merge_fraction = 0.0;  // Merges covered separately.
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+  ReferenceIndex<2> oracle(/*expire_entries=*/true);
+  Rng rng(1234);
+
+  constexpr int kObjects = 160;
+  constexpr int kRounds = 12;
+  std::vector<Tpbr<2>> current(kObjects);
+  std::vector<double> speed(kObjects);
+
+  Time now = 0.0;
+  for (int i = 0; i < kObjects; ++i) {
+    speed[i] = rng.Uniform(0.05, 3.0);
+    current[i] = PointWithSpeed(&rng, speed[i], now);
+    t.index->Insert(static_cast<ObjectId>(i), current[i], now);
+    oracle.Insert(static_cast<ObjectId>(i), current[i]);
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    now += 5.0;
+    // Every object reports with a drifted speed; the sinusoidal swing
+    // takes most of the population across at least one class boundary
+    // per cycle.
+    for (int i = 0; i < kObjects; ++i) {
+      speed[i] = std::clamp(
+          speed[i] + 1.2 * std::sin(0.7 * round + 0.1 * i), 0.01, 6.0);
+      const Tpbr<2> next = PointWithSpeed(&rng, speed[i], now);
+      const bool tree_found = t.index->Update(
+          static_cast<ObjectId>(i), current[i], next, now);
+      const bool oracle_found =
+          oracle.Update(static_cast<ObjectId>(i), current[i], next, now);
+      EXPECT_EQ(tree_found, oracle_found) << "oid " << i;
+      current[i] = next;
+    }
+
+    // After the wave: full catalog in every partition + router checks.
+    const verify::Report report = t.index->Verify(now);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+
+    for (int q = 0; q < 12; ++q) {
+      const Query<2> query = RandomQuery<2>(&rng, now);
+      std::vector<ObjectId> got, want;
+      t.index->Search(query, &got);
+      oracle.Search(query, &want);
+      EXPECT_EQ(Sorted(got), Sorted(want)) << "round " << round;
+    }
+
+    std::vector<ObjectId> got_nn, want_nn;
+    const Vec<2> center{rng.Uniform(0, testing::kSpace),
+                        rng.Uniform(0, testing::kSpace)};
+    t.index->NearestNeighbors(center, now, 5, &got_nn);
+    oracle.NearestNeighbors(center, now, 5, &want_nn);
+    EXPECT_EQ(got_nn, want_nn);
+  }
+
+  const auto stats = t.index->stats();
+  EXPECT_GT(stats.migrations, 0u);  // The drift actually crossed classes.
+  EXPECT_GT(stats.retunes, 0u);
+  EXPECT_EQ(stats.updates, static_cast<uint64_t>(kObjects) * kRounds);
+}
+
+TEST(PartitionChurn, DeleteAndReinsertKeepMapConsistent) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+  Rng rng(99);
+
+  const Tpbr<2> a = PointWithSpeed(&rng, 0.4, 0.0);
+  t.index->Insert(5, a, 0.0);
+  EXPECT_TRUE(t.index->Delete(5, a, 1.0));
+  EXPECT_EQ(t.index->ClassOfForTest(5), -1);
+  // A second delete is a map miss: the fallback probes every partition
+  // and reports not-found.
+  EXPECT_FALSE(t.index->Delete(5, a, 1.0));
+  EXPECT_EQ(t.index->stats().delete_fallback_scans, 1u);
+
+  // Re-insert at a boundary-crossing speed lands in the other class.
+  const Tpbr<2> b = PointWithSpeed(&rng, 2.8, 1.0);
+  t.index->Insert(5, b, 1.0);
+  EXPECT_EQ(t.index->ClassOfForTest(5), 1);
+  EXPECT_TRUE(t.index->Verify(1.0).ok());
+}
+
+// --- GroupUpdate ------------------------------------------------------
+
+TEST(PartitionGroupUpdate, MatchesPerOpUpdateIncludingMigrations) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  TestIndex batched(SmallConfig(), options);
+  TestIndex serial(SmallConfig(), options);
+  ReferenceIndex<2> oracle;
+  Rng rng(4321);
+
+  constexpr int kObjects = 60;
+  std::vector<Tpbr<2>> current(kObjects);
+  for (int i = 0; i < kObjects; ++i) {
+    current[i] = PointWithSpeed(&rng, rng.Uniform(0.05, 3.0), 0.0);
+    batched.index->Insert(static_cast<ObjectId>(i), current[i], 0.0);
+    serial.index->Insert(static_cast<ObjectId>(i), current[i], 0.0);
+    oracle.Insert(static_cast<ObjectId>(i), current[i]);
+  }
+
+  const Time now = 5.0;
+  std::vector<Tree<2>::UpdateRequest> requests;
+  for (int i = 0; i < kObjects; ++i) {
+    // Half the batch crosses the 1.5 boundary on purpose.
+    const double s = (i % 2 == 0) ? rng.Uniform(2.0, 3.0)
+                                  : rng.Uniform(0.05, 1.0);
+    requests.push_back(Tree<2>::UpdateRequest{
+        static_cast<ObjectId>(i), current[i],
+        PointWithSpeed(&rng, s, now)});
+  }
+
+  const std::vector<bool> got =
+      batched.index->GroupUpdate(requests, now);
+  ASSERT_EQ(got.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const bool want = serial.index->Update(
+        requests[i].oid, requests[i].old_record, requests[i].new_record,
+        now);
+    EXPECT_EQ(got[i], want) << "request " << i;
+    (void)oracle.Update(requests[i].oid, requests[i].old_record,
+                        requests[i].new_record, now);
+  }
+  EXPECT_TRUE(batched.index->Verify(now).ok());
+  EXPECT_GT(batched.index->stats().migrations, 0u);
+
+  for (int q = 0; q < 10; ++q) {
+    const Query<2> query = RandomQuery<2>(&rng, now);
+    std::vector<ObjectId> a, b;
+    batched.index->Search(query, &a);
+    oracle.Search(query, &b);
+    EXPECT_EQ(Sorted(a), Sorted(b));
+  }
+}
+
+TEST(PartitionGroupUpdate, DuplicateOidsFallBackToBatchOrder) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+  Rng rng(11);
+
+  const Tpbr<2> first = PointWithSpeed(&rng, 0.3, 0.0);
+  t.index->Insert(1, first, 0.0);
+  const Tpbr<2> second = PointWithSpeed(&rng, 2.5, 1.0);
+  const Tpbr<2> third = PointWithSpeed(&rng, 0.2, 1.0);
+  // Chained same-oid updates: the second must see the first's result.
+  const std::vector<bool> results = t.index->GroupUpdate(
+      {Tree<2>::UpdateRequest{1, first, second},
+       Tree<2>::UpdateRequest{1, second, third}},
+      1.0);
+  EXPECT_EQ(results, (std::vector<bool>{true, true}));
+  EXPECT_EQ(t.index->ClassOfForTest(1), 0);
+  EXPECT_EQ(t.index->leaf_entries(), 1u);
+  EXPECT_TRUE(t.index->Verify(1.0).ok());
+}
+
+// --- Merging ----------------------------------------------------------
+
+TEST(PartitionMerge, DecayedClassIsMergedAndQueriesStillMatch) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 16;
+  options.merge_fraction = 0.10;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+  ReferenceIndex<2> oracle;
+  Rng rng(555);
+
+  // Populate both classes (interleaved — a run of same-class inserts
+  // would leave the other class empty at a maintenance scan and merge
+  // it during warm-up), then drain the fast class via updates so its
+  // population decays below merge_fraction.
+  constexpr int kObjects = 120;
+  std::vector<Tpbr<2>> current(kObjects);
+  for (int i = 0; i < kObjects; ++i) {
+    const double s = (i % 2 == 0) ? rng.Uniform(0.05, 1.0)
+                                  : rng.Uniform(2.0, 3.0);
+    current[i] = PointWithSpeed(&rng, s, 0.0);
+    t.index->Insert(static_cast<ObjectId>(i), current[i], 0.0);
+    oracle.Insert(static_cast<ObjectId>(i), current[i]);
+  }
+  ASSERT_EQ(t.index->active_partitions(), 2);
+
+  // The whole population converges onto one narrow speed band (a single
+  // histogram bin). Equi-depth retunes cannot split a point mass, so
+  // every retuned boundary admits the band into class 0, migrations
+  // drain class 1 to zero, and the decay merge fires. A wide slow band
+  // would NOT merge: the retune would rebalance it across both classes.
+  Time now = 0.0;
+  for (int wave = 0; wave < 3; ++wave) {
+    now += 3.0;
+    for (int i = 0; i < kObjects; ++i) {
+      const Tpbr<2> next =
+          PointWithSpeed(&rng, rng.Uniform(0.10, 0.12), now);
+      ASSERT_TRUE(t.index->Update(static_cast<ObjectId>(i), current[i],
+                                  next, now));
+      ASSERT_TRUE(oracle.Update(static_cast<ObjectId>(i), current[i],
+                                next, now));
+      current[i] = next;
+    }
+  }
+
+  const auto stats = t.index->stats();
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GT(stats.merge_moves, 0u);
+  EXPECT_EQ(t.index->active_partitions(), 1);
+
+  const verify::Report report = t.index->Verify(now);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  for (int q = 0; q < 15; ++q) {
+    const Query<2> query = RandomQuery<2>(&rng, now);
+    std::vector<ObjectId> got, want;
+    t.index->Search(query, &got);
+    oracle.Search(query, &want);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+
+  // The merged-away class takes no further routes: new extreme-speed
+  // inserts land in the surviving class.
+  t.index->Insert(9999, PointWithSpeed(&rng, 5.0, now), now);
+  EXPECT_EQ(t.index->ClassOfForTest(9999), 0);
+  EXPECT_TRUE(t.index->Verify(now).ok());
+}
+
+// --- Query pruning and fan-out ----------------------------------------
+
+TEST(PartitionSearch, UnreachablePartitionIsPrunedWithoutIo) {
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  TestIndex t(SmallConfig(), options);
+
+  // Slow objects near the origin, fast objects in the far corner.
+  for (int i = 0; i < 20; ++i) {
+    const double off = 2.0 * i;
+    t.index->Insert(static_cast<ObjectId>(i),
+                    MakeMovingPoint<2>({10 + off, 10 + off}, {0.1, 0.1},
+                                       0.0, 500.0),
+                    0.0);
+    t.index->Insert(static_cast<ObjectId>(100 + i),
+                    MakeMovingPoint<2>({900 + off, 900 + off}, {2.0, 0.0},
+                                       0.0, 500.0),
+                    0.0);
+  }
+
+  // A tiny window near the origin at t=1: the fast class's union TPBR
+  // cannot reach it, so only the slow partition is searched.
+  const Query<2> near_origin =
+      Query<2>::Timeslice(Rect<2>::Cube({0, 0}, 100.0), 1.0);
+  std::vector<ObjectId> out;
+  const uint64_t fast_io_before = t.index->tree(1)->io_stats().Total();
+  t.index->Search(near_origin, &out);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(t.index->tree(1)->io_stats().Total(), fast_io_before);
+
+  const auto stats = t.index->stats();
+  EXPECT_EQ(stats.searches, 1u);
+  EXPECT_EQ(stats.partitions_pruned, 1u);
+  EXPECT_EQ(stats.partitions_searched, 1u);
+}
+
+TEST(PartitionSearch, SharedPoolFanOutMatchesSequential) {
+  sched::ThreadPool pool(3);
+  PartitionedOptions pooled_options;
+  pooled_options.partitions = 3;
+  pooled_options.retune_every = 0;
+  PartitionedOptions serial_options = pooled_options;
+  serial_options.query_threads = -1;  // Sequential fan-out.
+  TestIndex pooled(SmallConfig(), pooled_options, &pool);
+  TestIndex serial(SmallConfig(), serial_options);
+  ASSERT_EQ(pooled.index->pool(), &pool);
+  ASSERT_EQ(serial.index->pool(), nullptr);
+  Rng rng(2025);
+
+  for (int i = 0; i < 200; ++i) {
+    const Tpbr<2> p = PointWithSpeed(&rng, rng.Uniform(0.05, 3.0), 0.0);
+    pooled.index->Insert(static_cast<ObjectId>(i), p, 0.0);
+    serial.index->Insert(static_cast<ObjectId>(i), p, 0.0);
+  }
+
+  for (int q = 0; q < 40; ++q) {
+    const Query<2> query = RandomQuery<2>(&rng, 1.0);
+    std::vector<ObjectId> a, b;
+    pooled.index->Search(query, &a);
+    serial.index->Search(query, &b);
+    EXPECT_EQ(Sorted(a), Sorted(b)) << "query " << q;
+  }
+
+  std::vector<ObjectId> nn_a, nn_b;
+  pooled.index->NearestNeighbors({500, 500}, 1.0, 7, &nn_a);
+  serial.index->NearestNeighbors({500, 500}, 1.0, 7, &nn_b);
+  EXPECT_EQ(nn_a, nn_b);
+}
+
+// --- Disk persistence and offline verification ------------------------
+
+TEST(PartitionDisk, ReopenRestoresRoutingAndAnswers) {
+  const std::string base = ::testing::TempDir() + "/rexp_part_reopen";
+  for (int i = 0; i < 4; ++i) {
+    std::remove((base + ".p" + std::to_string(i)).c_str());
+  }
+  std::remove((base + ".manifest").c_str());
+
+  TreeConfig config = SmallConfig();
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 32;
+  options.merge_fraction = 0.0;
+  options.query_threads = -1;
+  Rng rng(77);
+
+  constexpr int kObjects = 80;
+  std::vector<Tpbr<2>> current(kObjects);
+  ReferenceIndex<2> oracle;
+  std::vector<std::pair<int, double>> table_before;
+  {
+    auto index_or =
+        PartitionedIndex<2>::OpenDisk(config, base, options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status().ToString();
+    auto index = std::move(index_or).value();
+    for (int i = 0; i < kObjects; ++i) {
+      current[i] =
+          PointWithSpeed(&rng, rng.Uniform(0.05, 3.0), 0.0, 1e6);
+      index->Insert(static_cast<ObjectId>(i), current[i], 0.0);
+      oracle.Insert(static_cast<ObjectId>(i), current[i]);
+    }
+    // Drifted reports so the learned boundaries move off the seeds.
+    for (int i = 0; i < kObjects; ++i) {
+      const Tpbr<2> next =
+          PointWithSpeed(&rng, rng.Uniform(0.05, 3.0), 1.0, 1e6);
+      ASSERT_TRUE(index->Update(static_cast<ObjectId>(i), current[i],
+                                next, 1.0));
+      ASSERT_TRUE(oracle.Update(static_cast<ObjectId>(i), current[i],
+                                next, 1.0));
+      current[i] = next;
+    }
+    table_before = index->RoutingTableForTest();
+    ASSERT_TRUE(index->Commit().ok());
+  }  // Destructor rewrites the manifest.
+
+  {
+    // `options.partitions` deliberately disagrees: the manifest wins.
+    PartitionedOptions reopen = options;
+    reopen.partitions = 7;
+    auto index_or =
+        PartitionedIndex<2>::OpenDisk(config, base, reopen);
+    ASSERT_TRUE(index_or.ok()) << index_or.status().ToString();
+    auto index = std::move(index_or).value();
+    EXPECT_EQ(index->partitions(), 2);
+    EXPECT_EQ(index->RoutingTableForTest(), table_before);
+
+    const verify::Report report = index->Verify(2.0);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    for (int q = 0; q < 15; ++q) {
+      const Query<2> query = RandomQuery<2>(&rng, 2.0);
+      std::vector<ObjectId> got, want;
+      index->Search(query, &got);
+      oracle.Search(query, &want);
+      EXPECT_EQ(Sorted(got), Sorted(want)) << "query " << q;
+    }
+    // Updates keep working against the reopened (rebuilt) class map.
+    const Tpbr<2> next = PointWithSpeed(&rng, 2.9, 2.0, 1e6);
+    EXPECT_TRUE(index->Update(0, current[0], next, 2.0));
+    EXPECT_TRUE(index->Verify(2.0).ok());
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    std::remove((base + ".p" + std::to_string(i)).c_str());
+  }
+  std::remove((base + ".manifest").c_str());
+}
+
+TEST(PartitionFsck, ClosedIndexVerifiesCleanAndSeededDamageIsFound) {
+  const std::string base = ::testing::TempDir() + "/rexp_part_fsck";
+  for (int i = 0; i < 2; ++i) {
+    std::remove((base + ".p" + std::to_string(i)).c_str());
+  }
+  const std::string manifest_path = base + ".manifest";
+  std::remove(manifest_path.c_str());
+
+  TreeConfig config = SmallConfig();
+  PartitionedOptions options;
+  options.partitions = 2;
+  options.retune_every = 0;
+  options.query_threads = -1;
+  Rng rng(31);
+  {
+    auto index_or =
+        PartitionedIndex<2>::OpenDisk(config, base, options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status().ToString();
+    auto index = std::move(index_or).value();
+    for (int i = 0; i < 60; ++i) {
+      index->Insert(static_cast<ObjectId>(i),
+                    PointWithSpeed(&rng, rng.Uniform(0.05, 3.0), 0.0, 1e6),
+                    0.0);
+    }
+    ASSERT_TRUE(index->Commit().ok());
+  }
+
+  // The closed index passes the offline check rexp_fsck --manifest runs.
+  verify::VerifyOptions vopt;
+  vopt.now = 1.0;
+  int dims = 0;
+  verify::Report clean = partition::VerifyPartitionedAuto(
+      manifest_path, config, vopt, &dims);
+  EXPECT_EQ(dims, 2);
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+  EXPECT_GT(clean.leaf_records_checked, 0u);
+
+  // Seeded routing damage: clamp class 1's recorded speed ceiling below
+  // its residents' true speeds. The offline checker must flag the live
+  // records as faster than their class's vmax.
+  auto manifest_or = partition::ReadManifest(manifest_path);
+  ASSERT_TRUE(manifest_or.ok());
+  partition::Manifest damaged = std::move(manifest_or).value();
+  ASSERT_EQ(damaged.entries.size(), 2u);
+  damaged.entries[1].vmax = 0.01;
+  ASSERT_TRUE(partition::WriteManifest(damaged, manifest_path).ok());
+
+  verify::Report report = partition::VerifyPartitionedAuto(
+      manifest_path, config, vopt, &dims);
+  EXPECT_FALSE(report.ok());
+  bool routing_finding = false;
+  for (const verify::Finding& f : report.findings) {
+    if (f.check == verify::CheckId::kPartitionRouting) {
+      routing_finding = true;
+    }
+  }
+  EXPECT_TRUE(routing_finding) << report.ToString();
+
+  for (int i = 0; i < 2; ++i) {
+    std::remove((base + ".p" + std::to_string(i)).c_str());
+  }
+  std::remove(manifest_path.c_str());
+}
+
+}  // namespace
+}  // namespace rexp

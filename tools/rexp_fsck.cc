@@ -13,6 +13,14 @@
 //                 [--config rexp|tpr] [--stored-expiry] [--samples N]
 //                 [--max-findings N] [--repair] [--salvage] [--dry-run]
 //                 [--quarantine PATH] [--fill F] [--json] [--quiet]
+//   $ ./rexp_fsck --manifest <manifest-file> [check-only flags]
+//
+// The second form checks a velocity-partitioned index (src/partition/):
+// the manifest is validated, every partition file gets the full per-tree
+// catalog, and the class discipline is cross-checked (no live object in
+// two partitions, none faster than its class ceiling, merged-away
+// classes empty). Dims and page size come from the manifest; --repair
+// and --salvage are check-time-only rejections in this mode.
 //
 // Modes (verify/repair.h documents the escalation order):
 //   (none)      check only.
@@ -47,6 +55,7 @@
 #include "common/parse.h"
 #include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
+#include "partition/partition_verify.h"
 #include "storage/page_file.h"
 #include "tree/tree_config.h"
 #include "verify/repair.h"
@@ -70,8 +79,9 @@ int Usage(const char* argv0) {
                "usage: %s <index-file> [--now T] [--page-size N] [--dims D] "
                "[--config rexp|tpr] [--stored-expiry] [--samples N] "
                "[--max-findings N] [--repair] [--salvage] [--dry-run] "
-               "[--quarantine PATH] [--fill F] [--json] [--quiet]\n",
-               argv0);
+               "[--quarantine PATH] [--fill F] [--json] [--quiet]\n"
+               "       %s --manifest <manifest-file> [check-only flags]\n",
+               argv0, argv0);
   return kExitUsage;
 }
 
@@ -80,6 +90,7 @@ struct FsckOptions {
   verify::VerifyOptions verify;
   TreeConfig config = TreeConfig::Rexp();
   int dims = 2;
+  bool manifest = false;  // `path` names a partition manifest instead.
   bool repair = false;
   bool salvage = false;
   bool dry_run = false;
@@ -325,6 +336,7 @@ void WriteJson(const FsckOptions& opt, const Outcome& out) {
   obs::JsonWriter w;
   w.BeginObject();
   w.KV("path", opt.path);
+  w.KV("partitioned", opt.manifest);
   w.KV("page_size", static_cast<uint64_t>(opt.config.page_size));
   w.KV("now", opt.verify.now);
   w.KV("meta_epoch", out.report.meta_epoch);
@@ -350,9 +362,20 @@ void WriteJson(const FsckOptions& opt, const Outcome& out) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   FsckOptions opt;
-  opt.path = argv[1];
   uint32_t page_size = 4096;
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (std::strcmp(argv[1], "--manifest") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "--manifest requires a path\n");
+      return Usage(argv[0]);
+    }
+    opt.manifest = true;
+    opt.path = argv[2];
+    first_flag = 3;
+  } else {
+    opt.path = argv[1];
+  }
+  for (int i = first_flag; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -447,6 +470,27 @@ int main(int argc, char** argv) {
     }
   }
   opt.config.page_size = page_size;
+
+  if (opt.manifest) {
+    if (opt.repair || opt.salvage || opt.dry_run) {
+      std::fprintf(stderr,
+                   "--manifest mode is check-only; --repair/--salvage/"
+                   "--dry-run apply to single index files\n");
+      return Usage(argv[0]);
+    }
+    Outcome out;
+    int dims = 0;
+    out.report =
+        partition::VerifyPartitionedAuto(opt.path, opt.config, opt.verify,
+                                         &dims);
+    out.exit_code = out.report.ok() ? kExitClean : kExitFindings;
+    if (opt.json) {
+      WriteJson(opt, out);
+    } else if (!opt.quiet || !out.report.ok()) {
+      std::printf("%s", out.report.ToString().c_str());
+    }
+    return out.exit_code;
+  }
 
   // DiskPageFile::Open creates missing files; a checker must not. Probe
   // for existence first so a typo'd path is an error, not a clean run
